@@ -1,0 +1,45 @@
+"""Ablation: batched vs unbatched routine transforms.
+
+The paper remarks that its routine benchmarks are *not* batched, so "the
+NTT acceleration is not as dramatic" (Sec. IV-C).  This bench quantifies
+the remark on the model: the same MulLinRS kernel sequence with the
+transforms batched across RNS components (one launch, Fig. 8's
+``q_base_sz`` grid dimension) vs submitted per call.
+"""
+
+from repro.gpu.profiles import GpuConfig, GpuOpProfiler
+from repro.xesim import DEVICE1, simulate_kernels
+
+
+def _relin_profiles(batched: bool):
+    prof = GpuOpProfiler(32768, DEVICE1,
+                         GpuConfig(ntt_variant="local-radix-8", asm=True))
+    l = 8
+    out = []
+    out += prof.ntt(l, inverse=True, batched=batched)
+    out += prof.ntt(l * (l + 1), batched=batched)
+    out += prof.ntt(2 * l, batched=batched)
+    return out
+
+
+def test_unbatched_transforms(benchmark):
+    t = benchmark(lambda: simulate_kernels(_relin_profiles(False), DEVICE1))
+    assert t.time_s > 0
+
+
+def test_batched_transforms(benchmark):
+    t = benchmark(lambda: simulate_kernels(_relin_profiles(True), DEVICE1))
+    assert t.time_s > 0
+
+
+def test_batching_gain(benchmark):
+    def gain():
+        un = simulate_kernels(_relin_profiles(False), DEVICE1).time_s
+        ba = simulate_kernels(_relin_profiles(True), DEVICE1).time_s
+        return un / ba
+
+    g = benchmark(gain)
+    print(f"\nbatching the relinearization transforms: {g:.2f}x "
+          f"(the headroom the paper leaves on the table for routines)")
+    # Batched grids fill the machine; per-call launches idle it.
+    assert g > 2.0

@@ -1,0 +1,70 @@
+"""Ablation: hoisted rotations vs independent rotations.
+
+An extension beyond the paper (Halevi-Shoup hoisting): the key-switch
+decomposition of ``c1`` — the l*(l+1) NTTs that make Rotate the most
+NTT-heavy routine in Fig. 5 — is shared across multiple rotations of the
+same ciphertext.  Wall-clock on the functional evaluator.
+"""
+
+import numpy as np
+import pytest
+
+STEPS = [1, 2, 3, 5]
+
+
+@pytest.fixture(scope="module")
+def setup(ckks_bench):
+    rng = ckks_bench["rng"]
+    enc = ckks_bench["encoder"]
+    z = rng.normal(size=enc.slots)
+    ct = ckks_bench["encryptor"].encrypt(enc.encode(z))
+    gk = None
+    return ct, z
+
+
+@pytest.fixture(scope="module")
+def galois(ckks_bench):
+    from repro.core import KeyGenerator
+
+    # The bench fixture only carries step-1 keys; make the full set.
+    kg = KeyGenerator(ckks_bench["context"], seed=7)  # same seed => same sk
+    return kg.galois_keys(STEPS)
+
+
+def test_independent_rotations(benchmark, ckks_bench, setup, galois):
+    ct, _ = setup
+    ev = ckks_bench["evaluator"]
+
+    def run():
+        return [ev.rotate(ct, s, galois) for s in STEPS]
+
+    out = benchmark(run)
+    assert len(out) == len(STEPS)
+
+
+def test_hoisted_rotations(benchmark, ckks_bench, setup, galois):
+    ct, z = setup
+    ev = ckks_bench["evaluator"]
+
+    out = benchmark(ev.rotate_hoisted, ct, STEPS, galois)
+    assert len(out) == len(STEPS)
+    # Correctness spot check on the last rotation.
+    enc = ckks_bench["encoder"]
+    got = enc.decode(ckks_bench["decryptor"].decrypt(out[-1])).real
+    assert np.abs(got - np.roll(z, -STEPS[-1])).max() < 1e-2
+
+
+def test_hoisting_saves_transforms(benchmark):
+    """Count the transform savings analytically: (K-1) * l * (l+1) NTTs."""
+    def count(level=4, k=len(STEPS)):
+        per_rotation = level * (level + 1)
+        independent = k * per_rotation
+        hoisted = per_rotation  # decomposition shared
+        return {"independent": independent, "hoisted": hoisted,
+                "saved": independent - hoisted}
+
+    res = benchmark(count)
+    print(f"\nhoisting at level 4, {len(STEPS)} rotations: "
+          f"{res['independent']} -> {res['hoisted']} decomposition NTTs "
+          f"({res['saved']} saved)")
+    assert res["saved"] == (len(STEPS) - 1) * 20

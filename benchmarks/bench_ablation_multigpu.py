@@ -1,0 +1,44 @@
+"""Ablation: multi-GPU / heterogeneous scaling (the paper's future work).
+
+Sec. V names multi-GPU and heterogeneous platforms as future work; this
+bench evaluates both on the device model for the batched 32K NTT.
+"""
+
+from repro.ntt import get_variant
+from repro.xesim import DEVICE1, DEVICE2
+from repro.xesim.multigpu import simulate_multi_gpu_ntt
+
+
+def test_dual_homogeneous_scaling(benchmark):
+    res = benchmark(
+        simulate_multi_gpu_ntt,
+        get_variant("local-radix-8+asm"),
+        [(DEVICE2, 1), (DEVICE2, 1)],
+        batch=8192,
+    )
+    print(f"\n2x Device2: {res.speedup_vs_best_single:.2f}x vs one Device2")
+    assert 1.6 < res.speedup_vs_best_single <= 2.05
+
+
+def test_heterogeneous_scaling(benchmark):
+    res = benchmark(
+        simulate_multi_gpu_ntt,
+        get_variant("local-radix-8+asm"),
+        [(DEVICE1, 2), (DEVICE2, 1)],
+        batch=8192,
+    )
+    print(f"\nDevice1+Device2: {res.speedup_vs_best_single:.2f}x vs Device1; "
+          f"split: {res.plan.describe()}")
+    # The slow part contributes its peak share (~9%), no more.
+    assert 1.02 < res.speedup_vs_best_single < 1.25
+
+
+def test_four_device_farm(benchmark):
+    res = benchmark(
+        simulate_multi_gpu_ntt,
+        get_variant("local-radix-8+asm"),
+        [(DEVICE2, 1)] * 4,
+        batch=8192,
+    )
+    print(f"\n4x Device2: {res.speedup_vs_best_single:.2f}x")
+    assert 3.0 < res.speedup_vs_best_single <= 4.1

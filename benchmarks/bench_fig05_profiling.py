@@ -1,0 +1,21 @@
+"""Fig. 5 — NTT share of the five HE evaluation routines.
+
+Paper: NTT accounts for 79.99% (Device1) and 75.64% (Device2) of routine
+execution time on average, at N = 32K, RNS size 8.
+"""
+
+from repro.analysis.figures import fig5_profiling
+
+
+def test_fig5_device1(benchmark, record_figure):
+    fig = benchmark(lambda: fig5_profiling("Device1"))
+    record_figure(fig)
+    measured = fig.measured["avg_ntt_fraction"]
+    assert 0.72 <= measured <= 0.90  # paper: 0.7999
+
+
+def test_fig5_device2(benchmark, record_figure):
+    fig = benchmark(lambda: fig5_profiling("Device2"))
+    record_figure(fig)
+    measured = fig.measured["avg_ntt_fraction"]
+    assert 0.70 <= measured <= 0.88  # paper: 0.7564

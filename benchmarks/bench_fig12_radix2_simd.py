@@ -1,0 +1,25 @@
+"""Fig. 12 — radix-2 NTT with SLM and SIMD shuffling on Device1.
+
+Paper: SIMD(8,8) up to 1.28x over naive (12.93% of peak at 32K/1024);
+SIMD(16,8) slightly slower; SIMD(32,8) can dip below the baseline.
+"""
+
+from repro.analysis.figures import fig12_radix2_simd
+
+
+def test_fig12(benchmark, record_figure):
+    fig = benchmark(fig12_radix2_simd)
+    record_figure(fig)
+    m = fig.measured
+    assert 1.10 <= m["simd88_speedup_32k1024"] <= 1.45   # paper 1.28
+    assert 0.09 <= m["simd88_eff_1024"] <= 0.17          # paper 0.1293
+    assert 0.06 <= m["naive_eff_1024"] <= 0.14           # paper 0.1008
+
+    by_label = {s.label: s for s in fig.series}
+    # Ordering at the 32K/1024 config: simd(8,8) > simd(16,8) > simd(32,8).
+    s88 = by_label["simd(8,8)"].y[-1]
+    s168 = by_label["simd(16,8)"].y[-1]
+    s328 = by_label["simd(32,8)"].y[-1]
+    assert s88 > s168 > s328
+    # Aggressive register blocking loses (paper: slower than baseline).
+    assert s328 < 1.10

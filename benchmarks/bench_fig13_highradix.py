@@ -1,0 +1,28 @@
+"""Fig. 13 — high-radix NTT with SLM on Device1.
+
+Paper: radix-8 reaches 4.23x over naive and 34.1% of peak; radix-16
+regresses due to register spilling.
+"""
+
+from repro.analysis.figures import fig13_high_radix
+
+
+def test_fig13(benchmark, record_figure):
+    fig = benchmark(fig13_high_radix)
+    record_figure(fig)
+    m = fig.measured
+    assert 3.4 <= m["radix8_speedup_max"] <= 5.1     # paper 4.23
+    assert 0.28 <= m["radix8_eff_1024"] <= 0.40      # paper 0.341
+
+    by_label = {s.label: s for s in fig.series}
+    r4 = by_label["local-radix-4"].y[-1]
+    r8 = by_label["local-radix-8"].y[-1]
+    r16 = by_label["local-radix-16"].y[-1]
+    assert r8 > r4                  # higher radix wins...
+    assert r16 < r8                 # ...until registers spill
+
+    # Efficiency grows monotonically with instance count (Fig. 13b).
+    eff8 = by_label["local-radix-8"]
+    if len(eff8.x) > 8:  # the efficiency series (instance sweep)
+        ys = eff8.y
+        assert all(b >= a for a, b in zip(ys, ys[1:]))

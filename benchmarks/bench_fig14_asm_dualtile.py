@@ -1,0 +1,30 @@
+"""Fig. 14 — inline assembly and explicit dual-tile submission on Device1.
+
+Paper: inline asm improves the radix-8 NTT by 35.8-40.7% (to 47.1% of
+peak); dual-tile submission reaches 79.8% of peak, 9.93x over naive.
+"""
+
+from repro.analysis.figures import fig14a_inline_asm, fig14b_dual_tile
+
+
+def test_fig14a_inline_asm(benchmark, record_figure):
+    fig = benchmark(fig14a_inline_asm)
+    record_figure(fig)
+    m = fig.measured
+    # Band check on each sweep point: "relatively stable acceleration".
+    assert m["asm_gain_lo"] >= 1.25
+    assert m["asm_gain_hi"] <= 1.50
+    assert m["asm_gain_hi"] - m["asm_gain_lo"] < 0.15
+    assert 0.40 <= m["asm_eff_32k1024"] <= 0.55   # paper 0.471
+
+
+def test_fig14b_dual_tile(benchmark, record_figure):
+    fig = benchmark(fig14b_dual_tile)
+    record_figure(fig)
+    m = fig.measured
+    assert 8.0 <= m["dual_speedup_32k1024"] <= 12.0   # paper 9.93
+    assert 0.70 <= m["dual_eff_32k1024"] <= 0.90      # paper 0.798
+
+    one, two = fig.series
+    # Dual tile beats single tile everywhere in the sweep.
+    assert all(t > o for o, t in zip(one.y, two.y))

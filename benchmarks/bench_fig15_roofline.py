@@ -1,0 +1,31 @@
+"""Fig. 15 — roofline analysis on Device1.
+
+Paper: naive radix-2 has operational density 1.5 int64 op/byte (memory
+bound); SLM radix-8 reaches 8.9 op/byte, shifting the kernel to the
+compute-bound region near the int64 ceiling.
+"""
+
+from repro.analysis.figures import fig15_roofline
+from repro.xesim import DEVICE1
+
+
+def test_fig15(benchmark, record_figure):
+    fig = benchmark(fig15_roofline)
+    record_figure(fig)
+    assert fig.measured["naive_density"] == 1.5
+    assert abs(fig.measured["radix8_density"] - 8.9) < 0.1
+
+    dens, perf, bound = fig.series
+    labels = list(dens.x)
+    # Density strictly increases from naive to radix-8.
+    i_naive = labels.index("naive radix-2")
+    i_r8 = labels.index("SLM+radix-8")
+    assert dens.y[i_naive] < dens.y[i_r8]
+    # Achieved performance never exceeds the roofline bound.
+    for p, b in zip(perf.y, bound.y):
+        assert p <= b * 1.001
+    # Naive is memory-bound: its bound sits below the machine peak.
+    assert bound.y[i_naive] < DEVICE1.peak_int64_gops()
+    # The dual-tile radix-8 point approaches the int64 ceiling.
+    i_dual = labels.index("SLM+radix-8+dual-tile")
+    assert perf.y[i_dual] >= 0.70 * DEVICE1.peak_int64_gops()

@@ -1,0 +1,28 @@
+"""Fig. 16 — HE evaluation routines across optimization stages, Device1.
+
+Paper: opt-NTT +43.5% avg; inline asm +27.4% avg; dual tile +49.5-78.2%;
+up to 3.05x over the naive baseline.
+"""
+
+from repro.analysis.figures import fig16_routines_device1
+from repro.core.routines import ROUTINE_NAMES
+
+
+def test_fig16(benchmark, record_figure):
+    fig = benchmark(fig16_routines_device1)
+    record_figure(fig)
+    assert 2.6 <= fig.measured["max_final_speedup"] <= 3.3   # paper 3.05
+    assert fig.measured["min_final_speedup"] >= 2.2
+
+    for series in fig.series:
+        assert series.label in ROUTINE_NAMES
+        norm = series.y
+        # Monotone improvement through the stages.
+        assert all(b < a for a, b in zip(norm, norm[1:]))
+        # Per-stage steps within the paper's bands (see DESIGN.md).
+        opt_step = norm[0] / norm[1]
+        asm_step = norm[1] / norm[2]
+        dual_step = norm[2] / norm[3]
+        assert 1.30 <= opt_step <= 1.70     # paper avg 1.435
+        assert 1.10 <= asm_step <= 1.35     # paper avg 1.274
+        assert 1.35 <= dual_step <= 1.85    # paper 1.495-1.782

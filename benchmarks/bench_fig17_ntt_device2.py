@@ -1,0 +1,23 @@
+"""Fig. 17 — NTT optimization ladder on Device2 (single tile).
+
+Paper: naive ~15% of peak; SIMD(8,8) 20.95-24.21%; radix-8 66.8% (5.47x);
+radix-8 + inline asm 85.75% (7.02x).
+"""
+
+from repro.analysis.figures import fig17_ntt_device2
+
+
+def test_fig17(benchmark, record_figure):
+    fig = benchmark(fig17_ntt_device2)
+    record_figure(fig)
+    m = fig.measured
+    assert 0.56 <= m["radix8_eff"] <= 0.78     # paper 0.668
+    assert 0.75 <= m["asm_eff"] <= 0.95        # paper 0.8575
+    assert 4.4 <= m["radix8_speedup"] <= 6.6   # paper 5.47
+    assert 5.6 <= m["asm_speedup"] <= 8.5      # paper 7.02
+
+    by_label = {s.label: s for s in fig.series}
+    # The efficiency ladder at 1024 instances.
+    order = ["naive", "simd(8,8)", "local-radix-8", "local-radix-8+asm"]
+    finals = [by_label[n].y[-1] for n in order]
+    assert all(b > a for a, b in zip(finals, finals[1:]))

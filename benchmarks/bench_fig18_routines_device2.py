@@ -1,0 +1,23 @@
+"""Fig. 18 — HE evaluation routines across optimization stages, Device2.
+
+Paper: SIMD(8,8) +29.6% avg; opt-NTT 1.92x avg; + inline asm 2.32-2.41x.
+"""
+
+from repro.analysis.figures import fig18_routines_device2
+
+
+def test_fig18(benchmark, record_figure):
+    fig = benchmark(fig18_routines_device2)
+    record_figure(fig)
+    assert 2.0 <= fig.measured["min_final_speedup"]          # paper 2.32
+    assert fig.measured["max_final_speedup"] <= 2.9          # paper 2.41
+
+    for series in fig.series:
+        norm = series.y
+        assert all(b < a for a, b in zip(norm, norm[1:]))
+        simd_step = norm[0] / norm[1]
+        optntt_cum = norm[0] / norm[2]
+        final_cum = norm[0] / norm[3]
+        assert 1.20 <= simd_step <= 1.75        # paper avg 1.296
+        assert 1.60 <= optntt_cum <= 2.40       # paper avg 1.92
+        assert 2.00 <= final_cum <= 2.90        # paper 2.32-2.41

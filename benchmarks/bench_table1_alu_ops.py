@@ -1,0 +1,43 @@
+"""Table I — int64 ALU op audit per NTT work-item per round.
+
+Paper totals: 48 (radix-2), 157 (radix-4), 456 (radix-8), 1156 (radix-16).
+Also prints the Fig. 3/4 inline-assembly instruction sequences.
+"""
+
+from repro.analysis.figures import table1_alu_ops
+from repro.modmath import ADD_MOD_ASM, ADD_MOD_COMPILER, MUL64_ASM, MUL64_COMPILER
+from repro.modmath.instcount import (
+    add_mod_instruction_reduction,
+    mul64_instruction_reduction,
+)
+
+
+def test_table1_exact(benchmark, record_figure):
+    fig = benchmark(table1_alu_ops)
+    record_figure(fig)
+    assert all(r == 1.0 for r in fig.deviations().values())
+
+
+def test_fig3_fig4_sequences(benchmark):
+    def audit():
+        return {
+            "add_mod_compiler": ADD_MOD_COMPILER.n_instructions,
+            "add_mod_asm": ADD_MOD_ASM.n_instructions,
+            "mul64_compiler": MUL64_COMPILER.n_instructions,
+            "mul64_asm": MUL64_ASM.n_instructions,
+        }
+
+    counts = benchmark(audit)
+    print("\nFig. 3 (add_mod):")
+    for line in ADD_MOD_COMPILER.render():
+        print("  compiler:", line)
+    for line in ADD_MOD_ASM.render():
+        print("  asm:     ", line)
+    print("Fig. 4 (mul64): compiler",
+          counts["mul64_compiler"], "-> asm", counts["mul64_asm"])
+    assert counts == {
+        "add_mod_compiler": 4, "add_mod_asm": 3,
+        "mul64_compiler": 8, "mul64_asm": 3,
+    }
+    assert add_mod_instruction_reduction() == 0.25
+    assert 0.55 <= mul64_instruction_reduction() <= 0.70  # paper "~60%"

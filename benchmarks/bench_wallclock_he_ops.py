@@ -1,0 +1,80 @@
+"""Wall-clock benchmarks of the functional CKKS operations (N = 4096)."""
+
+import numpy as np
+
+
+def fresh_pair(ckks_bench):
+    enc = ckks_bench["encoder"]
+    rng = ckks_bench["rng"]
+    z = rng.normal(size=enc.slots)
+    return ckks_bench["encryptor"].encrypt(enc.encode(z))
+
+
+def test_encode(benchmark, ckks_bench):
+    enc = ckks_bench["encoder"]
+    z = ckks_bench["rng"].normal(size=enc.slots)
+    benchmark(enc.encode, z)
+
+
+def test_encrypt(benchmark, ckks_bench):
+    enc = ckks_bench["encoder"]
+    pt = enc.encode(ckks_bench["rng"].normal(size=enc.slots))
+    benchmark(ckks_bench["encryptor"].encrypt, pt)
+
+
+def test_decrypt_decode(benchmark, ckks_bench):
+    ct = fresh_pair(ckks_bench)
+
+    def run():
+        return ckks_bench["encoder"].decode(ckks_bench["decryptor"].decrypt(ct))
+
+    out = benchmark(run)
+    assert out.shape == (ckks_bench["encoder"].slots,)
+
+
+def test_add(benchmark, ckks_bench):
+    a, b = fresh_pair(ckks_bench), fresh_pair(ckks_bench)
+    benchmark(ckks_bench["evaluator"].add, a, b)
+
+
+def test_multiply(benchmark, ckks_bench):
+    a, b = fresh_pair(ckks_bench), fresh_pair(ckks_bench)
+    benchmark(ckks_bench["evaluator"].multiply, a, b)
+
+
+def test_mul_lin(benchmark, ckks_bench):
+    """The paper's MulLin routine: multiply + relinearize."""
+    ev = ckks_bench["evaluator"]
+    a, b = fresh_pair(ckks_bench), fresh_pair(ckks_bench)
+
+    def run():
+        return ev.relinearize(ev.multiply(a, b), ckks_bench["relin"])
+
+    out = benchmark(run)
+    assert out.size == 2
+
+
+def test_mul_lin_rs(benchmark, ckks_bench):
+    ev = ckks_bench["evaluator"]
+    a, b = fresh_pair(ckks_bench), fresh_pair(ckks_bench)
+
+    def run():
+        return ev.rescale(ev.relinearize(ev.multiply(a, b), ckks_bench["relin"]))
+
+    out = benchmark(run)
+    assert out.level == a.level - 1
+
+
+def test_rotate(benchmark, ckks_bench):
+    ev = ckks_bench["evaluator"]
+    a = fresh_pair(ckks_bench)
+    benchmark(ev.rotate, a, 1, ckks_bench["galois"])
+
+
+def test_rescale(benchmark, ckks_bench):
+    ev = ckks_bench["evaluator"]
+    a, b = fresh_pair(ckks_bench), fresh_pair(ckks_bench)
+    prod = ev.relinearize(ev.multiply(a, b), ckks_bench["relin"])
+    benchmark.pedantic(
+        lambda: ev.rescale(prod), rounds=20, iterations=1, warmup_rounds=2
+    )

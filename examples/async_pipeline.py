@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Asynchronous execution and the memory cache (paper Sec. III-C, Fig. 2).
+
+Demonstrates the two application-level optimizations on the runtime:
+
+* the fully asynchronous pipeline (host never blocks until the final
+  download) vs per-op synchronization;
+* the device memory cache recycling freed ciphertext buffers.
+
+Run:  python examples/async_pipeline.py
+"""
+
+from repro.gpu import GpuConfig, GpuOpProfiler
+from repro.runtime import AsyncPipeline, MemoryCache
+from repro.xesim import DEVICE1
+
+
+def async_demo() -> None:
+    print("=== asynchronous pipeline (Fig. 2) ===")
+    profiler = GpuOpProfiler(8192, DEVICE1,
+                             GpuConfig(ntt_variant="local-radix-8", asm=True))
+    pipe = AsyncPipeline(DEVICE1)
+    pipe.add_upload(2 * 4 * 8192 * 8)           # two level-4 ciphertexts
+    for profile in profiler.multiply(4):
+        pipe.add_op(profile)
+    for profile in profiler.relinearize(4):
+        pipe.add_op(profile)
+    for profile in profiler.rescale(4):
+        pipe.add_op(profile)
+    pipe.add_download(2 * 3 * 8192 * 8)
+
+    sync = pipe.run("synchronous")
+    asy = pipe.run("asynchronous")
+    print(f"synchronous : {sync.total_time_s * 1e3:8.3f} ms "
+          f"({sync.sync_count} host syncs)")
+    print(f"asynchronous: {asy.total_time_s * 1e3:8.3f} ms "
+          f"({asy.sync_count} host sync)")
+    print(f"speedup     : {sync.total_time_s / asy.total_time_s:.2f}x")
+
+
+def memcache_demo() -> None:
+    print("\n=== memory cache (Fig. 11) ===")
+    for enabled in (False, True):
+        cache = MemoryCache(enabled=enabled)
+        cost = 0.0
+        for _round in range(100):
+            bufs = []
+            for _ in range(4):
+                buf, c = cache.malloc(3 * 4 * 8192 * 8)
+                cost += c
+                bufs.append(buf)
+            for buf in bufs:
+                cost += cache.free(buf)
+        tag = "with cache   " if enabled else "without cache"
+        print(f"{tag}: {cost / 1e3:7.3f} ms allocation overhead, "
+              f"hit rate {100 * cache.stats.hit_rate:5.1f}%, "
+              f"{cache.stats.fresh_allocations} driver allocations")
+
+
+if __name__ == "__main__":
+    async_demo()
+    memcache_demo()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Accelerating Encrypted Computing on Intel GPUs".
+
+A from-scratch Python implementation of the paper's XeHE system
+(IPDPS 2022, arXiv:2109.14704):
+
+* :mod:`repro.modmath` — emulated int64 modular arithmetic (Barrett,
+  Harvey lazy ops, fused mad_mod, inline-assembly instruction models);
+* :mod:`repro.rns` — residue number system utilities;
+* :mod:`repro.ntt` — the negacyclic NTT in every variant the paper
+  benchmarks (naive radix-2, staged SLM, SIMD shuffling, radix-4/8/16);
+* :mod:`repro.xesim` — an Intel-Xe-class GPU performance model with the
+  paper's Device1 (dual-tile) and Device2 (single-tile) presets;
+* :mod:`repro.runtime` — a SYCL-like asynchronous runtime (queues,
+  events, device buffers, memory cache, multi-tile scheduling);
+* :mod:`repro.core` — the RNS-CKKS scheme (encoder, keys, encryptor,
+  decryptor, evaluator, the five benchmarked routines);
+* :mod:`repro.gpu` — the GPU-backed evaluator binding core to runtime;
+* :mod:`repro.apps` — encrypted polynomial matMul and inference demos;
+* :mod:`repro.analysis` — profiling, figure generators, reporting.
+"""
+
+__version__ = "1.0.0"
+
+from . import modmath
+
+__all__ = ["modmath", "__version__"]

@@ -1,0 +1,109 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures [ids...]``
+    Regenerate paper figures/tables (all by default) and print the
+    paper-vs-measured report for each.
+``calibration``
+    Recompute the 18 NTT-level calibration metrics and show band status.
+``devices``
+    Print the modelled device specifications.
+``info``
+    Version and package inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .analysis import ALL_FIGURES, render_figure
+
+    names = args.ids or sorted(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure ids: {unknown}; known: {sorted(ALL_FIGURES)}")
+        return 2
+    for name in names:
+        fig = ALL_FIGURES[name]()
+        print(render_figure(fig))
+        print()
+    return 0
+
+
+def cmd_calibration(_args: argparse.Namespace) -> int:
+    from .xesim.calibration import TARGET_MAP, compute_metrics
+
+    metrics = compute_metrics()
+    width = max(len(k) for k in metrics)
+    bad = 0
+    for key, value in metrics.items():
+        t = TARGET_MAP[key]
+        ok = t.ok(value)
+        bad += not ok
+        flag = "ok " if ok else "OUT"
+        print(f"{flag} {key.ljust(width)} measured={value:8.4f} "
+              f"paper={t.paper_value:8.4f} band=[{t.lo}, {t.hi}]  ({t.source})")
+    print(f"\n{len(metrics) - bad}/{len(metrics)} calibration targets in band")
+    return 1 if bad else 0
+
+
+def cmd_devices(_args: argparse.Namespace) -> int:
+    from .xesim import DEVICE1, DEVICE2
+
+    for dev in (DEVICE1, DEVICE2):
+        print(f"{dev.name}:")
+        print(f"  tiles x EUs      : {dev.tiles} x {dev.eus_per_tile}")
+        print(f"  frequency        : {dev.freq_ghz} GHz")
+        print(f"  int64 peak       : {dev.peak_int64_gops():,.0f} Gop/s (machine)")
+        print(f"  DRAM bandwidth   : {dev.bandwidth_gbs(dev.tiles):,.0f} GB/s")
+        print(f"  SLM / sub-slice  : {dev.slm_bytes_per_subslice // 1024} KB")
+        print(f"  GRF / thread     : {dev.grf_bytes_per_thread} B "
+              f"({dev.grf_bytes_per_lane()} B/lane at SIMD-"
+              f"{dev.compiled_simd_width})")
+        print()
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    from . import __version__
+
+    print(f"repro {__version__} — reproduction of 'Accelerating Encrypted "
+          f"Computing on Intel GPUs' (IPDPS 2022, arXiv:2109.14704)")
+    print("packages: modmath rns ntt xesim runtime core gpu apps analysis")
+    print("docs: README.md DESIGN.md EXPERIMENTS.md")
+    return 0
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="XeHE reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("ids", nargs="*", help="figure ids (default: all)")
+    p_fig.set_defaults(fn=cmd_figures)
+
+    p_cal = sub.add_parser("calibration", help="check model calibration bands")
+    p_cal.set_defaults(fn=cmd_calibration)
+
+    p_dev = sub.add_parser("devices", help="print modelled device specs")
+    p_dev.set_defaults(fn=cmd_devices)
+
+    p_info = sub.add_parser("info", help="version and inventory")
+    p_info.set_defaults(fn=cmd_info)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "fn", None):
+        parser.print_help()
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

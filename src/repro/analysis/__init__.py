@@ -1,0 +1,16 @@
+"""Analysis: figure regeneration, profiling and report rendering."""
+
+from .figures import ALL_FIGURES, FigureResult, Series
+from .profiling import ProfileReport, profile_queue
+from .report import render_comparison, render_figure, render_table
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "Series",
+    "ProfileReport",
+    "profile_queue",
+    "render_figure",
+    "render_table",
+    "render_comparison",
+]

@@ -1,0 +1,55 @@
+"""Runtime profiling utilities: timeline analysis of executed queues.
+
+While :mod:`repro.analysis.figures` recomputes results analytically, this
+module inspects *executed* runtime queues (functional mode), classifying
+events into NTT vs other kernels — a working profiler for the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..runtime.queue import Queue
+
+__all__ = ["ProfileReport", "profile_queue"]
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Aggregated timings from one queue's event log."""
+
+    total_s: float
+    by_kind: Dict[str, float]
+    event_count: int
+
+    @property
+    def ntt_fraction(self) -> float:
+        ntt = self.by_kind.get("ntt", 0.0)
+        return ntt / self.total_s if self.total_s else 0.0
+
+    def top_kinds(self, k: int = 5) -> List[tuple]:
+        return sorted(self.by_kind.items(), key=lambda kv: -kv[1])[:k]
+
+
+def classify(event_name: str) -> str:
+    """Map a queue event name to a profiling bucket."""
+    if event_name.startswith(("ntt:", "intt:")) or ":ntt[" in event_name:
+        return "ntt"
+    if event_name.startswith(("h2d:", "d2h:")):
+        return "transfer"
+    if event_name.startswith("dyadic:"):
+        return "dyadic"
+    return "other"
+
+
+def profile_queue(queue: Queue) -> ProfileReport:
+    """Summarize the simulated busy time of an executed queue."""
+    by_kind: Dict[str, float] = {}
+    total = 0.0
+    for ev in queue.events:
+        kind = classify(ev.name)
+        by_kind[kind] = by_kind.get(kind, 0.0) + ev.duration
+        total += ev.duration
+    return ProfileReport(total_s=total, by_kind=by_kind,
+                         event_count=len(queue.events))

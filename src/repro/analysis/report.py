@@ -1,0 +1,72 @@
+"""ASCII rendering of reproduced figures and paper-vs-measured tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .figures import FigureResult, Series
+
+__all__ = ["render_table", "render_series", "render_figure", "render_comparison"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Plain monospace table with column alignment."""
+    cols = [str(h) for h in headers]
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(c) for c in cols]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(c.ljust(w) for c, w in zip(cols, widths)), sep]
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_series(series: Series) -> str:
+    rows = list(zip(series.x, series.y))
+    return f"[{series.label}]\n" + render_table(["x", "y"], rows)
+
+
+def render_figure(fig: FigureResult) -> str:
+    """Full dump of a reproduced figure: series + comparison block."""
+    blocks = [f"=== {fig.figure_id}: {fig.title} ==="]
+    # Wide table when all series share the same x axis.
+    xs = {s.x for s in fig.series}
+    if len(xs) == 1 and fig.series:
+        x = fig.series[0].x
+        headers = ["x"] + [s.label for s in fig.series]
+        rows = [
+            [x[i]] + [s.y[i] for s in fig.series] for i in range(len(x))
+        ]
+        blocks.append(render_table(headers, rows))
+    else:
+        for s in fig.series:
+            blocks.append(render_series(s))
+    if fig.paper:
+        blocks.append(render_comparison(fig))
+    return "\n\n".join(blocks)
+
+
+def render_comparison(fig: FigureResult) -> str:
+    """Paper-vs-measured block with deviation ratios."""
+    rows = []
+    for key, pval in fig.paper.items():
+        mval = fig.measured.get(key)
+        ratio = (mval / pval) if (mval is not None and pval) else None
+        rows.append([key, pval, mval if mval is not None else "-",
+                     f"{ratio:.2f}x" if ratio else "-"])
+    return "paper vs measured:\n" + render_table(
+        ["metric", "paper", "measured", "ratio"], rows
+    )

@@ -1,0 +1,23 @@
+"""Applications built on the public API (paper Sec. IV-E and Sec. I)."""
+
+from .inference import InferenceResult, LinearModel, encrypted_inference
+from .matmul import (
+    MATMUL_STAGES,
+    MatmulShape,
+    MatmulTiming,
+    run_encrypted_matmul,
+    simulate_matmul,
+    stage_config,
+)
+
+__all__ = [
+    "MatmulShape",
+    "MatmulTiming",
+    "MATMUL_STAGES",
+    "stage_config",
+    "run_encrypted_matmul",
+    "simulate_matmul",
+    "LinearModel",
+    "InferenceResult",
+    "encrypted_inference",
+]

@@ -1,0 +1,273 @@
+"""Encrypted element-wise polynomial matrix multiplication (paper Sec. IV-E).
+
+``matMul_mxnxk`` computes ``C += A * B`` where ``A`` is m-by-k, ``B`` is
+k-by-n, and every matrix element is a degree-8K polynomial; each scalar
+product is therefore a ciphertext-ciphertext polynomial multiplication,
+with modular reduction after every multiply/add.  The paper uses this
+application to demonstrate the three non-NTT optimizations:
+
+* fused ``mad_mod`` (fewer modular-reduction passes),
+* inline-assembly int64 multiplication,
+* the device memory cache (recycling freed buffers).
+
+Two modes are provided:
+
+* :func:`run_encrypted_matmul` — fully functional on real ciphertexts
+  (tests; small parameters), with a simulated device timeline;
+* :func:`simulate_matmul` — analytic timing at the paper's scale
+  (8K-coefficient polynomials, 100x10x1 and 10x9x8 shapes) used by the
+  Fig. 19 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ciphertext import Ciphertext
+from ..core.decryptor import Decryptor
+from ..core.encoder import CkksEncoder
+from ..core.encryptor import Encryptor
+from ..core.evaluator import Evaluator
+from ..core.keys import RelinKey
+from ..gpu.gpu_evaluator import GpuEvaluator
+from ..gpu.profiles import GpuConfig, GpuOpProfiler
+from ..runtime.memcache import CACHE_HIT_US, FRESH_ALLOC_US, MemoryCache
+from ..xesim.device import DeviceSpec
+from ..xesim.executor import simulate_kernels
+
+__all__ = [
+    "MatmulShape",
+    "MatmulStage",
+    "MATMUL_STAGES",
+    "stage_config",
+    "run_encrypted_matmul",
+    "simulate_matmul",
+    "MatmulTiming",
+]
+
+
+@dataclass(frozen=True)
+class MatmulShape:
+    """C (m x n) += A (m x k) * B (k x n)."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def products(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def outputs(self) -> int:
+        return self.m * self.n
+
+    def label(self) -> str:
+        return f"matMul_{self.m}x{self.n}x{self.k}"
+
+
+#: Fig. 19's two workloads.
+SHAPE_100x10x1 = MatmulShape(100, 10, 1)
+SHAPE_10x9x8 = MatmulShape(10, 9, 8)
+
+#: The cumulative optimization stages on Fig. 19's x-axis.
+MATMUL_STAGES = ["baseline", "mad_mod", "inline asm", "mem cache"]
+
+MatmulStage = str
+
+
+def stage_config(stage: MatmulStage, *, tiles: int = 1) -> GpuConfig:
+    """GpuConfig for one Fig. 19 stage (cumulative, radix-8 NTT throughout)."""
+    base = dict(ntt_variant="local-radix-8", tiles=tiles)
+    configs = {
+        "baseline": GpuConfig(**base, asm=False, mad_fusion=False, memcache=False),
+        "mad_mod": GpuConfig(**base, asm=False, mad_fusion=True, memcache=False),
+        "inline asm": GpuConfig(**base, asm=True, mad_fusion=True, memcache=False),
+        "mem cache": GpuConfig(**base, asm=True, mad_fusion=True, memcache=True),
+    }
+    try:
+        return configs[stage]
+    except KeyError:
+        raise KeyError(f"unknown stage {stage!r}; known: {MATMUL_STAGES}") from None
+
+
+# --- allocation accounting -----------------------------------------------------
+
+#: Device buffers requested per ciphertext multiply (result + cross temp),
+#: per accumulate-add, and per relinearize (two switched components).
+MALLOCS_PER_MULTIPLY = 2
+MALLOCS_PER_ADD = 2
+MALLOCS_PER_RELIN = 2
+
+
+def _allocation_timeline_us(shape: MatmulShape, ct_bytes: int,
+                            *, memcache: bool,
+                            alloc_cost_us: float = FRESH_ALLOC_US,
+                            ) -> Tuple[float, Dict[str, int]]:
+    """Walk the matMul allocation pattern through a MemoryCache.
+
+    Returns (total stall microseconds, stats).  Buffers are freed after
+    each output element completes, so with the cache enabled the steady
+    state is all hits — the paper's ~90% application-level win.
+    """
+    cache = MemoryCache(enabled=memcache, alloc_cost_us=alloc_cost_us)
+    total_us = 0.0
+    live: List = []
+    for _out in range(shape.outputs):
+        for _prod in range(shape.k):
+            for _ in range(MALLOCS_PER_MULTIPLY):
+                buf, cost = cache.malloc(ct_bytes)
+                total_us += cost
+                live.append(buf)
+            if shape.k > 1:
+                for _ in range(MALLOCS_PER_ADD):
+                    buf, cost = cache.malloc(ct_bytes)
+                    total_us += cost
+                    live.append(buf)
+        for _ in range(MALLOCS_PER_RELIN):
+            buf, cost = cache.malloc(ct_bytes)
+            total_us += cost
+            live.append(buf)
+        for buf in live:
+            total_us += cache.free(buf)
+        live.clear()
+    stats = {
+        "requests": cache.stats.requests,
+        "hits": cache.stats.hits,
+        "fresh": cache.stats.fresh_allocations,
+    }
+    return total_us, stats
+
+
+# --- simulate-only mode (Fig. 19 scale) ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatmulTiming:
+    """Simulated end-to-end matMul outcome for one stage."""
+
+    shape: MatmulShape
+    stage: MatmulStage
+    compute_s: float
+    alloc_s: float
+    alloc_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.alloc_s
+
+    def speedup_over(self, other: "MatmulTiming") -> float:
+        return other.total_s / self.total_s
+
+
+def simulate_matmul(
+    shape: MatmulShape,
+    device: DeviceSpec,
+    stage: MatmulStage,
+    *,
+    degree: int = 8192,
+    level: int = 4,
+) -> MatmulTiming:
+    """Analytic Fig. 19 data point: one shape, one stage, one device.
+
+    Per output element: ``k`` ciphertext multiplies accumulated (size-3),
+    ``k-1`` additions, one relinearization.  Runtime allocations stall the
+    in-order pipeline; the memory cache converts them into (cheap) hits.
+    """
+    config = stage_config(stage)
+    profiler = GpuOpProfiler(degree, device, config)
+    # One element product in XeHE's app path: the operand polynomials are
+    # transformed on the fly (2 ciphertext components x 2 operands), the
+    # tensor product is dyadic, and the size-3 result is inverse-
+    # transformed for accumulation — "modulo operations are always applied
+    # at the end of each multiply or addition" (Sec. IV-E).
+    product = (
+        profiler.ntt(4 * level, batched=True)
+        + profiler.multiply(level)
+        + profiler.ntt(3 * level, inverse=True, batched=True)
+    )
+    acc = profiler.add(level) if shape.k > 1 else []
+    profiles = []
+    for _ in range(shape.k):
+        profiles += product
+        profiles += acc
+    per_output = simulate_kernels(profiles, device, tiles=1).time_s
+    compute_s = per_output * shape.outputs
+
+    ct_bytes = 3 * level * degree * 8
+    alloc_us, stats = _allocation_timeline_us(
+        shape, ct_bytes, memcache=config.memcache,
+        alloc_cost_us=device.alloc_overhead_us,
+    )
+    return MatmulTiming(
+        shape=shape,
+        stage=stage,
+        compute_s=compute_s,
+        alloc_s=alloc_us * 1e-6,
+        alloc_stats=stats,
+    )
+
+
+# --- functional mode (tests / examples) ------------------------------------------------
+
+
+def run_encrypted_matmul(
+    a_values: Sequence[Sequence[np.ndarray]],
+    b_values: Sequence[Sequence[np.ndarray]],
+    *,
+    encoder: CkksEncoder,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    evaluator: Evaluator,
+    relin_key: RelinKey,
+    device: DeviceSpec,
+    stage: MatmulStage = "mem cache",
+) -> Tuple[List[List[np.ndarray]], MatmulTiming]:
+    """Encrypt A and B, multiply homomorphically, decrypt C.
+
+    ``a_values[i][l]`` / ``b_values[l][j]`` are slot vectors; the result
+    ``C[i][j]`` is the decoded slot-wise dot product.  Returns the decoded
+    matrix and the simulated timing (compute from the GPU evaluator's
+    queue, allocations from the memory-cache walk).
+    """
+    m = len(a_values)
+    k = len(a_values[0])
+    n = len(b_values[0])
+    if len(b_values) != k:
+        raise ValueError("inner dimensions do not match")
+    shape = MatmulShape(m, n, k)
+    config = stage_config(stage)
+    gpu_ev = GpuEvaluator(evaluator, device, config)
+
+    enc_a = [[encryptor.encrypt(encoder.encode(v)) for v in row] for row in a_values]
+    enc_b = [[encryptor.encrypt(encoder.encode(v)) for v in row] for row in b_values]
+
+    out: List[List[np.ndarray]] = []
+    for i in range(m):
+        row_out = []
+        for j in range(n):
+            acc: Ciphertext | None = None
+            for l in range(k):
+                prod = gpu_ev.multiply(enc_a[i][l], enc_b[l][j])
+                acc = prod if acc is None else gpu_ev.add(acc, prod)
+            assert acc is not None
+            acc = gpu_ev.relinearize(acc, relin_key)
+            row_out.append(encoder.decode(decryptor.decrypt(acc)))
+        out.append(row_out)
+
+    ct_bytes = 3 * enc_a[0][0].level * encoder.degree * 8
+    alloc_us, stats = _allocation_timeline_us(
+        shape, ct_bytes, memcache=config.memcache,
+        alloc_cost_us=device.alloc_overhead_us,
+    )
+    timing = MatmulTiming(
+        shape=shape,
+        stage=stage,
+        compute_s=gpu_ev.device_time,
+        alloc_s=alloc_us * 1e-6,
+        alloc_stats=stats,
+    )
+    return out, timing

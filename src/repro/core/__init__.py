@@ -1,0 +1,44 @@
+"""RNS-CKKS: the homomorphic-encryption scheme the paper accelerates."""
+
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .decryptor import Decryptor
+from .encoder import CkksEncoder
+from .encryptor import Encryptor
+from .evaluator import Evaluator
+from .galois import (
+    apply_galois_coeff,
+    conjugation_galois_elt,
+    rotation_galois_elt,
+)
+from .keygen import KeyGenerator
+from .keys import GaloisKeys, KSwitchKey, PublicKey, RelinKey, SecretKey
+from .noise import NoiseEstimator, measured_precision_bits
+from .params import CkksParameters, max_modulus_bits_128
+from .plaintext import Plaintext
+from .routines import ROUTINE_NAMES, HERoutines
+
+__all__ = [
+    "CkksParameters",
+    "max_modulus_bits_128",
+    "CkksContext",
+    "CkksEncoder",
+    "Plaintext",
+    "Ciphertext",
+    "KeyGenerator",
+    "SecretKey",
+    "PublicKey",
+    "RelinKey",
+    "GaloisKeys",
+    "KSwitchKey",
+    "Encryptor",
+    "Decryptor",
+    "Evaluator",
+    "HERoutines",
+    "ROUTINE_NAMES",
+    "NoiseEstimator",
+    "measured_precision_bits",
+    "rotation_galois_elt",
+    "conjugation_galois_elt",
+    "apply_galois_coeff",
+]

@@ -1,0 +1,53 @@
+"""Ciphertext: a tuple of RNS polynomials in double-CRT form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ciphertext"]
+
+
+@dataclass
+class Ciphertext:
+    """CKKS ciphertext ``(size, level, N)``.
+
+    * ``size`` is 2 for fresh/relinearized ciphertexts, 3 right after a
+      multiplication (paper Sec. II-A: Relin shrinks it back to 2);
+    * ``level`` is the number of remaining RNS primes ``l`` — rescale and
+      modulus switching decrease it;
+    * coefficients are stored per-prime in NTT (evaluation) form by
+      default, so Add/Mul are pure dyadic kernels.
+    """
+
+    data: np.ndarray
+    scale: float
+    is_ntt: bool = True
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.uint64)
+        if self.data.ndim != 3:
+            raise ValueError("ciphertext data must be (size, level, N)")
+        if self.data.shape[0] < 2:
+            raise ValueError("ciphertext needs at least 2 polynomials")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def size(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def level(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def degree(self) -> int:
+        return self.data.shape[2]
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.data.copy(), self.scale, self.is_ntt)
+
+    def scale_bits(self) -> float:
+        return float(np.log2(self.scale))

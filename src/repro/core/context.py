@@ -1,0 +1,145 @@
+"""The CKKS context: precomputed tables shared by every scheme component.
+
+Holds the RNS bases, per-prime NTT tables, and the divide-and-round
+helpers used by rescaling (drop ``q_{l-1}``) and key-switch mod-down
+(drop the special prime ``P``).  Mirrors SEAL's ``SEALContext`` chain of
+per-level data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..modmath import Modulus, inv_mod
+from ..modmath.barrett import barrett_reduce_64
+from ..modmath.ops import mul_mod, sub_mod
+from ..ntt.radix2 import ntt_forward, ntt_inverse
+from ..ntt.tables import NTTTables, get_tables
+from ..rns import RNSBase
+from .params import CkksParameters
+
+__all__ = ["CkksContext"]
+
+
+class CkksContext:
+    """Shared precomputations for one :class:`CkksParameters` set."""
+
+    def __init__(self, params: CkksParameters):
+        self.params = params
+        self.degree = params.degree
+        self.key_base: RNSBase = params.key_base()
+        self.ct_base: RNSBase = params.ciphertext_base()
+        self.special: Modulus = self.key_base[len(self.key_base) - 1]
+        #: NTT tables indexed like key_base (ciphertext primes first).
+        self.tables: List[NTTTables] = [
+            get_tables(self.degree, m) for m in self.key_base
+        ]
+        for m in self.key_base:
+            if not m.supports_ntt(self.degree):
+                raise ValueError(f"modulus {m.value} is not NTT-friendly")
+        # Precomputed scalars for divide-and-round operations.
+        self._inv_dropped: Dict[Tuple[int, int], np.uint64] = {}
+        self._dropped_mod: Dict[Tuple[int, int], np.uint64] = {}
+
+    # -- level helpers ---------------------------------------------------------
+
+    @property
+    def max_level(self) -> int:
+        return len(self.ct_base)
+
+    def modulus(self, i: int) -> Modulus:
+        return self.key_base[i]
+
+    def level_base(self, level: int) -> RNSBase:
+        if not 1 <= level <= self.max_level:
+            raise ValueError(f"level must be in [1, {self.max_level}]")
+        return self.ct_base.prefix(level)
+
+    # -- domain transforms -------------------------------------------------------
+
+    def to_ntt(self, matrix: np.ndarray, *, rows: int | None = None,
+               special_last: bool = False) -> np.ndarray:
+        """Forward-NTT each row of an RNS matrix (rows = level count)."""
+        return self._transform(matrix, forward=True, special_last=special_last)
+
+    def from_ntt(self, matrix: np.ndarray, *, special_last: bool = False) -> np.ndarray:
+        """Inverse-NTT each row back to coefficient form."""
+        return self._transform(matrix, forward=False, special_last=special_last)
+
+    def _transform(self, matrix: np.ndarray, *, forward: bool,
+                   special_last: bool) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.uint64)
+        k = matrix.shape[-2]
+        out = np.empty_like(matrix)
+        for i in range(k):
+            if special_last and i == k - 1:
+                tables = self.tables[-1]
+            else:
+                tables = self.tables[i]
+            fn = ntt_forward if forward else ntt_inverse
+            out[..., i, :] = fn(matrix[..., i, :], tables)
+        return out
+
+    # -- divide-and-round in NTT domain --------------------------------------------
+
+    def _scalars(self, dropped_idx: int, target_idx: int) -> Tuple[np.uint64, np.uint64]:
+        """(dropped^{-1} mod q_t, dropped mod q_t), cached."""
+        key = (dropped_idx, target_idx)
+        if key not in self._inv_dropped:
+            d = self.key_base[dropped_idx].value
+            t = self.key_base[target_idx]
+            self._inv_dropped[key] = np.uint64(inv_mod(d % t.value, t))
+            self._dropped_mod[key] = np.uint64(d % t.value)
+        return self._inv_dropped[key], self._dropped_mod[key]
+
+    def divide_round_drop_ntt(
+        self, matrix: np.ndarray, dropped_idx: int
+    ) -> np.ndarray:
+        """Drop the last row and divide-and-round by its modulus, in NTT form.
+
+        ``matrix`` is ``(..., k, N)`` in NTT form; row ``k-1`` corresponds
+        to ``key_base[dropped_idx]`` (``q_{l-1}`` for rescale, the special
+        prime for key-switch mod-down); rows ``0..k-2`` are ``q_0..q_{k-2}``.
+
+        Implements SEAL's sequence: iNTT the dropped row, center it, then
+        per kept prime subtract its (re-NTT-ed) reduction and multiply by
+        the dropped modulus' inverse — all element-wise in NTT form.
+        """
+        matrix = np.asarray(matrix, dtype=np.uint64)
+        k = matrix.shape[-2]
+        if k < 2:
+            raise ValueError("need at least two rows to drop one")
+        dropped = self.key_base[dropped_idx]
+        d_tables = self.tables[dropped_idx]
+        last_coeff = ntt_inverse(matrix[..., k - 1, :], d_tables)
+        half = np.uint64(dropped.value >> 1)
+        is_high = last_coeff > half
+
+        out = np.empty(matrix.shape[:-2] + (k - 1, self.degree), dtype=np.uint64)
+        for j in range(k - 1):
+            qj = self.key_base[j]
+            inv_d, d_mod = self._scalars(dropped_idx, j)
+            r = barrett_reduce_64(last_coeff, qj)
+            # Centered representative: r - d when the residue is "negative".
+            r = np.where(is_high, sub_mod(r, d_mod, qj), r)
+            r_ntt = ntt_forward(r, self.tables[j])
+            diff = sub_mod(matrix[..., j, :], r_ntt, qj)
+            out[..., j, :] = mul_mod(diff, inv_d, qj)
+        return out
+
+    def rescale_ntt(self, matrix: np.ndarray, level: int) -> np.ndarray:
+        """Rescale: drop ``q_{level-1}`` from a level-``level`` matrix."""
+        if matrix.shape[-2] != level:
+            raise ValueError("matrix does not match level")
+        return self.divide_round_drop_ntt(matrix, level - 1)
+
+    # -- lazy caches ------------------------------------------------------------------
+
+    @lru_cache(maxsize=64)
+    def p_mod_qi(self, i: int) -> int:
+        """Special prime reduced modulo ``q_i`` (key generation)."""
+        return self.special.value % self.key_base[i].value

@@ -1,0 +1,37 @@
+"""Decryption (paper Decrypt): ``m' = c0 + c1 s (+ c2 s**2 ...) mod q_l``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..modmath.ops import add_mod, mul_mod
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .keys import SecretKey
+from .plaintext import Plaintext
+
+__all__ = ["Decryptor"]
+
+
+class Decryptor:
+    """Secret-key decryptor; accepts any ciphertext size (Horner in s)."""
+
+    def __init__(self, context: CkksContext, secret_key: SecretKey):
+        self.context = context
+        self.sk = secret_key
+
+    def decrypt(self, ct: Ciphertext) -> Plaintext:
+        if not ct.is_ntt:
+            raise ValueError("ciphertext must be in NTT form")
+        level = ct.level
+        n = self.context.degree
+        acc = np.zeros((level, n), dtype=np.uint64)
+        # Horner: acc = ((c_k s + c_{k-1}) s + ...) + c_0, done per prime.
+        for i in range(level):
+            m = self.context.modulus(i)
+            s = self.sk.ntt_rows[i]
+            row = ct.data[ct.size - 1, i].copy()
+            for comp in range(ct.size - 2, -1, -1):
+                row = add_mod(mul_mod(row, s, m), ct.data[comp, i], m)
+            acc[i] = row
+        return Plaintext(acc, ct.scale, is_ntt=True)

@@ -1,0 +1,67 @@
+"""Encryption (paper Encrypt): ``c = (b u + e0 + m,  a u + e1)``."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..modmath.ops import add_mod, mul_mod
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .keygen import KeyGenerator
+from .keys import PublicKey
+from .plaintext import Plaintext
+
+__all__ = ["Encryptor"]
+
+
+class Encryptor:
+    """Public-key encryptor; all arithmetic stays in NTT form."""
+
+    def __init__(self, context: CkksContext, public_key: PublicKey,
+                 *, seed: Optional[int] = None):
+        self.context = context
+        self.pk = public_key
+        self.rng = np.random.default_rng(seed)
+
+    def _sample_signed_ntt(self, level: int, values: np.ndarray) -> np.ndarray:
+        from ..ntt.radix2 import ntt_forward
+
+        out = np.empty((level, self.context.degree), dtype=np.uint64)
+        for i in range(level):
+            m = self.context.modulus(i)
+            reduced = (values % np.int64(m.value)).astype(np.uint64)
+            out[i] = ntt_forward(reduced, self.context.tables[i])
+        return out
+
+    def encrypt_zero(self, level: Optional[int] = None,
+                     scale: Optional[float] = None) -> Ciphertext:
+        """Encryption of zero at the requested level (paper Encrypt)."""
+        level = self.context.max_level if level is None else level
+        scale = float(self.context.params.scale if scale is None else scale)
+        n = self.context.degree
+        u = self.rng.integers(-1, 2, size=n, dtype=np.int64)
+        e0 = np.round(self.rng.normal(0, 3.2, size=n)).astype(np.int64)
+        e1 = np.round(self.rng.normal(0, 3.2, size=n)).astype(np.int64)
+        u_ntt = self._sample_signed_ntt(level, u)
+        e0_ntt = self._sample_signed_ntt(level, e0)
+        e1_ntt = self._sample_signed_ntt(level, e1)
+
+        c0 = np.empty((level, n), dtype=np.uint64)
+        c1 = np.empty((level, n), dtype=np.uint64)
+        for i in range(level):
+            m = self.context.modulus(i)
+            c0[i] = add_mod(mul_mod(self.pk.b[i], u_ntt[i], m), e0_ntt[i], m)
+            c1[i] = add_mod(mul_mod(self.pk.a[i], u_ntt[i], m), e1_ntt[i], m)
+        return Ciphertext(np.stack([c0, c1]), scale, is_ntt=True)
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        """Encrypt an encoded message."""
+        if not plaintext.is_ntt:
+            raise ValueError("plaintext must be in NTT form")
+        ct = self.encrypt_zero(level=plaintext.level, scale=plaintext.scale)
+        for i in range(plaintext.level):
+            m = self.context.modulus(i)
+            ct.data[0, i] = add_mod(ct.data[0, i], plaintext.data[i], m)
+        return ct

@@ -1,0 +1,376 @@
+"""Homomorphic evaluation (paper Sec. II-A: Add, Mul, Relin, RS, Rotate).
+
+All operations act on double-CRT (RNS + NTT) ciphertexts:
+
+* ``add``/``sub``/``add_plain``/``multiply_plain`` — pure dyadic kernels;
+* ``multiply`` — the 3-component tensor product;
+* ``relinearize`` — per-RNS-prime key switching with the special prime,
+  i.e. the NTT-heavy routine that dominates Fig. 5;
+* ``rescale`` — drop ``q_{l-1}`` and divide-and-round (keeps the scale
+  stable after Mul);
+* ``mod_switch_to_next`` — drop a prime without scaling;
+* ``rotate``/``conjugate`` — Galois automorphism + key switch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..modmath.barrett import barrett_reduce_64
+from ..modmath.ops import add_mod, mul_mod, sub_mod
+from ..ntt.radix2 import ntt_forward, ntt_inverse
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .galois import apply_galois_coeff, conjugation_galois_elt, rotation_galois_elt
+from .keys import GaloisKeys, KSwitchKey, RelinKey
+from .plaintext import Plaintext
+
+__all__ = ["Evaluator"]
+
+#: Relative tolerance for scale equality checks (CKKS scales are floats).
+SCALE_RTOL = 1e-9
+
+
+class Evaluator:
+    """Stateless evaluator bound to a context."""
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+
+    # -- shape checks ------------------------------------------------------------
+
+    def _check_pair(self, a: Ciphertext, b: Ciphertext) -> None:
+        if a.level != b.level:
+            raise ValueError(f"level mismatch: {a.level} vs {b.level}")
+        if not (a.is_ntt and b.is_ntt):
+            raise ValueError("operands must be in NTT form")
+
+    def _check_scales(self, sa: float, sb: float) -> None:
+        if not math.isclose(sa, sb, rel_tol=SCALE_RTOL):
+            raise ValueError(f"scale mismatch: {sa} vs {sb}")
+
+    # -- additive ops ---------------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Element-wise ciphertext addition (paper Add)."""
+        self._check_pair(a, b)
+        self._check_scales(a.scale, b.scale)
+        size = max(a.size, b.size)
+        out = np.zeros((size, a.level, a.degree), dtype=np.uint64)
+        for i in range(a.level):
+            m = self.context.modulus(i)
+            for c in range(size):
+                if c < a.size and c < b.size:
+                    out[c, i] = add_mod(a.data[c, i], b.data[c, i], m)
+                elif c < a.size:
+                    out[c, i] = a.data[c, i]
+                else:
+                    out[c, i] = b.data[c, i]
+        return Ciphertext(out, a.scale)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Element-wise ciphertext subtraction."""
+        self._check_pair(a, b)
+        self._check_scales(a.scale, b.scale)
+        size = max(a.size, b.size)
+        out = np.zeros((size, a.level, a.degree), dtype=np.uint64)
+        for i in range(a.level):
+            m = self.context.modulus(i)
+            for c in range(size):
+                av = a.data[c, i] if c < a.size else np.uint64(0)
+                bv = b.data[c, i] if c < b.size else np.uint64(0)
+                out[c, i] = sub_mod(av, bv, m)
+        return Ciphertext(out, a.scale)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        if ct.level != pt.level:
+            raise ValueError("level mismatch with plaintext")
+        self._check_scales(ct.scale, pt.scale)
+        out = ct.copy()
+        for i in range(ct.level):
+            m = self.context.modulus(i)
+            out.data[0, i] = add_mod(ct.data[0, i], pt.data[i], m)
+        return out
+
+    # -- multiplicative ops -------------------------------------------------------------
+
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Tensor product: sizes (2,2) -> 3 (paper Mul)."""
+        self._check_pair(a, b)
+        if a.size != 2 or b.size != 2:
+            raise ValueError("multiply expects size-2 ciphertexts (relinearize first)")
+        out = np.zeros((3, a.level, a.degree), dtype=np.uint64)
+        for i in range(a.level):
+            m = self.context.modulus(i)
+            a0, a1 = a.data[0, i], a.data[1, i]
+            b0, b1 = b.data[0, i], b.data[1, i]
+            out[0, i] = mul_mod(a0, b0, m)
+            cross = add_mod(mul_mod(a0, b1, m), mul_mod(a1, b0, m), m)
+            out[1, i] = cross
+            out[2, i] = mul_mod(a1, b1, m)
+        return Ciphertext(out, a.scale * b.scale)
+
+    def square(self, a: Ciphertext) -> Ciphertext:
+        """Ciphertext squaring (one fewer dyadic multiply than Mul)."""
+        if a.size != 2:
+            raise ValueError("square expects a size-2 ciphertext")
+        out = np.zeros((3, a.level, a.degree), dtype=np.uint64)
+        for i in range(a.level):
+            m = self.context.modulus(i)
+            a0, a1 = a.data[0, i], a.data[1, i]
+            out[0, i] = mul_mod(a0, a0, m)
+            c = mul_mod(a0, a1, m)
+            out[1, i] = add_mod(c, c, m)
+            out[2, i] = mul_mod(a1, a1, m)
+        return Ciphertext(out, a.scale * a.scale)
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        """Element-wise negation (free in CKKS: negate every component)."""
+        from ..modmath.ops import neg_mod
+
+        out = ct.copy()
+        for i in range(ct.level):
+            m = self.context.modulus(i)
+            for c in range(ct.size):
+                out.data[c, i] = neg_mod(ct.data[c, i], m)
+        return out
+
+    def add_scalar(self, ct: Ciphertext, value: float) -> Ciphertext:
+        """Add a public scalar to every slot.
+
+        A constant slot vector encodes to the constant polynomial
+        ``round(value * scale)``, whose NTT form is that same constant in
+        every position — one broadcast modular addition per prime.
+        """
+        out = ct.copy()
+        scaled = round(value * ct.scale)
+        for i in range(ct.level):
+            m = self.context.modulus(i)
+            c = np.uint64(scaled % m.value)
+            out.data[0, i] = add_mod(ct.data[0, i], c, m)
+        return out
+
+    def multiply_scalar(self, ct: Ciphertext, value: float,
+                        *, scale: float | None = None) -> Ciphertext:
+        """Multiply every slot by a public scalar.
+
+        The scalar is encoded at ``scale`` (default: the context scale),
+        so the result's scale is ``ct.scale * scale`` — rescale after, as
+        with any multiplication.
+        """
+        scale = float(self.context.params.scale if scale is None else scale)
+        scaled = round(value * scale)
+        out = ct.copy()
+        for i in range(ct.level):
+            m = self.context.modulus(i)
+            c = np.uint64(scaled % m.value)
+            for comp in range(ct.size):
+                out.data[comp, i] = mul_mod(ct.data[comp, i], c, m)
+        out.scale = ct.scale * scale
+        return out
+
+    def evaluate_polynomial(self, ct: Ciphertext, coeffs: list,
+                            relin_key: RelinKey) -> Ciphertext:
+        """Evaluate ``sum_k coeffs[k] * x**k`` on an encrypted ``x`` (Horner).
+
+        Consumes ``len(coeffs) - 1`` levels (one rescale per degree); the
+        input must be a size-2 ciphertext with enough levels left.  This
+        is the building block for activation-function approximations in
+        private inference (e.g. degree-3 sigmoid).
+        """
+        if len(coeffs) < 1:
+            raise ValueError("need at least a constant coefficient")
+        if len(coeffs) == 1:
+            out = self.multiply_scalar(ct, 0.0)
+            out = self.rescale(out)
+            return self.add_scalar(out, float(coeffs[0]))
+        degree = len(coeffs) - 1
+        if ct.level < degree + 1:
+            raise ValueError(
+                f"degree-{degree} evaluation needs {degree + 1} levels, "
+                f"ciphertext has {ct.level}"
+            )
+        # acc = c_n * x, rescaled; then repeatedly acc = (acc + c_k) * x.
+        acc = self.rescale(self.multiply_scalar(ct, float(coeffs[-1])))
+        for k in range(degree - 1, 0, -1):
+            acc = self.add_scalar(acc, float(coeffs[k]))
+            x_down = ct
+            while x_down.level > acc.level:
+                x_down = self.mod_switch_to_next(x_down)
+            prod = self.multiply(acc, x_down)
+            prod = self.relinearize(prod, relin_key)
+            acc = self.rescale(prod)
+        return self.add_scalar(acc, float(coeffs[0]))
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        if ct.level != pt.level:
+            raise ValueError("level mismatch with plaintext")
+        out = ct.copy()
+        for i in range(ct.level):
+            m = self.context.modulus(i)
+            for c in range(ct.size):
+                out.data[c, i] = mul_mod(ct.data[c, i], pt.data[i], m)
+        out.scale = ct.scale * pt.scale
+        return out
+
+    # -- key switching ------------------------------------------------------------------
+
+    def _decompose_for_switch(self, poly_ntt: np.ndarray,
+                              level: int) -> np.ndarray:
+        """Key-switch decomposition: the NTT-heavy half of _switch_key.
+
+        Returns ``D`` of shape ``(level, level+1, N)`` in NTT form:
+        ``D[i, r] = NTT_r([poly]_{q_i} mod modulus_r)`` for target row
+        ``r`` over the current primes plus the special prime.  This is
+        the part *hoisting* shares across rotations of one ciphertext.
+        """
+        ctx = self.context
+        n = ctx.degree
+        special_idx = len(ctx.key_base) - 1
+        target_rows = list(range(level)) + [special_idx]
+        out = np.empty((level, level + 1, n), dtype=np.uint64)
+        for i in range(level):
+            d = ntt_inverse(poly_ntt[i], ctx.tables[i])
+            for r, j in enumerate(target_rows):
+                mj = ctx.modulus(j)
+                reduced = barrett_reduce_64(d, mj)
+                out[i, r] = ntt_forward(reduced, ctx.tables[j])
+        return out
+
+    def _accumulate_switch(self, decomposed: np.ndarray, level: int,
+                           ksk: KSwitchKey) -> Tuple[np.ndarray, np.ndarray]:
+        """Dyadic half of the key switch: key products + mod-down by P."""
+        ctx = self.context
+        n = ctx.degree
+        special_idx = len(ctx.key_base) - 1
+        target_rows = list(range(level)) + [special_idx]
+        acc0 = np.zeros((level + 1, n), dtype=np.uint64)
+        acc1 = np.zeros((level + 1, n), dtype=np.uint64)
+        for i in range(level):
+            key = ksk.data[i]
+            for r, j in enumerate(target_rows):
+                mj = ctx.modulus(j)
+                dn = decomposed[i, r]
+                acc0[r] = add_mod(acc0[r], mul_mod(dn, key[0, j], mj), mj)
+                acc1[r] = add_mod(acc1[r], mul_mod(dn, key[1, j], mj), mj)
+        d0 = ctx.divide_round_drop_ntt(acc0, special_idx)
+        d1 = ctx.divide_round_drop_ntt(acc1, special_idx)
+        return d0, d1
+
+    def _switch_key(
+        self, poly_ntt: np.ndarray, level: int, ksk: KSwitchKey
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Key-switch one polynomial; returns (d0, d1) over ``level`` primes.
+
+        The NTT-dominated inner loop of Relin and Rotate: for each source
+        prime the coefficient-form residue is re-reduced and re-NTT-ed per
+        target prime (including the special prime), multiplied into the
+        key, accumulated, and finally divided by ``P`` (mod-down).
+        """
+        decomposed = self._decompose_for_switch(poly_ntt, level)
+        return self._accumulate_switch(decomposed, level, ksk)
+
+    def relinearize(self, ct: Ciphertext, rlk: RelinKey) -> Ciphertext:
+        """Shrink a size-3 ciphertext back to 2 (paper Relin)."""
+        if ct.size != 3:
+            raise ValueError("relinearize expects a size-3 ciphertext")
+        d0, d1 = self._switch_key(ct.data[2], ct.level, rlk.key)
+        out = np.empty((2, ct.level, ct.degree), dtype=np.uint64)
+        for i in range(ct.level):
+            m = self.context.modulus(i)
+            out[0, i] = add_mod(ct.data[0, i], d0[i], m)
+            out[1, i] = add_mod(ct.data[1, i], d1[i], m)
+        return Ciphertext(out, ct.scale)
+
+    # -- modulus management --------------------------------------------------------------
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Divide by ``q_{l-1}`` and drop it (paper RS)."""
+        if ct.level < 2:
+            raise ValueError("cannot rescale below one remaining prime")
+        new = self.context.rescale_ntt(ct.data, ct.level)
+        dropped = self.context.modulus(ct.level - 1).value
+        return Ciphertext(new, ct.scale / dropped)
+
+    def mod_switch_to_next(self, ct: Ciphertext) -> Ciphertext:
+        """Drop ``q_{l-1}`` without scaling (paper ModSw)."""
+        if ct.level < 2:
+            raise ValueError("cannot switch below one remaining prime")
+        return Ciphertext(ct.data[:, : ct.level - 1, :].copy(), ct.scale)
+
+    # -- automorphisms -------------------------------------------------------------------
+
+    def _apply_galois(self, ct: Ciphertext, elt: int,
+                      ksk: KSwitchKey) -> Ciphertext:
+        ctx = self.context
+        level = ct.level
+        base = ctx.level_base(level)
+        rotated = np.empty_like(ct.data[:2])
+        for c in range(2):
+            coeff = np.stack(
+                [ntt_inverse(ct.data[c, i], ctx.tables[i]) for i in range(level)]
+            )
+            perm = apply_galois_coeff(coeff, elt, base)
+            for i in range(level):
+                rotated[c, i] = ntt_forward(perm[i], ctx.tables[i])
+        d0, d1 = self._switch_key(rotated[1], level, ksk)
+        out = np.empty((2, level, ct.degree), dtype=np.uint64)
+        for i in range(level):
+            m = ctx.modulus(i)
+            out[0, i] = add_mod(rotated[0, i], d0[i], m)
+            out[1, i] = d1[i]
+        return Ciphertext(out, ct.scale)
+
+    def rotate(self, ct: Ciphertext, steps: int, galois_keys: GaloisKeys) -> Ciphertext:
+        """Rotate the slot vector left by ``steps`` (paper Rotate)."""
+        if ct.size != 2:
+            raise ValueError("rotate expects a size-2 ciphertext")
+        elt = rotation_galois_elt(steps, self.context.degree)
+        return self._apply_galois(ct, elt, galois_keys.get(elt))
+
+    def conjugate(self, ct: Ciphertext, galois_keys: GaloisKeys) -> Ciphertext:
+        """Complex-conjugate every slot."""
+        if ct.size != 2:
+            raise ValueError("conjugate expects a size-2 ciphertext")
+        elt = conjugation_galois_elt(self.context.degree)
+        return self._apply_galois(ct, elt, galois_keys.get(elt))
+
+    def rotate_hoisted(self, ct: Ciphertext, steps_list: list,
+                       galois_keys: GaloisKeys) -> list:
+        """Rotate one ciphertext by several step counts, hoisting shared work.
+
+        Halevi-Shoup hoisting: the key-switch *decomposition* of ``c1``
+        (the ``l*(l+1)`` NTT transforms that dominate Rotate) is computed
+        once; each rotation then applies its Galois permutation directly
+        to the decomposed NTT-form polynomials — the automorphism commutes
+        with per-prime reduction, and in NTT form it is a pure index
+        permutation (:func:`~repro.core.galois.galois_permutation_ntt`).
+
+        Returns the rotated ciphertexts in the order of ``steps_list``.
+        """
+        from .galois import apply_galois_ntt
+
+        if ct.size != 2:
+            raise ValueError("rotate expects a size-2 ciphertext")
+        if not steps_list:
+            return []
+        ctx = self.context
+        level = ct.level
+        decomposed = self._decompose_for_switch(ct.data[1], level)
+        out = []
+        for steps in steps_list:
+            elt = rotation_galois_elt(steps, ctx.degree)
+            ksk = galois_keys.get(elt)
+            rotated_decomp = apply_galois_ntt(decomposed, elt)
+            d0, d1 = self._accumulate_switch(rotated_decomp, level, ksk)
+            c0_rot = apply_galois_ntt(ct.data[0], elt)
+            data = np.empty((2, level, ct.degree), dtype=np.uint64)
+            for i in range(level):
+                m = ctx.modulus(i)
+                data[0, i] = add_mod(c0_rot[i], d0[i], m)
+                data[1, i] = d1[i]
+            out.append(Ciphertext(data, ct.scale))
+        return out

@@ -1,0 +1,154 @@
+"""Key generation (paper KeyGen): secret, public, relin and Galois keys.
+
+Distributions follow SEAL: uniform ternary secret, centered-Gaussian
+errors (sigma = 3.2, rounded), uniform ``a`` sampled directly in NTT form
+(uniformity is preserved by the bijective transform).
+
+The key-switching keys use the per-RNS-prime decomposition with a single
+special prime ``P`` (Sec. II of this repo's DESIGN.md): component ``i``
+of a key encrypts ``P * target`` in RNS slot ``i`` only, which makes the
+switch work at every ciphertext level with no big-integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..modmath.ops import add_mod, mul_mod, neg_mod
+from .context import CkksContext
+from .galois import apply_galois_coeff, conjugation_galois_elt, rotation_galois_elt
+from .keys import GaloisKeys, KSwitchKey, PublicKey, RelinKey, SecretKey
+
+__all__ = ["KeyGenerator", "ERROR_STDDEV"]
+
+#: Standard deviation of the error distribution (HE-standard sigma).
+ERROR_STDDEV = 3.2
+
+
+class KeyGenerator:
+    """Samples all key material for a context."""
+
+    def __init__(self, context: CkksContext, *, seed: Optional[int] = None):
+        self.context = context
+        self.rng = np.random.default_rng(seed)
+        self._secret: Optional[SecretKey] = None
+
+    # -- sampling --------------------------------------------------------------
+
+    def _sample_ternary(self) -> np.ndarray:
+        return self.rng.integers(-1, 2, size=self.context.degree, dtype=np.int64)
+
+    def _sample_error(self) -> np.ndarray:
+        e = self.rng.normal(0.0, ERROR_STDDEV, size=self.context.degree)
+        return np.round(e).astype(np.int64)
+
+    def _sample_uniform_ntt(self, rows: Sequence[int]) -> np.ndarray:
+        """Uniform polynomial over the given key-base row indices (NTT form)."""
+        out = np.empty((len(rows), self.context.degree), dtype=np.uint64)
+        for r, idx in enumerate(rows):
+            p = self.context.modulus(idx).value
+            out[r] = self.rng.integers(0, p, size=self.context.degree, dtype=np.uint64)
+        return out
+
+    def _signed_to_ntt(self, coeffs: np.ndarray, rows: Sequence[int]) -> np.ndarray:
+        """Reduce signed coefficients per modulus and forward-NTT each row."""
+        from ..ntt.radix2 import ntt_forward
+
+        out = np.empty((len(rows), self.context.degree), dtype=np.uint64)
+        for r, idx in enumerate(rows):
+            m = self.context.modulus(idx)
+            reduced = (coeffs % np.int64(m.value)).astype(np.uint64)
+            out[r] = ntt_forward(reduced, self.context.tables[idx])
+        return out
+
+    # -- keys ---------------------------------------------------------------------
+
+    def secret_key(self) -> SecretKey:
+        """Sample (once) and return the ternary secret key."""
+        if self._secret is None:
+            coeffs = self._sample_ternary()
+            rows = list(range(len(self.context.key_base)))
+            self._secret = SecretKey(
+                ntt_rows=self._signed_to_ntt(coeffs, rows),
+                signed_coeffs=coeffs,
+            )
+        return self._secret
+
+    def public_key(self) -> PublicKey:
+        """``(b, a)`` with ``b = -(a s + e)`` over the ciphertext base."""
+        sk = self.secret_key()
+        levels = self.context.max_level
+        rows = list(range(levels))
+        a = self._sample_uniform_ntt(rows)
+        e = self._signed_to_ntt(self._sample_error(), rows)
+        b = np.empty_like(a)
+        for i in rows:
+            m = self.context.modulus(i)
+            As = mul_mod(a[i], sk.ntt_rows[i], m)
+            b[i] = neg_mod(add_mod(As, e[i], m), m)
+        return PublicKey(data=np.stack([b, a]))
+
+    def _switching_key(self, target_ntt: np.ndarray) -> KSwitchKey:
+        """Key-switching key hiding ``P * target`` (target in NTT form, full base)."""
+        sk = self.secret_key()
+        n_keys = self.context.max_level  # decomposition over ciphertext primes
+        all_rows = list(range(len(self.context.key_base)))
+        out = KSwitchKey()
+        for i in range(n_keys):
+            a = self._sample_uniform_ntt(all_rows)
+            e = self._signed_to_ntt(self._sample_error(), all_rows)
+            b = np.empty_like(a)
+            for j in all_rows:
+                m = self.context.modulus(j)
+                As = mul_mod(a[j], sk.ntt_rows[j], m)
+                b[j] = neg_mod(add_mod(As, e[j], m), m)
+            # Embed P * target into RNS slot i only.
+            m_i = self.context.modulus(i)
+            p_mod = np.uint64(self.context.p_mod_qi(i))
+            b[i] = add_mod(b[i], mul_mod(target_ntt[i], p_mod, m_i), m_i)
+            out.data.append(np.stack([b, a]))
+        return out
+
+    def relin_key(self) -> RelinKey:
+        """Switching key for ``s**2 -> s`` (paper Relin)."""
+        sk = self.secret_key()
+        s2 = np.empty_like(sk.ntt_rows)
+        for j in range(s2.shape[0]):
+            m = self.context.modulus(j)
+            s2[j] = mul_mod(sk.ntt_rows[j], sk.ntt_rows[j], m)
+        return RelinKey(key=self._switching_key(s2))
+
+    def galois_keys(self, steps: Iterable[int] = (), *,
+                    include_conjugate: bool = False) -> GaloisKeys:
+        """Switching keys for ``kappa(s) -> s`` per requested rotation."""
+        sk = self.secret_key()
+        elts = [rotation_galois_elt(s, self.context.degree) for s in steps]
+        if include_conjugate:
+            elts.append(conjugation_galois_elt(self.context.degree))
+        out = GaloisKeys()
+        all_rows = list(range(len(self.context.key_base)))
+        for elt in elts:
+            if out.has(elt):
+                continue
+            from ..ntt.radix2 import ntt_forward
+
+            rotated = apply_galois_coeff(
+                self._sk_coeff_rows(), elt, self.context.key_base
+            )
+            rotated_ntt = np.empty_like(rotated)
+            for j in all_rows:
+                rotated_ntt[j] = ntt_forward(rotated[j], self.context.tables[j])
+            out.keys[elt] = self._switching_key(rotated_ntt)
+        return out
+
+    def _sk_coeff_rows(self) -> np.ndarray:
+        sk = self.secret_key()
+        rows = np.empty(
+            (len(self.context.key_base), self.context.degree), dtype=np.uint64
+        )
+        for j in range(rows.shape[0]):
+            p = np.int64(self.context.modulus(j).value)
+            rows[j] = (sk.signed_coeffs % p).astype(np.uint64)
+        return rows

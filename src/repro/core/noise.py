@@ -1,0 +1,92 @@
+"""Noise/precision estimation for CKKS evaluations.
+
+CKKS has no hard noise budget like BFV; instead the error competes with
+the scale.  This module provides:
+
+* analytic *expected* error bounds for fresh encryptions and for each
+  evaluator operation (standard canonical-embedding heuristics);
+* an empirical precision probe comparing decrypt(decode(...)) against a
+  known reference — the way the test-suite asserts correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .context import CkksContext
+from .keygen import ERROR_STDDEV
+
+__all__ = ["NoiseEstimator", "measured_precision_bits"]
+
+
+@dataclass(frozen=True)
+class NoiseEstimator:
+    """Heuristic canonical-embedding noise bounds (high-probability)."""
+
+    context: CkksContext
+
+    def fresh_noise_bound(self) -> float:
+        """|e_canonical| bound right after public-key encryption.
+
+        ``c = (b u + e0 + m, a u + e1)`` decrypts to ``m + (e u + e0 + e1 s)``.
+        Each coefficient of ``e u`` / ``e1 s`` is a sum of N products of a
+        sigma-Gaussian and a ternary value (variance ``2 sigma^2 N / 3``),
+        and the canonical embedding adds another ``sqrt(N)`` factor, so a
+        high-probability slot bound is ``8 sigma N sqrt(2/3)`` (HEAAN-style
+        heuristic with an 8-sigma tail factor).
+        """
+        n = self.context.degree
+        return 8.0 * ERROR_STDDEV * n * math.sqrt(2.0 / 3.0)
+
+    def add_noise_bound(self, noise_a: float, noise_b: float) -> float:
+        return noise_a + noise_b
+
+    def multiply_noise_bound(
+        self, noise_a: float, noise_b: float, msg_a: float, msg_b: float,
+        scale: float,
+    ) -> float:
+        """|e| after Mul: cross terms message*noise dominate."""
+        return msg_a * scale * noise_b + msg_b * scale * noise_a + noise_a * noise_b
+
+    def rescale_noise_bound(self, noise: float, dropped_prime: float) -> float:
+        """Rescale divides noise by q_last and adds a rounding term."""
+        n = self.context.degree
+        round_term = math.sqrt(n / 3.0) * (1.0 + 8.0 * math.sqrt(n))
+        return noise / dropped_prime + round_term
+
+    def keyswitch_noise_bound(self, level: int) -> float:
+        """Additive noise from the special-prime key switch.
+
+        Sum over l decomposition terms of q_i-bounded residues times
+        sigma errors, divided by P: ~ l * max(q_i) * sigma * N / P.
+        """
+        ctx = self.context
+        n = ctx.degree
+        max_q = max(ctx.key_base[i].value for i in range(level))
+        p = ctx.special.value
+        return level * max_q * ERROR_STDDEV * math.sqrt(n) / p + math.sqrt(n / 3.0)
+
+    def precision_bits_after_depth(self, depth: int, msg_bound: float = 1.0) -> float:
+        """Rough expected message precision (bits) after ``depth`` Mul+RS."""
+        scale = self.context.params.scale
+        noise = self.fresh_noise_bound()
+        for level in range(self.context.max_level, self.context.max_level - depth, -1):
+            dropped = self.context.modulus(level - 1).value
+            noise = self.multiply_noise_bound(noise, noise, msg_bound, msg_bound, scale)
+            noise += self.keyswitch_noise_bound(level) * scale / dropped
+            noise = self.rescale_noise_bound(noise, dropped)
+        if noise <= 0:
+            return float("inf")
+        return math.log2(scale / noise)
+
+
+def measured_precision_bits(decoded: np.ndarray, reference: Sequence[complex]) -> float:
+    """Empirical precision: -log2 of the max absolute slot error."""
+    err = np.max(np.abs(np.asarray(decoded) - np.asarray(reference)))
+    if err == 0:
+        return float("inf")
+    return -math.log2(err)

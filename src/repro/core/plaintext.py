@@ -1,0 +1,41 @@
+"""Plaintext: an encoded message polynomial in double-CRT form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Plaintext"]
+
+
+@dataclass
+class Plaintext:
+    """An RNS polynomial ``(level, N)`` with its encoding scale.
+
+    ``data[i]`` holds the coefficients modulo ``q_i``.  ``is_ntt`` tracks
+    the representation domain; the evaluator requires NTT form for dyadic
+    operations (the SEAL CKKS convention).
+    """
+
+    data: np.ndarray
+    scale: float
+    is_ntt: bool = True
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.uint64)
+        if self.data.ndim != 2:
+            raise ValueError("plaintext data must be (level, N)")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def level(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def degree(self) -> int:
+        return self.data.shape[1]
+
+    def copy(self) -> "Plaintext":
+        return Plaintext(self.data.copy(), self.scale, self.is_ntt)

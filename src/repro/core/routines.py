@@ -1,0 +1,82 @@
+"""The five HE evaluation routines benchmarked in the paper (Figs. 5/16/18).
+
+===================  ========================================================
+``MulLin``           multiply then relinearize
+``MulLinRS``         multiply, relinearize, rescale
+``SqrLinRS``         square, relinearize, rescale
+``MulLinRSModSwAdd`` multiply, relinearize, rescale, switch the modulus of
+                     a third ciphertext down, add it
+``Rotate``           cyclic slot rotation (Galois + key switch)
+===================  ========================================================
+
+Each routine is provided as a plain function over the functional
+evaluator.  The GPU backend (:mod:`repro.gpu`) mirrors these with kernel
+accounting; tests cross-check both produce the same plaintexts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .ciphertext import Ciphertext
+from .evaluator import Evaluator
+from .keys import GaloisKeys, RelinKey
+
+__all__ = ["ROUTINE_NAMES", "HERoutines"]
+
+ROUTINE_NAMES = ["MulLin", "MulLinRS", "SqrLinRS", "MulLinRSModSwAdd", "Rotate"]
+
+
+class HERoutines:
+    """The paper's benchmarked routine set over a functional evaluator."""
+
+    def __init__(self, evaluator: Evaluator, relin_key: RelinKey,
+                 galois_keys: GaloisKeys):
+        self.ev = evaluator
+        self.rlk = relin_key
+        self.gk = galois_keys
+
+    def mul_lin(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Multiply + relinearize (paper MulLin)."""
+        return self.ev.relinearize(self.ev.multiply(a, b), self.rlk)
+
+    def mul_lin_rs(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Multiply + relinearize + rescale (paper MulLinRS)."""
+        return self.ev.rescale(self.mul_lin(a, b))
+
+    def sqr_lin_rs(self, a: Ciphertext) -> Ciphertext:
+        """Square + relinearize + rescale (paper SqrLinRS)."""
+        return self.ev.rescale(self.ev.relinearize(self.ev.square(a), self.rlk))
+
+    def mul_lin_rs_modsw_add(
+        self, a: Ciphertext, b: Ciphertext, c: Ciphertext
+    ) -> Ciphertext:
+        """Multiply+relin+rescale, modulus-switch ``c`` down, add it.
+
+        The paper's MulLinRSModSwAdd: after rescaling the product lives
+        one level below ``c``, so ``c`` is switched down before Add.
+        """
+        prod = self.mul_lin_rs(a, b)
+        lowered = c
+        while lowered.level > prod.level:
+            lowered = self.ev.mod_switch_to_next(lowered)
+        # CKKS addition needs matching scales; the caller encodes c at the
+        # post-rescale scale (paper: "scale down the message accordingly").
+        lowered = Ciphertext(lowered.data, prod.scale, lowered.is_ntt)
+        return self.ev.add(prod, lowered)
+
+    def rotate(self, a: Ciphertext, steps: int = 1) -> Ciphertext:
+        """Cyclic slot rotation (paper Rotate)."""
+        return self.ev.rotate(a, steps, self.gk)
+
+    def by_name(self, name: str) -> Callable:
+        try:
+            return {
+                "MulLin": self.mul_lin,
+                "MulLinRS": self.mul_lin_rs,
+                "SqrLinRS": self.sqr_lin_rs,
+                "MulLinRSModSwAdd": self.mul_lin_rs_modsw_add,
+                "Rotate": self.rotate,
+            }[name]
+        except KeyError:
+            raise KeyError(f"unknown routine {name!r}; known: {ROUTINE_NAMES}") from None

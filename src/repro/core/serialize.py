@@ -1,0 +1,187 @@
+"""Serialization for parameters, keys, plaintexts and ciphertexts.
+
+NumPy ``.npz``-based: portable, dependency-free, versioned.  Secret keys
+serialize too (with an explicit function name so the call site shows the
+security decision).  Contexts are *not* serialized — they are derived
+deterministically from parameters, so ``save_params``/``load_params``
+plus a fresh ``CkksContext`` reproduces everything.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .keys import GaloisKeys, KSwitchKey, PublicKey, RelinKey, SecretKey
+from .params import CkksParameters
+from .plaintext import Plaintext
+
+__all__ = [
+    "FORMAT_VERSION",
+    "save_params", "load_params",
+    "save_ciphertext", "load_ciphertext",
+    "save_plaintext", "load_plaintext",
+    "save_public_key", "load_public_key",
+    "save_secret_key_insecure", "load_secret_key",
+    "save_relin_key", "load_relin_key",
+    "save_galois_keys", "load_galois_keys",
+]
+
+FORMAT_VERSION = 1
+
+PathOrFile = Union[str, BinaryIO]
+
+
+def _meta(kind: str, **extra) -> np.ndarray:
+    payload = {"version": FORMAT_VERSION, "kind": kind, **extra}
+    return np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
+
+
+def _read_meta(npz, expected_kind: str) -> dict:
+    try:
+        payload = json.loads(bytes(npz["__meta__"].tobytes()).decode())
+    except KeyError:
+        raise ValueError("not a repro serialization (missing metadata)") from None
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"format version {payload.get('version')} unsupported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    if payload.get("kind") != expected_kind:
+        raise ValueError(
+            f"expected a {expected_kind!r}, found {payload.get('kind')!r}"
+        )
+    return payload
+
+
+# --- parameters -------------------------------------------------------------
+
+
+def save_params(params: CkksParameters, fp: PathOrFile) -> None:
+    np.savez(
+        fp,
+        __meta__=_meta(
+            "params",
+            degree=params.poly_modulus_degree,
+            bits=list(params.coeff_modulus_bits),
+            scale=params.scale,
+        ),
+    )
+
+
+def load_params(fp: PathOrFile) -> CkksParameters:
+    with np.load(fp) as npz:
+        meta = _read_meta(npz, "params")
+    return CkksParameters(
+        poly_modulus_degree=meta["degree"],
+        coeff_modulus_bits=meta["bits"],
+        scale=meta["scale"],
+    )
+
+
+# --- plaintext / ciphertext -----------------------------------------------------
+
+
+def save_plaintext(pt: Plaintext, fp: PathOrFile) -> None:
+    np.savez(
+        fp,
+        __meta__=_meta("plaintext", scale=pt.scale, is_ntt=pt.is_ntt),
+        data=pt.data,
+    )
+
+
+def load_plaintext(fp: PathOrFile) -> Plaintext:
+    with np.load(fp) as npz:
+        meta = _read_meta(npz, "plaintext")
+        data = npz["data"]
+    return Plaintext(data, meta["scale"], meta["is_ntt"])
+
+
+def save_ciphertext(ct: Ciphertext, fp: PathOrFile) -> None:
+    np.savez(
+        fp,
+        __meta__=_meta("ciphertext", scale=ct.scale, is_ntt=ct.is_ntt),
+        data=ct.data,
+    )
+
+
+def load_ciphertext(fp: PathOrFile) -> Ciphertext:
+    with np.load(fp) as npz:
+        meta = _read_meta(npz, "ciphertext")
+        data = npz["data"]
+    return Ciphertext(data, meta["scale"], meta["is_ntt"])
+
+
+# --- keys --------------------------------------------------------------------------
+
+
+def save_public_key(pk: PublicKey, fp: PathOrFile) -> None:
+    np.savez(fp, __meta__=_meta("public_key"), data=pk.data)
+
+
+def load_public_key(fp: PathOrFile) -> PublicKey:
+    with np.load(fp) as npz:
+        _read_meta(npz, "public_key")
+        return PublicKey(data=npz["data"])
+
+
+def save_secret_key_insecure(sk: SecretKey, fp: PathOrFile) -> None:
+    """Serialize the secret key.  The name is deliberate: callers must
+    acknowledge that the output grants decryption capability."""
+    np.savez(fp, __meta__=_meta("secret_key"), ntt_rows=sk.ntt_rows,
+             signed_coeffs=sk.signed_coeffs)
+
+
+def load_secret_key(fp: PathOrFile) -> SecretKey:
+    with np.load(fp) as npz:
+        _read_meta(npz, "secret_key")
+        return SecretKey(
+            ntt_rows=npz["ntt_rows"], signed_coeffs=npz["signed_coeffs"]
+        )
+
+
+def save_relin_key(rlk: RelinKey, fp: PathOrFile) -> None:
+    arrays = {f"k{i}": arr for i, arr in enumerate(rlk.key.data)}
+    np.savez(fp, __meta__=_meta("relin_key", count=len(arrays)), **arrays)
+
+
+def load_relin_key(fp: PathOrFile) -> RelinKey:
+    with np.load(fp) as npz:
+        meta = _read_meta(npz, "relin_key")
+        data = [npz[f"k{i}"] for i in range(meta["count"])]
+    return RelinKey(key=KSwitchKey(data=data))
+
+
+def save_galois_keys(gk: GaloisKeys, fp: PathOrFile) -> None:
+    arrays = {}
+    elts = sorted(gk.keys)
+    for elt in elts:
+        for i, arr in enumerate(gk.keys[elt].data):
+            arrays[f"g{elt}_k{i}"] = arr
+    counts = {str(elt): len(gk.keys[elt].data) for elt in elts}
+    np.savez(fp, __meta__=_meta("galois_keys", elts=elts, counts=counts),
+             **arrays)
+
+
+def load_galois_keys(fp: PathOrFile) -> GaloisKeys:
+    with np.load(fp) as npz:
+        meta = _read_meta(npz, "galois_keys")
+        out = GaloisKeys()
+        for elt in meta["elts"]:
+            count = meta["counts"][str(elt)]
+            out.keys[elt] = KSwitchKey(
+                data=[npz[f"g{elt}_k{i}"] for i in range(count)]
+            )
+    return out
+
+
+def roundtrip_bytes(obj, saver, loader):
+    """Helper: serialize to memory and back (used by tests)."""
+    buf = io.BytesIO()
+    saver(obj, buf)
+    buf.seek(0)
+    return loader(buf)

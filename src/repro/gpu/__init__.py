@@ -1,0 +1,12 @@
+"""GPU backend: analytic op profiles + the functional GPU evaluator."""
+
+from .gpu_evaluator import GpuEvaluator, RoutineTiming, simulate_routine
+from .profiles import GpuConfig, GpuOpProfiler
+
+__all__ = [
+    "GpuConfig",
+    "GpuOpProfiler",
+    "GpuEvaluator",
+    "RoutineTiming",
+    "simulate_routine",
+]

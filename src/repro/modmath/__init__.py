@@ -1,0 +1,71 @@
+"""64-bit modular arithmetic substrate (the paper's instruction level).
+
+Public surface:
+
+* :mod:`~repro.modmath.uint128` — emulated 64x64->128 arithmetic;
+* :class:`~repro.modmath.Modulus` — modulus with Barrett constants;
+* :mod:`~repro.modmath.ops` — ``add_mod`` / ``sub_mod`` / ``mul_mod`` /
+  fused ``mad_mod``;
+* :mod:`~repro.modmath.harvey` — lazy NTT arithmetic (paper Algorithm 1);
+* :mod:`~repro.modmath.primes` — NTT-friendly prime chains;
+* :mod:`~repro.modmath.instcount` — Fig. 3/4 instruction-sequence models
+  and the Table I op audit.
+"""
+
+from .barrett import barrett_reduce_64, barrett_reduce_128, conditional_sub
+from .harvey import (
+    MultiplyOperand,
+    ct_butterfly_lazy,
+    gs_butterfly_lazy,
+    mul_mod_harvey,
+    mul_mod_lazy,
+    reduce_from_lazy,
+)
+from .instcount import (
+    ADD_MOD_ASM,
+    ADD_MOD_COMPILER,
+    MUL64_ASM,
+    MUL64_COMPILER,
+    butterfly_ops,
+    other_ops,
+    work_item_ops,
+)
+from .modulus import Modulus
+from .ops import add_mod, dot_mod, inv_mod, mad_mod, mul_mod, neg_mod, pow_mod, sub_mod
+from .primes import default_coeff_modulus, gen_ntt_prime, gen_ntt_primes, is_prime
+from .uint128 import mul_high, mul_low, mul_wide
+
+__all__ = [
+    "Modulus",
+    "MultiplyOperand",
+    "add_mod",
+    "sub_mod",
+    "neg_mod",
+    "mul_mod",
+    "mad_mod",
+    "dot_mod",
+    "pow_mod",
+    "inv_mod",
+    "mul_wide",
+    "mul_high",
+    "mul_low",
+    "barrett_reduce_64",
+    "barrett_reduce_128",
+    "conditional_sub",
+    "ct_butterfly_lazy",
+    "gs_butterfly_lazy",
+    "mul_mod_harvey",
+    "mul_mod_lazy",
+    "reduce_from_lazy",
+    "is_prime",
+    "gen_ntt_prime",
+    "gen_ntt_primes",
+    "default_coeff_modulus",
+    "butterfly_ops",
+    "other_ops",
+    "work_item_ops",
+    "ADD_MOD_COMPILER",
+    "ADD_MOD_ASM",
+    "MUL64_COMPILER",
+    "MUL64_ASM",
+]

@@ -1,0 +1,124 @@
+"""Harvey's lazy modular multiplication and the paper's Algorithm 1.
+
+David Harvey's NTT arithmetic ("Faster arithmetic for number-theoretic
+transforms", J. Symb. Comp. 2014) precomputes, for a fixed operand ``W``,
+the quotient word ``W' = floor(W * 2**64 / p)``.  Then
+
+    q  = mulhi(W', Y)
+    r  = (W*Y - q*p) mod 2**64        # in [0, 2p)
+
+costs one high and two low multiplies and *no* Barrett round.  The paper's
+Algorithm 1 builds the lazy Cooley-Tukey butterfly on top, keeping values
+in ``[0, 4p)`` across rounds with a single final correction pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .modulus import Modulus
+from .uint128 import mul_high, mul_low, wrapping
+
+__all__ = [
+    "MultiplyOperand",
+    "mul_mod_lazy",
+    "mul_mod_harvey",
+    "ct_butterfly_lazy",
+    "gs_butterfly_lazy",
+    "reduce_from_lazy",
+]
+
+
+@dataclass(frozen=True)
+class MultiplyOperand:
+    """A fixed multiplicand ``W`` with its Harvey quotient ``W'``.
+
+    ``quotient = floor(W * 2**64 / p)`` — SEAL's ``MultiplyUIntModOperand``.
+    """
+
+    operand: int
+    quotient: int
+
+    @classmethod
+    def create(cls, w: int, modulus: Modulus) -> "MultiplyOperand":
+        w = int(w) % modulus.value
+        return cls(operand=w, quotient=(w << 64) // modulus.value)
+
+    @property
+    def w_u64(self) -> np.uint64:
+        return np.uint64(self.operand)
+
+    @property
+    def q_u64(self) -> np.uint64:
+        return np.uint64(self.quotient)
+
+
+@wrapping
+def mul_mod_lazy(y, op: MultiplyOperand, modulus: Modulus):
+    """``W * y mod p`` lazily: result in ``[0, 2p)`` for ``y < 2**64``.
+
+    The workhorse of every butterfly: 1 ``mulhi`` + 2 ``mullo`` + 1 sub.
+    """
+    y = np.asarray(y, dtype=np.uint64)
+    q = mul_high(op.q_u64, y)
+    return mul_low(op.w_u64, y) - mul_low(q, modulus.u64)
+
+
+@wrapping
+def mul_mod_harvey(y, op: MultiplyOperand, modulus: Modulus):
+    """``W * y mod p`` exactly (lazy product + one conditional subtract)."""
+    r = mul_mod_lazy(y, op, modulus)
+    p = modulus.u64
+    return np.where(r >= p, r - p, r)
+
+
+@wrapping
+def ct_butterfly_lazy(x, y, op: MultiplyOperand, modulus: Modulus):
+    """Paper Algorithm 1 — lazy Cooley-Tukey (decimation-in-time) butterfly.
+
+    Input  ``x, y`` in ``[0, 4p)``; output ``(x', y')`` in ``[0, 4p)`` with
+
+        x' = x + W*y (mod p),   y' = x - W*y (mod p)   (up to multiples of p)
+
+    Exactly the sequence of Algorithm 1: one conditional subtract of ``2p``
+    on ``x``, the Harvey lazy product ``T`` in ``[0, 2p)``, then
+    ``x' = x + T`` and ``y' = x - T + 2p``.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    p2 = np.uint64(2 * modulus.value)
+    x = np.where(x >= p2, x - p2, x)
+    t = mul_mod_lazy(y, op, modulus)  # in [0, 2p)
+    return x + t, x - t + p2
+
+
+@wrapping
+def gs_butterfly_lazy(x, y, op: MultiplyOperand, modulus: Modulus):
+    """Lazy Gentleman-Sande (decimation-in-frequency) butterfly for iNTT.
+
+    Input ``x, y`` in ``[0, 2p)``; output ``(x', y')`` in ``[0, 2p)``:
+
+        x' = x + y (mod p),   y' = W * (x - y) (mod p)
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    y = np.asarray(y, dtype=np.uint64)
+    p2 = np.uint64(2 * modulus.value)
+    s = x + y
+    s = np.where(s >= p2, s - p2, s)
+    d = x + p2 - y
+    return s, mul_mod_lazy(d, op, modulus)
+
+
+@wrapping
+def reduce_from_lazy(x, modulus: Modulus):
+    """Final correction pass: map values from ``[0, 4p)`` into ``[0, p)``.
+
+    This is the "last round processing" the paper fuses into its final
+    SIMD / SLM kernels (Sec. III-B.1).
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    p2 = np.uint64(2 * modulus.value)
+    p = modulus.u64
+    x = np.where(x >= p2, x - p2, x)
+    return np.where(x >= p, x - p, x)

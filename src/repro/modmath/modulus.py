@@ -1,0 +1,91 @@
+"""The :class:`Modulus` type: a word-sized prime with Barrett constants.
+
+Mirrors SEAL's ``Modulus``: alongside the value ``p`` it caches
+``const_ratio = floor(2**128 / p)`` split into two 64-bit words plus the
+remainder, enabling branch-light Barrett reduction of 64- and 128-bit
+inputs entirely in uint64 vector arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from .primes import MAX_MODULUS_BITS, is_prime
+
+__all__ = ["Modulus"]
+
+
+@dataclass(frozen=True)
+class Modulus:
+    """An odd modulus ``p < 2**61`` with cached Barrett constants.
+
+    Attributes
+    ----------
+    value:
+        The modulus ``p`` as a Python int.
+    const_ratio:
+        ``(hi, lo, remainder)`` of ``divmod(2**128, p)``; ``hi:lo`` is the
+        128-bit Barrett ratio used by :func:`repro.modmath.barrett`.
+    """
+
+    value: int
+    const_ratio: Tuple[int, int, int] = field(init=False, repr=False)
+    bit_count: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        v = int(self.value)
+        if v < 2:
+            raise ValueError(f"modulus must be >= 2, got {v}")
+        if v.bit_length() > MAX_MODULUS_BITS:
+            raise ValueError(
+                f"modulus must fit in {MAX_MODULUS_BITS} bits, got {v.bit_length()}"
+            )
+        ratio, rem = divmod(1 << 128, v)
+        object.__setattr__(self, "value", v)
+        object.__setattr__(
+            self, "const_ratio",
+            (ratio >> 64, ratio & 0xFFFFFFFFFFFFFFFF, rem),
+        )
+        object.__setattr__(self, "bit_count", v.bit_length())
+
+    # -- convenience views -------------------------------------------------
+
+    @property
+    def u64(self) -> np.uint64:
+        """The modulus as a NumPy ``uint64`` scalar."""
+        return np.uint64(self.value)
+
+    @property
+    def ratio_hi(self) -> np.uint64:
+        """High word of ``floor(2**128 / p)``."""
+        return np.uint64(self.const_ratio[0])
+
+    @property
+    def ratio_lo(self) -> np.uint64:
+        """Low word of ``floor(2**128 / p)``."""
+        return np.uint64(self.const_ratio[1])
+
+    @property
+    def is_prime(self) -> bool:
+        """Whether the modulus is prime (Miller-Rabin, exact for 64 bits)."""
+        return is_prime(self.value)
+
+    def supports_ntt(self, degree: int) -> bool:
+        """True when ``p = 1 (mod 2*degree)`` and prime (negacyclic NTT)."""
+        return self.is_prime and self.value % (2 * degree) == 1
+
+    def reduce(self, x: int) -> int:
+        """Scalar exact reduction of an arbitrary Python int."""
+        return int(x) % self.value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Modulus({self.value}, {self.bit_count} bits)"

@@ -1,0 +1,132 @@
+"""Core vectorized modular operations: add, sub, neg, mul, mad.
+
+These are the Python counterparts of the paper's GPU device functions:
+
+* ``add_mod`` / ``sub_mod`` — the Fig. 3 sequences (compare + conditional
+  add/sub, no division);
+* ``mul_mod`` — 64x64->128 emulated multiply + Barrett reduction;
+* ``mad_mod`` — the paper's *fused modular multiply-add* (Sec. III-A.1):
+  one reduction after ``a*b + c`` instead of two.  Safe because operands
+  are < 2**61, so ``a*b + c < 2**122 + 2**61`` still fits in 128 bits.
+
+All functions operate element-wise on uint64 arrays and return uint64.
+Inputs are expected in ``[0, p)`` unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .barrett import barrett_reduce_128, conditional_sub
+from .modulus import Modulus
+from .uint128 import add_carry, mul_wide, wrapping
+
+__all__ = [
+    "add_mod",
+    "sub_mod",
+    "neg_mod",
+    "mul_mod",
+    "mad_mod",
+    "dot_mod",
+    "pow_mod",
+    "inv_mod",
+]
+
+
+def add_mod(a, b, modulus: Modulus):
+    """``(a + b) mod p`` for ``a, b`` in ``[0, p)`` with ``p < 2**63``.
+
+    Matches Fig. 3(b): add, compare, predicated subtract — three ops.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    s = a + b  # p < 2^63 so no wraparound for in-range inputs
+    return conditional_sub(s, modulus)
+
+
+@wrapping
+def sub_mod(a, b, modulus: Modulus):
+    """``(a - b) mod p`` for ``a, b`` in ``[0, p)``."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    p = modulus.u64
+    d = a + p - b
+    return conditional_sub(d, modulus)
+
+
+@wrapping
+def neg_mod(a, modulus: Modulus):
+    """``(-a) mod p`` for ``a`` in ``[0, p)``."""
+    a = np.asarray(a, dtype=np.uint64)
+    p = modulus.u64
+    return np.where(a == 0, np.uint64(0), p - a)
+
+
+def mul_mod(a, b, modulus: Modulus):
+    """``(a * b) mod p`` via wide multiply + 128-bit Barrett reduction."""
+    hi, lo = mul_wide(a, b)
+    return barrett_reduce_128(hi, lo, modulus)
+
+
+@wrapping
+def mad_mod(a, b, c, modulus: Modulus):
+    """Fused ``(a * b + c) mod p`` with a single reduction.
+
+    The paper's ``mad_mod`` (Sec. III-A.1): the 128-bit product is extended
+    by ``c`` before the one Barrett reduction, halving the number of modular
+    reductions on the multiply-accumulate chains that dominate HE dyadic
+    kernels.  Correct whenever ``a, b < 2**61`` and ``c < 2**63``.
+    """
+    hi, lo = mul_wide(a, b)
+    lo, carry = add_carry(lo, np.asarray(c, dtype=np.uint64))
+    hi = hi + carry
+    return barrett_reduce_128(hi, lo, modulus)
+
+
+def pow_mod(base: int, exponent: int, modulus: Modulus) -> int:
+    """Scalar modular exponentiation (tables / precompute only)."""
+    return pow(int(base) % modulus.value, int(exponent), modulus.value)
+
+
+def inv_mod(a: int, modulus: Modulus) -> int:
+    """Scalar modular inverse; raises ``ValueError`` if not invertible."""
+    a = int(a) % modulus.value
+    if a == 0:
+        raise ValueError("0 has no modular inverse")
+    g = np.gcd(a, modulus.value)
+    if int(g) != 1:
+        raise ValueError(f"{a} is not invertible mod {modulus.value}")
+    return pow(a, -1, modulus.value)
+
+
+@wrapping
+def dot_mod(a, b, modulus: Modulus):
+    """Modular inner product ``sum_i a_i * b_i mod p`` with lazy accumulation.
+
+    The vector form of the paper's mad_mod argument: instead of reducing
+    after every multiply-add, partial products accumulate as a 128-bit
+    (hi, lo) pair and a *single* Barrett reduction finishes the chain.
+    Safe for any length: the 128-bit accumulator wraps modulo 2**128 only
+    after ~2**6 terms of 61-bit operands, so we fold with one reduction
+    every 32 terms.
+
+    ``a`` and ``b`` are 1-D uint64 arrays with entries in ``[0, p)``.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("dot_mod expects equal-length 1-D arrays")
+    acc = np.uint64(0)
+    chunk = 32  # 32 * (2^61)^2 < 2^127: the 128-bit accumulator is safe
+    for start in range(0, len(a), chunk):
+        hi_acc = np.uint64(0)
+        lo_acc = np.uint64(0)
+        ah = a[start : start + chunk]
+        bh = b[start : start + chunk]
+        hi, lo = mul_wide(ah, bh)
+        for i in range(len(ah)):
+            lo_acc, carry = add_carry(lo_acc, lo[i])
+            hi_acc = hi_acc + hi[i] + carry
+        partial = barrett_reduce_128(hi_acc, lo_acc, modulus)
+        acc = add_mod(acc, partial, modulus)
+    return acc

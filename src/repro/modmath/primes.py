@@ -1,0 +1,122 @@
+"""Prime generation for NTT-friendly moduli.
+
+CKKS in RNS form needs chains of primes ``q_i`` with:
+
+* ``q_i`` prime and ``q_i = 1 (mod 2N)`` so that a primitive 2N-th root of
+  unity exists in ``Z_{q_i}`` (negacyclic NTT support);
+* ``q_i < 2**60`` so Harvey's lazy reduction keeps every intermediate
+  below ``4p < 2**62`` (the paper's "less than 60 bits" requirement);
+* distinct primes whose product forms the ciphertext modulus.
+
+The deterministic Miller-Rabin test below is exact for all 64-bit inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "is_prime",
+    "gen_ntt_prime",
+    "gen_ntt_primes",
+    "default_coeff_modulus",
+    "MAX_MODULUS_BITS",
+    "MIN_MODULUS_BITS",
+]
+
+#: Largest supported modulus width; > 61 bits would break 4p lazy bounds.
+MAX_MODULUS_BITS = 61
+#: Smallest width we will generate (tiny moduli break Barrett assumptions).
+MIN_MODULUS_BITS = 20
+
+# Witness set proven sufficient for all n < 3.317e24 (covers uint64).
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test, exact for 64-bit ``n``."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def gen_ntt_prime(bits: int, degree: int, *, below: int | None = None) -> int:
+    """Return the largest prime ``p = 1 (mod 2*degree)`` with ``bits`` bits.
+
+    Parameters
+    ----------
+    bits:
+        Target bit width; the result satisfies ``2**(bits-1) <= p < 2**bits``.
+    degree:
+        Polynomial modulus degree ``N`` (power of two).
+    below:
+        If given, only consider candidates strictly less than this value
+        (used to generate descending chains of distinct primes).
+    """
+    if not MIN_MODULUS_BITS <= bits <= MAX_MODULUS_BITS:
+        raise ValueError(
+            f"bits must be in [{MIN_MODULUS_BITS}, {MAX_MODULUS_BITS}], got {bits}"
+        )
+    if degree < 2 or degree & (degree - 1):
+        raise ValueError(f"degree must be a power of two >= 2, got {degree}")
+    factor = 2 * degree
+    upper = (1 << bits) - 1
+    if below is not None:
+        upper = min(upper, below - 1)
+    lower = 1 << (bits - 1)
+    # Largest candidate = 1 (mod factor) not exceeding `upper`.
+    candidate = (upper // factor) * factor + 1
+    if candidate > upper:
+        candidate -= factor
+    while candidate >= lower:
+        if is_prime(candidate):
+            return candidate
+        candidate -= factor
+    raise ValueError(f"no {bits}-bit prime = 1 mod {factor} exists")
+
+
+def gen_ntt_primes(bit_sizes: Sequence[int], degree: int) -> List[int]:
+    """Generate distinct NTT-friendly primes, one per entry of ``bit_sizes``.
+
+    Primes of equal bit size are generated in descending order so the list
+    is duplicate-free.  Order of the output matches ``bit_sizes``.
+    """
+    below_per_bits: dict[int, int] = {}
+    out: List[int] = []
+    for bits in bit_sizes:
+        p = gen_ntt_prime(bits, degree, below=below_per_bits.get(bits))
+        below_per_bits[bits] = p
+        out.append(p)
+    return out
+
+
+def default_coeff_modulus(degree: int, levels: int, *, scale_bits: int = 40,
+                          first_bits: int = 60, special_bits: int = 60) -> List[int]:
+    """SEAL-style default chain: ``[first, scale*levels, special]``.
+
+    The first prime absorbs the final decryption precision, the middle
+    primes match the encoding scale (so rescaling keeps the scale stable),
+    and the trailing *special* prime is used only for key switching.
+    """
+    if levels < 0:
+        raise ValueError("levels must be non-negative")
+    sizes = [first_bits] + [scale_bits] * levels + [special_bits]
+    return gen_ntt_primes(sizes, degree)

@@ -1,0 +1,172 @@
+"""Vectorized 128-bit integer arithmetic on ``uint64`` NumPy arrays.
+
+Modern GPUs (including the Intel Xe parts targeted by the paper) have no
+native 64-bit integer multiplier: a 64x64->128 multiply is emulated from
+32x32->64 partial products.  This module performs exactly that emulation on
+NumPy ``uint64`` arrays, which keeps every hot path free of Python bignums
+while remaining bit-exact.
+
+All functions accept scalars or arrays and broadcast like NumPy ufuncs.
+Unsigned overflow wraps modulo 2**64, which is the behaviour the algorithms
+rely on (the same way the paper's GPU ISA wraps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "wrapping",
+    "MASK32",
+    "U64_MAX",
+    "split32",
+    "mul_wide",
+    "mul_high",
+    "mul_low",
+    "add_carry",
+    "sub_borrow",
+    "add128",
+    "shl128",
+    "shr128",
+    "compose128",
+    "decompose128",
+]
+
+#: Low-32-bit mask, kept as ``uint64`` so bitwise ops never upcast.
+MASK32 = np.uint64(0xFFFFFFFF)
+#: Largest value representable in an unsigned 64-bit word.
+U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_U32 = np.uint64(32)
+
+#: Decorator/context manager silencing NumPy's scalar-overflow warnings:
+#: every function below *relies* on modulo-2**64 wrapping, exactly like the
+#: GPU ISA the paper targets.
+wrapping = np.errstate(over="ignore")
+
+
+def _as_u64(x) -> np.ndarray:
+    """Coerce input to a ``uint64`` ndarray without copying when possible."""
+    return np.asarray(x, dtype=np.uint64)
+
+
+def split32(x):
+    """Split ``x`` into ``(hi32, lo32)`` 32-bit halves (stored in uint64)."""
+    x = _as_u64(x)
+    return x >> _U32, x & MASK32
+
+
+@wrapping
+def mul_wide(a, b):
+    """Full 64x64 -> 128-bit product.
+
+    Returns ``(hi, lo)`` uint64 arrays such that ``a*b = hi*2**64 + lo``.
+
+    This is the software emulation sequence of Fig. 4(a) in the paper:
+    four 32x32 partial products combined with carries.
+    """
+    a = _as_u64(a)
+    b = _as_u64(b)
+    a_hi, a_lo = split32(a)
+    b_hi, b_lo = split32(b)
+
+    ll = a_lo * b_lo            # <= (2^32-1)^2 < 2^64: exact
+    lh = a_lo * b_hi
+    hl = a_hi * b_lo
+    hh = a_hi * b_hi
+
+    # Middle column: (ll >> 32) + lo32(lh) + lo32(hl) fits in 64 bits
+    # (at most 3 * (2^32 - 1) < 2^34).
+    mid = (ll >> _U32) + (lh & MASK32) + (hl & MASK32)
+    lo = (ll & MASK32) | ((mid & MASK32) << _U32)
+    hi = hh + (lh >> _U32) + (hl >> _U32) + (mid >> _U32)
+    return hi, lo
+
+
+def mul_high(a, b):
+    """High 64 bits of the 128-bit product ``a*b`` (``mulhi``)."""
+    return mul_wide(a, b)[0]
+
+
+def mul_low(a, b):
+    """Low 64 bits of ``a*b`` — plain wrapping multiply."""
+    return _as_u64(a) * _as_u64(b)
+
+
+@wrapping
+def add_carry(a, b):
+    """Wrapping sum and carry-out: returns ``(a + b mod 2**64, carry)``."""
+    a = _as_u64(a)
+    b = _as_u64(b)
+    s = a + b
+    carry = (s < a).astype(np.uint64)
+    return s, carry
+
+
+@wrapping
+def sub_borrow(a, b):
+    """Wrapping difference and borrow-out: ``(a - b mod 2**64, borrow)``."""
+    a = _as_u64(a)
+    b = _as_u64(b)
+    d = a - b
+    borrow = (a < b).astype(np.uint64)
+    return d, borrow
+
+
+@wrapping
+def add128(a_hi, a_lo, b_hi, b_lo):
+    """128-bit addition ``(a_hi:a_lo) + (b_hi:b_lo)`` modulo 2**128."""
+    lo, carry = add_carry(a_lo, b_lo)
+    hi = _as_u64(a_hi) + _as_u64(b_hi) + carry
+    return hi, lo
+
+
+@wrapping
+def shl128(hi, lo, shift: int):
+    """Logical left shift of a 128-bit value by ``shift`` in [0, 128)."""
+    if not 0 <= shift < 128:
+        raise ValueError(f"shift must be in [0, 128), got {shift}")
+    hi = _as_u64(hi)
+    lo = _as_u64(lo)
+    if shift == 0:
+        return hi.copy(), lo.copy()
+    s = np.uint64(shift)
+    if shift < 64:
+        inv = np.uint64(64 - shift)
+        new_hi = (hi << s) | (lo >> inv)
+        new_lo = lo << s
+    else:
+        new_hi = lo << np.uint64(shift - 64)
+        new_lo = np.zeros_like(lo)
+    return new_hi, new_lo
+
+
+def shr128(hi, lo, shift: int):
+    """Logical right shift of a 128-bit value by ``shift`` in [0, 128)."""
+    if not 0 <= shift < 128:
+        raise ValueError(f"shift must be in [0, 128), got {shift}")
+    hi = _as_u64(hi)
+    lo = _as_u64(lo)
+    if shift == 0:
+        return hi.copy(), lo.copy()
+    s = np.uint64(shift)
+    if shift < 64:
+        inv = np.uint64(64 - shift)
+        new_lo = (lo >> s) | (hi << inv)
+        new_hi = hi >> s
+    else:
+        new_lo = hi >> np.uint64(shift - 64)
+        new_hi = np.zeros_like(hi)
+    return new_hi, new_lo
+
+
+def compose128(hi, lo) -> int:
+    """Compose scalar ``(hi, lo)`` into a Python int (for tests/tables)."""
+    return (int(hi) << 64) | int(lo)
+
+
+def decompose128(value: int):
+    """Split a Python int < 2**128 into ``(hi, lo)`` uint64 scalars."""
+    if not 0 <= value < (1 << 128):
+        raise ValueError("value out of range for 128-bit decomposition")
+    return np.uint64(value >> 64), np.uint64(value & 0xFFFFFFFFFFFFFFFF)

@@ -1,0 +1,94 @@
+"""RNS-batched NTT engine: the facade the CKKS layer uses.
+
+A polynomial in RNS form is a ``(k, n)`` uint64 matrix (one residue row per
+prime); ciphertext stacks add leading axes.  The engine holds one
+:class:`~repro.ntt.tables.NTTTables` per prime and transforms whole stacks
+row-by-row — each row is a fully vectorized transform.  In the paper's
+terms, both the RNS dimension and the batch dimension are sources of
+embarrassing parallelism (Fig. 10); here they are NumPy leading axes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..modmath import Modulus, mul_mod
+from ..rns import RNSBase
+from .radix2 import ntt_forward, ntt_inverse
+from .tables import NTTTables, get_tables
+
+__all__ = ["NTTEngine"]
+
+
+class NTTEngine:
+    """Forward/inverse negacyclic NTT over all primes of an RNS base."""
+
+    def __init__(self, degree: int, base: RNSBase):
+        for m in base:
+            if not m.supports_ntt(degree):
+                raise ValueError(
+                    f"modulus {m.value} does not support degree-{degree} NTT"
+                )
+        self.degree = degree
+        self.base = base
+        self.tables: list[NTTTables] = [get_tables(degree, m) for m in base]
+
+    def _check(self, matrix: np.ndarray, rows: int | None = None) -> None:
+        if matrix.shape[-1] != self.degree:
+            raise ValueError(
+                f"last axis must be {self.degree}, got {matrix.shape[-1]}"
+            )
+        k = rows if rows is not None else len(self.base)
+        if matrix.ndim < 2 or matrix.shape[-2] > k:
+            raise ValueError("matrix must be (..., k, n) with k <= base size")
+
+    def forward(self, matrix: np.ndarray, *, lazy: bool = False) -> np.ndarray:
+        """NTT each residue row; input coefficient form, output NTT form.
+
+        Accepts ``(k', n)`` or stacks ``(..., k', n)`` where ``k'`` may be a
+        prefix of the base (lower ciphertext level).
+        """
+        self._check(matrix)
+        out = np.empty_like(matrix)
+        k = matrix.shape[-2]
+        for i in range(k):
+            out[..., i, :] = ntt_forward(matrix[..., i, :], self.tables[i], lazy=lazy)
+        return out
+
+    def inverse(self, matrix: np.ndarray, *, lazy: bool = False) -> np.ndarray:
+        """Inverse-NTT each residue row back to coefficient form."""
+        self._check(matrix)
+        out = np.empty_like(matrix)
+        k = matrix.shape[-2]
+        for i in range(k):
+            out[..., i, :] = ntt_inverse(matrix[..., i, :], self.tables[i], lazy=lazy)
+        return out
+
+    def dyadic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise product of two NTT-form stacks, per-prime reduction."""
+        if a.shape != b.shape:
+            raise ValueError("operand shapes differ")
+        self._check(a)
+        out = np.empty_like(a)
+        k = a.shape[-2]
+        for i in range(k):
+            out[..., i, :] = mul_mod(a[..., i, :], b[..., i, :], self.base[i])
+        return out
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Coefficient-form product in ``R_q = Z_q[x]/(x^n+1)`` via NTT.
+
+        The paper's Sec. II-B pipeline: forward both operands, dyadic
+        multiply, inverse the product.
+        """
+        fa = self.forward(a, lazy=True)
+        fb = self.forward(b, lazy=True)
+        # Lazy values are < 4p < 2^63; dyadic mul_mod handles any uint64.
+        prod = self.dyadic_multiply(fa, fb)
+        return self.inverse(prod)
+
+    def subengine(self, rows: int) -> "NTTEngine":
+        """Engine over the first ``rows`` primes (a lower level)."""
+        return NTTEngine(self.degree, self.base.prefix(rows))

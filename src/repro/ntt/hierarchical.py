@@ -1,0 +1,139 @@
+"""The hierarchical (four-step) NTT — the algorithm the paper did NOT use.
+
+Prior GPU NTT work (the paper's refs [30], [36]; cuFHE-style kernels)
+decomposes an N-point transform into N = Na x Nb smaller transforms:
+column DFTs, a twiddle multiplication, row DFTs, and a transpose.  The
+paper argues (Sec. II-C) that with RNS and batching already supplying
+parallelism, the *staged* implementation is preferable on Intel GPUs.
+We implement the hierarchical algorithm anyway, for the ablation bench
+that substantiates that design decision (DESIGN.md §5).
+
+Derivation (cyclic DFT over ``omega`` after the negacyclic pre-twist by
+``psi**j``): with input index ``j = a*Nb + b`` and output index
+``k = c*Na + d``,
+
+    X[c*Na + d] = sum_b (omega**(Na*b*c)) * omega**(b*d)
+                    * sum_a x[a*Nb + b] * (omega**(Nb*a*d))
+
+i.e. (1) Na-point DFTs over ``a`` with root ``omega**Nb``, (2) twiddle
+``omega**(b*d)``, (3) Nb-point DFTs over ``b`` with root ``omega**Na``,
+(4) index transpose.  Output is in *natural* order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..modmath import Modulus, mul_mod, pow_mod
+from ..modmath.ops import add_mod
+from .tables import NTTTables
+
+__all__ = ["hierarchical_ntt_forward", "hierarchical_split", "hierarchical_profile"]
+
+
+def hierarchical_split(n: int) -> Tuple[int, int]:
+    """Na x Nb factorization with Na <= Nb, both powers of two."""
+    logn = n.bit_length() - 1
+    la = logn // 2
+    return 1 << la, 1 << (logn - la)
+
+
+def _twist(x: np.ndarray, tables: NTTTables) -> np.ndarray:
+    """Pre-multiply coefficients by ``psi**j`` (negacyclic folding)."""
+    p = tables.modulus.value
+    n = tables.degree
+    powers = np.empty(n, dtype=np.uint64)
+    acc = 1
+    for j in range(n):
+        powers[j] = acc
+        acc = acc * tables.psi % p
+    return mul_mod(x, powers, tables.modulus)
+
+
+def _small_dft(x: np.ndarray, root: int, modulus: Modulus) -> np.ndarray:
+    """O(m^2) DFT along axis 0 of an ``(m, cols)`` matrix.
+
+    The hierarchical scheme's small transforms live in fast memory; the
+    quadratic op count over a tiny ``m`` is the intended trade.
+    """
+    m = x.shape[0]
+    pows = np.array(
+        [pow_mod(root, e, modulus) for e in range(m)], dtype=np.uint64
+    )
+    out = np.zeros_like(x)
+    for k in range(m):
+        acc = np.zeros(x.shape[1], dtype=np.uint64)
+        for j in range(m):
+            term = mul_mod(x[j], pows[(k * j) % m], modulus)
+            acc = add_mod(acc, term, modulus)
+        out[k] = acc
+    return out
+
+
+def hierarchical_ntt_forward(x: np.ndarray, tables: NTTTables) -> np.ndarray:
+    """Four-step negacyclic NTT; output in natural order.
+
+    Equals :func:`~repro.ntt.reference.ntt_reference` exactly, and the
+    staged transforms up to the bit-reversal permutation (tested).
+    """
+    n = tables.degree
+    if x.shape != (n,):
+        raise ValueError(f"expected shape ({n},)")
+    modulus = tables.modulus
+    p = modulus.value
+    na, nb = hierarchical_split(n)
+    omega = pow_mod(tables.psi, 2, modulus)
+
+    # Reshape with j = a*nb + b: axis 0 = a, axis 1 = b.
+    twisted = _twist(x, tables).reshape(na, nb)
+
+    # Step 1: Na-point DFT over the a axis, root omega^nb; index d.
+    s = _small_dft(twisted, pow_mod(omega, nb, modulus), modulus)  # (d, b)
+
+    # Step 2: twiddle by omega^(b*d).
+    tw = np.empty((na, nb), dtype=np.uint64)
+    for d in range(na):
+        base = pow_mod(omega, d, modulus)
+        acc = 1
+        for b in range(nb):
+            tw[d, b] = acc
+            acc = acc * base % p
+    t = mul_mod(s, tw, modulus)
+
+    # Step 3: Nb-point DFT over the b axis, root omega^na; index c.
+    u = _small_dft(t.T.copy(), pow_mod(omega, na, modulus), modulus)  # (c, d)
+
+    # Step 4: transpose: X[c*na + d] = u[c, d].
+    return u.reshape(n)
+
+
+def hierarchical_profile(n: int) -> dict:
+    """Structural cost facts for the ablation bench.
+
+    The four-step scheme moves the whole array through global memory a
+    constant number of times (column pass, twiddle+row pass, transpose)
+    — cheaper than naive's 2*log2(n) passes — but its transpose is
+    strided, its small-DFT inner products cannot use the lazy butterfly
+    ALU mix (every product needs a full modular reduction), and it
+    cannot fuse with SLM-resident staging the way the paper's staged
+    kernels do.
+    """
+    na, nb = hierarchical_split(n)
+    # DFT inner products: n*(na + nb) multiply-accumulate pairs, each a
+    # full mul_mod + add_mod (~30 nominal ops) vs. the staged transform's
+    # n/2*log2(n) lazy butterflies at 28 ops.
+    mac_ops = n * (na + nb) * 30
+    staged_ops = (n // 2) * int(math.log2(n)) * 48
+    return {
+        "na": na,
+        "nb": nb,
+        "global_passes": 3,
+        "global_bytes": 3 * 2 * 8 * n,
+        "alu_ops": mac_ops,
+        "staged_alu_ops": staged_ops,
+        "alu_ratio_vs_staged": mac_ops / staged_ops,
+        "transpose_strided": True,
+    }

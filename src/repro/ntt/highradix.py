@@ -1,0 +1,187 @@
+"""High-radix register-blocked NTT stages (paper Sec. III-B.5).
+
+A radix-``R`` (``R = 2**k``) kernel gathers, per work-item, ``R`` elements
+strided by ``gap`` and performs ``k`` internal butterfly rounds entirely
+"in registers" before writing back — e.g. for radix-8 the paper's pairing:
+
+    round 1: {x[k], x[k+4*gap]} ...      (stride 4*gap)
+    round 2: {x[k], x[k+2*gap]} ...      (stride 2*gap)
+    round 3: {x[k], x[k+gap]} ...        (stride gap)
+
+Functionally this equals ``k`` consecutive radix-2 stages; the value of the
+restructuring is entirely in memory behaviour (one load/store per group of
+``k`` stages), which is what the performance model charges for.  We
+implement the gathered form explicitly so tests can verify the equivalence
+claim rather than assume it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..modmath.harvey import reduce_from_lazy
+from ..modmath.uint128 import mul_high, mul_low, wrapping
+from .radix2 import _ct_butterfly_vec, _gs_butterfly_vec, forward_stage, inverse_stage
+from .tables import NTTTables
+
+__all__ = [
+    "high_radix_forward_group",
+    "ntt_forward_high_radix",
+    "high_radix_inverse_group",
+    "ntt_inverse_high_radix",
+    "max_radix_for_stage",
+]
+
+
+def max_radix_for_stage(n: int, m: int, radix: int) -> int:
+    """Largest radix (<= requested) applicable at stage ``m``.
+
+    Near the end of the transform fewer than ``log2(radix)`` stages remain;
+    the final group degrades gracefully (the paper's kernels do the same:
+    the tail is handled by a lower-radix pass).
+    """
+    remaining = (n // (2 * m)).bit_length()  # stages left, incl. current
+    log_r = radix.bit_length() - 1
+    return 1 << min(log_r, remaining)
+
+
+def high_radix_forward_group(x: np.ndarray, tables: NTTTables, m: int, radix: int) -> None:
+    """Apply ``log2(radix)`` forward stages as one gathered register block.
+
+    ``x`` is modified in place; shape ``(..., n)``.  Stage indices covered
+    are ``m, 2m, ..., m * radix/2``.
+    """
+    n = tables.degree
+    log_r = radix.bit_length() - 1
+    if radix < 2 or radix & (radix - 1):
+        raise ValueError(f"radix must be a power of two >= 2, got {radix}")
+    t = n // (2 * m)
+    stride = t >> (log_r - 1)
+    if stride < 1:
+        raise ValueError(
+            f"stage m={m} has only {t.bit_length()} stages left; "
+            f"radix {radix} does not fit"
+        )
+    p = tables.modulus.u64
+    two_p = np.uint64(2 * tables.modulus.value)
+    lead = x.shape[:-1]
+    ones = (1,) * len(lead)
+    # Each group of 2t contiguous elements becomes an (R, stride) register
+    # block: element j*stride + s of the block is the paper's x[k + j*gap].
+    v = x.reshape(lead + (m,) + (2,) * log_r + (stride,))
+    for s in range(log_r):
+        mm = m << s
+        # Twiddles for internal round s: one per (group, high bits of j).
+        wshape = ones + (m,) + (2,) * s + (1,) * (log_r - s - 1) + (1,)
+        w = tables.w[mm : 2 * mm].reshape(wshape)
+        wq = tables.wq[mm : 2 * mm].reshape(wshape)
+        axis = len(lead) + 1 + s  # the j-bit axis butterflied this round
+        sel0 = (
+            (slice(None),) * axis + (0,) + (slice(None),) * (v.ndim - axis - 1)
+        )
+        sel1 = (
+            (slice(None),) * axis + (1,) + (slice(None),) * (v.ndim - axis - 1)
+        )
+        xo, yo = _ct_butterfly_vec(v[sel0], v[sel1], w, wq, p, two_p)
+        v[sel0] = xo
+        v[sel1] = yo
+
+
+def ntt_forward_high_radix(
+    x: np.ndarray, tables: NTTTables, radix: int, *, lazy: bool = False
+) -> np.ndarray:
+    """Full forward NTT built from high-radix groups (out of place).
+
+    Must produce bit-identical results to :func:`~repro.ntt.radix2.ntt_forward`;
+    the test suite asserts this for every supported radix and size.
+    """
+    n = tables.degree
+    if x.shape[-1] != n:
+        raise ValueError(f"last axis must be {n}, got {x.shape[-1]}")
+    out = np.array(x, dtype=np.uint64, copy=True)
+    m = 1
+    while m < n:
+        r = max_radix_for_stage(n, m, radix)
+        if r >= 4:
+            high_radix_forward_group(out, tables, m, r)
+        else:
+            forward_stage(out, tables, m)
+            r = 2
+        m <<= r.bit_length() - 1
+    if not lazy:
+        out = reduce_from_lazy(out, tables.modulus)
+    return out
+
+
+def high_radix_inverse_group(x: np.ndarray, tables: NTTTables, h: int,
+                             radix: int) -> None:
+    """Apply ``log2(radix)`` inverse (GS) stages as one register block.
+
+    Covers stage group sizes ``h, h/2, ..., h/(radix/2)`` in place —
+    the mirror of :func:`high_radix_forward_group`: partners at strides
+    ``t, 2t, 4t, ...`` all live in one gathered ``R``-element block.
+    """
+    n = tables.degree
+    log_r = radix.bit_length() - 1
+    if radix < 2 or radix & (radix - 1):
+        raise ValueError(f"radix must be a power of two >= 2, got {radix}")
+    if h >> (log_r - 1) < 1:
+        raise ValueError(f"stage h={h} has too few stages left for radix {radix}")
+    t = n // (2 * h)
+    m_blocks = h >> (log_r - 1)
+    p = tables.modulus.u64
+    two_p = np.uint64(2 * tables.modulus.value)
+    lead = x.shape[:-1]
+    ones = (1,) * len(lead)
+    # Block view: j-bits ordered MSB..LSB after the block axis; inverse
+    # rounds butterfly the LSB axis first (stride t), then walk up.
+    v = x.reshape(lead + (m_blocks,) + (2,) * log_r + (t,))
+    for s in range(log_r):
+        hh = h >> s
+        axis = len(lead) + 1 + (log_r - 1 - s)
+        # Twiddle per surviving group: block index + the j-bits above the
+        # butterflied axis (the first log_r-1-s of them).
+        wshape = (
+            ones + (m_blocks,) + (2,) * (log_r - 1 - s) + (1,) * (s + 1)
+        )
+        w = tables.iw[hh : 2 * hh].reshape(wshape)
+        wq = tables.iwq[hh : 2 * hh].reshape(wshape)
+        sel0 = (slice(None),) * axis + (0,) + (slice(None),) * (v.ndim - axis - 1)
+        sel1 = (slice(None),) * axis + (1,) + (slice(None),) * (v.ndim - axis - 1)
+        xo, yo = _gs_butterfly_vec(v[sel0], v[sel1], w, wq, p, two_p)
+        v[sel0] = xo
+        v[sel1] = yo
+
+
+@wrapping
+def ntt_inverse_high_radix(
+    x: np.ndarray, tables: NTTTables, radix: int, *, lazy: bool = False
+) -> np.ndarray:
+    """Full inverse NTT built from high-radix GS groups (out of place).
+
+    Bit-identical to :func:`~repro.ntt.radix2.ntt_inverse` (tested).
+    """
+    n = tables.degree
+    if x.shape[-1] != n:
+        raise ValueError(f"last axis must be {n}, got {x.shape[-1]}")
+    log_r = radix.bit_length() - 1
+    out = np.array(x, dtype=np.uint64, copy=True)
+    h = n // 2
+    while h >= 1:
+        stages_left = h.bit_length()  # h, h/2, ..., 1
+        r = 1 << min(log_r, stages_left)
+        if r >= 4:
+            high_radix_inverse_group(out, tables, h, r)
+        else:
+            inverse_stage(out, tables, h)
+            r = 2
+        h >>= r.bit_length() - 1
+    op = tables.n_inv
+    p = tables.modulus.u64
+    q = mul_high(np.uint64(op.quotient), out)
+    out = mul_low(np.uint64(op.operand), out) - mul_low(q, p)
+    if not lazy:
+        out = reduce_from_lazy(out, tables.modulus)
+    else:
+        out = np.where(out >= p + p, out - (p + p), out)
+    return out

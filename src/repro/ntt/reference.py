@@ -1,0 +1,87 @@
+"""Reference O(n^2) negacyclic transforms and schoolbook polynomial products.
+
+These are the ground truth the fast kernels are validated against.  Never
+used in any hot path — Python-int arithmetic, quadratic complexity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..modmath import Modulus
+
+__all__ = [
+    "ntt_reference",
+    "intt_reference",
+    "negacyclic_polymul_reference",
+    "negacyclic_convolution_theorem_check",
+]
+
+
+def ntt_reference(coeffs: Sequence[int], psi: int, modulus: Modulus) -> List[int]:
+    """Natural-order negacyclic NTT: ``A[k] = sum_j a_j psi^{j(2k+1)}``."""
+    p = modulus.value
+    n = len(coeffs)
+    out = []
+    for k in range(n):
+        base = pow(psi, 2 * k + 1, p)
+        acc = 0
+        term = 1
+        for j in range(n):
+            acc = (acc + int(coeffs[j]) * term) % p
+            term = term * base % p
+        out.append(acc)
+    return out
+
+
+def intt_reference(values: Sequence[int], psi: int, modulus: Modulus) -> List[int]:
+    """Inverse of :func:`ntt_reference` (natural order both sides)."""
+    p = modulus.value
+    n = len(values)
+    n_inv = pow(n, -1, p)
+    psi_inv = pow(psi, -1, p)
+    out = []
+    for j in range(n):
+        acc = 0
+        for k in range(n):
+            acc = (acc + int(values[k]) * pow(psi_inv, j * (2 * k + 1), p)) % p
+        out.append(acc * n_inv % p)
+    return out
+
+
+def negacyclic_polymul_reference(
+    a: Sequence[int], b: Sequence[int], modulus: Modulus
+) -> List[int]:
+    """Schoolbook product in ``Z_p[x]/(x^n + 1)`` (wrap with sign flip)."""
+    p = modulus.value
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("polynomials must have equal length")
+    out = [0] * n
+    for i in range(n):
+        ai = int(a[i]) % p
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * (int(b[j]) % p)
+            if k < n:
+                out[k] = (out[k] + term) % p
+            else:
+                out[k - n] = (out[k - n] - term) % p
+    return out
+
+
+def negacyclic_convolution_theorem_check(
+    a: Sequence[int], b: Sequence[int], psi: int, modulus: Modulus
+) -> bool:
+    """Verify ``iNTT(NTT(a) . NTT(b)) == a*b mod (x^n+1)`` (paper Sec. II-B)."""
+    p = modulus.value
+    fa = ntt_reference(a, psi, modulus)
+    fb = ntt_reference(b, psi, modulus)
+    prod = [x * y % p for x, y in zip(fa, fb)]
+    via_ntt = intt_reference(prod, psi, modulus)
+    direct = negacyclic_polymul_reference(a, b, modulus)
+    return via_ntt == direct

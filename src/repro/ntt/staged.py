@@ -1,0 +1,129 @@
+"""Staged execution of the NTT through its phase schedule (Fig. 8).
+
+:func:`staged_ntt_forward` runs the transform exactly the way the paper's
+kernels are shaped:
+
+* **global rounds** operate on the whole array (one pass per round);
+* **SLM rounds** are executed *independently per work-group block* — the
+  function physically slices the array into ``2 * TER_SLM_GAP_SZ``-element
+  blocks and transforms each in isolation, which only produces the right
+  answer because once the exchange gap fits the block, butterflies never
+  cross block boundaries.  Running it this way *proves* the paper's phase
+  thresholds rather than assuming them;
+* **SIMD rounds** are likewise executed per sub-group register slice.
+
+The output is bit-identical to :func:`~repro.ntt.radix2.ntt_forward`
+(tested), while exposing per-phase callbacks for traffic accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..modmath.harvey import reduce_from_lazy
+from .highradix import high_radix_forward_group, max_radix_for_stage
+from .radix2 import forward_stage
+from .tables import NTTTables
+from .variants import NTTVariant
+
+__all__ = ["staged_ntt_forward", "PhaseTrace"]
+
+
+class PhaseTrace:
+    """Records which phase touched how many elements (for assertions)."""
+
+    def __init__(self) -> None:
+        self.events: List[tuple] = []
+
+    def record(self, kind: str, rounds: int, block_elems: int, blocks: int) -> None:
+        self.events.append((kind, rounds, block_elems, blocks))
+
+    @property
+    def kinds(self) -> List[str]:
+        return [e[0] for e in self.events]
+
+
+def _stage_block(block_view: np.ndarray, tables: NTTTables, m: int,
+                 radix: int) -> None:
+    """Apply a radix group to an array of blocks ``(..., blocks, B)``.
+
+    Asserts the paper's locality guarantee before touching data: at
+    stage ``m`` the butterfly group size is ``n/m``; block-local
+    execution is only legal once a whole group fits inside one block.
+    If a schedule ever violated its TER_*_GAP_SZ threshold this raises
+    instead of silently corrupting the transform.
+    """
+    lead = block_view.shape[:-2]
+    blocks, b = block_view.shape[-2], block_view.shape[-1]
+    n = tables.degree
+    if n // m > b:
+        raise ValueError(
+            f"stage m={m} exchanges span {n // m} elements — larger than "
+            f"the {b}-element block: the phase schedule is wrong"
+        )
+    flat = block_view.reshape(lead + (blocks * b,))
+    if radix == 2:
+        forward_stage(flat, tables, m)
+    else:
+        high_radix_forward_group(flat, tables, m, radix)
+
+
+def staged_ntt_forward(
+    x: np.ndarray,
+    tables: NTTTables,
+    variant: NTTVariant,
+    *,
+    trace: Optional[PhaseTrace] = None,
+    lazy: bool = False,
+) -> np.ndarray:
+    """Execute the forward NTT phase-by-phase per the variant's schedule."""
+    n = tables.degree
+    if x.shape[-1] != n:
+        raise ValueError(f"last axis must be {n}, got {x.shape[-1]}")
+    out = np.array(x, dtype=np.uint64, copy=True)
+    lead = out.shape[:-1]
+    m = 1
+    for group in variant.schedule(n):
+        radix = group.radix if group.kind != "simd" else 2
+        if group.kind == "global":
+            done = 0
+            while done < group.rounds:
+                r = max_radix_for_stage(n, m, radix)
+                log_r = r.bit_length() - 1
+                if done + log_r > group.rounds:
+                    r = 1 << (group.rounds - done)
+                    log_r = group.rounds - done
+                if r == 2:
+                    forward_stage(out, tables, m)
+                else:
+                    high_radix_forward_group(out, tables, m, r)
+                m <<= log_r
+                done += log_r
+            if trace:
+                trace.record("global", group.rounds, n, 1)
+        else:
+            # Block-local phase: blocks of 2 * first_gap elements.  All
+            # remaining exchanges of this phase stay inside one block —
+            # the paper's TER_SLM_GAP_SZ / TER_SIMD_GAP_SZ guarantee.
+            block = 2 * group.first_gap
+            blocks = n // block
+            view = out.reshape(lead + (blocks, block))
+            done = 0
+            mm = m
+            while done < group.rounds:
+                r = max_radix_for_stage(n, mm, radix)
+                log_r = r.bit_length() - 1
+                if done + log_r > group.rounds:
+                    r = 1 << (group.rounds - done)
+                    log_r = group.rounds - done
+                _stage_block(view, tables, mm, r)
+                mm <<= log_r
+                done += log_r
+            m = mm
+            if trace:
+                trace.record(group.kind, group.rounds, block, blocks)
+    if not lazy:
+        out = reduce_from_lazy(out, tables.modulus)
+    return out

@@ -1,0 +1,157 @@
+"""Stage/round scheduling for the staged NTT (paper Sec. III-B, Fig. 8).
+
+The paper's staged NTT splits the ``log2(n)`` butterfly rounds into three
+phases by exchange distance ("gap"):
+
+1. **global** rounds — gap too large for shared local memory: one kernel
+   launch per round, data exchanged through global memory;
+2. **SLM** rounds — a work-group's slice (2 * TER_SLM_GAP_SZ elements)
+   fits in the 64 KB shared local memory: a single kernel launch covers
+   all remaining rounds down to the SIMD threshold;
+3. **SIMD** rounds — the exchange happens between registers of the same
+   sub-group via shuffles, fused with the final correction pass.
+
+This module computes that schedule for any size/variant combination;
+both the functional engines and the performance model consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Tuple
+
+__all__ = ["RoundGroup", "stage_schedule", "SLM_BYTES_DEFAULT"]
+
+#: 64 KB of shared local memory per sub-slice (paper Sec. II-D).
+SLM_BYTES_DEFAULT = 64 * 1024
+
+PhaseKind = Literal["global", "slm", "simd"]
+
+
+@dataclass(frozen=True)
+class RoundGroup:
+    """A contiguous run of butterfly rounds executed by one kernel shape.
+
+    Attributes
+    ----------
+    kind:
+        Where the data exchange happens: ``global``, ``slm`` or ``simd``.
+    radix:
+        The kernel radix (2, 4, 8 or 16).
+    rounds:
+        Number of radix-2-equivalent rounds covered by this group.
+    kernel_launches:
+        Kernel submissions this group costs.  Global-phase radix-R kernels
+        launch once per radix-R round; the SLM phase is a single launch;
+        the SIMD phase is fused into the preceding SLM launch.
+    first_gap:
+        Exchange distance at the group's first round (elements).
+    fused_last_round:
+        Whether the final [0,4p) -> [0,p) correction is fused here.
+    """
+
+    kind: PhaseKind
+    radix: int
+    rounds: int
+    kernel_launches: int
+    first_gap: int
+    fused_last_round: bool = False
+
+
+def stage_schedule(
+    n: int,
+    *,
+    radix: int = 2,
+    ter_slm_gap: int | None = None,
+    ter_simd_gap: int = 0,
+    slm_bytes: int = SLM_BYTES_DEFAULT,
+    naive: bool = False,
+) -> List[RoundGroup]:
+    """Compute the round groups for an ``n``-point staged NTT.
+
+    Parameters
+    ----------
+    n:
+        Transform size (power of two).
+    radix:
+        Kernel radix for global and SLM phases.
+    ter_slm_gap:
+        The paper's ``TER_SLM_GAP_SZ``: largest gap handled through SLM.
+        Defaults to ``slm_bytes / 8 / 2 / 2`` — a work-group slice of
+        ``2 * gap`` int64 elements plus staging must fit in SLM.
+    ter_simd_gap:
+        The paper's ``TER_SIMD_GAP_SZ``: gaps at or below this exchange
+        via sub-group shuffles (0 disables the SIMD phase).
+    naive:
+        Fig. 6 behaviour: every round is a global kernel launch.
+    """
+    if n < 4 or n & (n - 1):
+        raise ValueError(f"n must be a power of two >= 4, got {n}")
+    log_n = n.bit_length() - 1
+    log_r = radix.bit_length() - 1
+    if ter_slm_gap is None:
+        ter_slm_gap = slm_bytes // 8 // 4
+
+    groups: List[RoundGroup] = []
+    if naive:
+        return [
+            RoundGroup(
+                kind="global",
+                radix=2,
+                rounds=log_n,
+                kernel_launches=log_n,
+                first_gap=n // 2,
+                fused_last_round=False,
+            )
+        ]
+
+    # Count rounds by phase, walking gaps n/2, n/4, ..., 1.
+    gaps = [n >> (r + 1) for r in range(log_n)]
+    global_rounds = sum(1 for g in gaps if g > ter_slm_gap)
+    simd_rounds = sum(1 for g in gaps if 1 <= g <= ter_simd_gap)
+    slm_rounds = log_n - global_rounds - simd_rounds
+
+    if global_rounds:
+        launches = -(-global_rounds // log_r)  # ceil: one per radix-R round
+        groups.append(
+            RoundGroup(
+                kind="global",
+                radix=radix,
+                rounds=global_rounds,
+                kernel_launches=launches,
+                first_gap=gaps[0],
+            )
+        )
+    if slm_rounds:
+        groups.append(
+            RoundGroup(
+                kind="slm",
+                radix=radix,
+                rounds=slm_rounds,
+                kernel_launches=1,
+                first_gap=gaps[global_rounds],
+                fused_last_round=simd_rounds == 0,
+            )
+        )
+    if simd_rounds:
+        groups.append(
+            RoundGroup(
+                kind="simd",
+                radix=2,
+                rounds=simd_rounds,
+                kernel_launches=0,  # fused into the SLM launch
+                first_gap=gaps[log_n - simd_rounds],
+                fused_last_round=True,
+            )
+        )
+    return groups
+
+
+def total_rounds(groups: List[RoundGroup]) -> int:
+    """Radix-2-equivalent rounds across a schedule (must equal log2 n)."""
+    return sum(g.rounds for g in groups)
+
+
+def total_launches(groups: List[RoundGroup]) -> int:
+    """Kernel submissions for one transform under a schedule."""
+    return sum(g.kernel_launches for g in groups)

@@ -1,0 +1,140 @@
+"""Twiddle-factor tables for the negacyclic NTT (HEXL/SEAL layout).
+
+For a modulus ``p = 1 (mod 2n)`` there is a primitive ``2n``-th root of
+unity ``psi`` with ``psi**n = -1 (mod p)``.  The forward Cooley-Tukey
+transform consumes powers of ``psi`` in *bit-reversed* order; the inverse
+Gentleman-Sande transform consumes bit-reversed powers of ``psi**-1``.
+
+Each power is stored twice: the operand ``W`` and Harvey's quotient
+``W' = floor(W * 2**64 / p)`` (Sec. II-C / Algorithm 1 of the paper), both
+as uint64 arrays so whole stages are vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from ..modmath import Modulus, MultiplyOperand, inv_mod
+
+__all__ = ["NTTTables", "bit_reverse", "bit_reverse_vector", "find_primitive_root"]
+
+
+def bit_reverse(x: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``x``."""
+    r = 0
+    for _ in range(bits):
+        r = (r << 1) | (x & 1)
+        x >>= 1
+    return r
+
+
+def bit_reverse_vector(n: int) -> np.ndarray:
+    """Permutation array ``perm[i] = bit_reverse(i, log2(n))``."""
+    logn = n.bit_length() - 1
+    return np.array([bit_reverse(i, logn) for i in range(n)], dtype=np.int64)
+
+
+def find_primitive_root(degree: int, modulus: Modulus) -> int:
+    """Smallest ``psi`` (by generator search) of order ``2*degree`` mod p.
+
+    Deterministic: tries candidate generators ``g = 2, 3, ...`` and returns
+    ``g**((p-1)/(2n))`` for the first one where ``psi**n = -1 (mod p)``.
+    """
+    p = modulus.value
+    two_n = 2 * degree
+    if (p - 1) % two_n:
+        raise ValueError(f"modulus {p} does not support degree-{degree} NTT")
+    exp = (p - 1) // two_n
+    for g in range(2, 10_000):
+        psi = pow(g, exp, p)
+        if psi != 1 and pow(psi, degree, p) == p - 1:
+            return psi
+    raise ValueError(f"no primitive 2*{degree}-th root found mod {p}")
+
+
+@dataclass(frozen=True)
+class NTTTables:
+    """Precomputed twiddle factors for one ``(degree, modulus)`` pair.
+
+    Attributes
+    ----------
+    w, wq:
+        Forward tables: ``w[i] = psi**bit_reverse(i)`` and its Harvey
+        quotient, for ``i`` in ``[0, n)`` (index 0 unused by the kernels).
+    iw, iwq:
+        Inverse tables: ``iw[i] = psi**-bit_reverse(i)`` with quotients.
+    n_inv:
+        ``n**-1 mod p`` as a :class:`MultiplyOperand` for the final
+        scaling of the inverse transform.
+    """
+
+    degree: int
+    modulus: Modulus
+    psi: int
+    w: np.ndarray = field(repr=False)
+    wq: np.ndarray = field(repr=False)
+    iw: np.ndarray = field(repr=False)
+    iwq: np.ndarray = field(repr=False)
+    n_inv: MultiplyOperand = field(repr=False)
+
+    @classmethod
+    def create(cls, degree: int, modulus: Modulus) -> "NTTTables":
+        if degree < 2 or degree & (degree - 1):
+            raise ValueError(f"degree must be a power of two >= 2, got {degree}")
+        p = modulus.value
+        psi = find_primitive_root(degree, modulus)
+        ipsi = inv_mod(psi, modulus)
+        logn = degree.bit_length() - 1
+
+        w = np.empty(degree, dtype=np.uint64)
+        wq = np.empty(degree, dtype=np.uint64)
+        iw = np.empty(degree, dtype=np.uint64)
+        iwq = np.empty(degree, dtype=np.uint64)
+        # Successive powers, then scatter into bit-reversed slots: O(n).
+        fwd_pow = 1
+        inv_pow = 1
+        powers_f = np.empty(degree, dtype=object)
+        powers_i = np.empty(degree, dtype=object)
+        for e in range(degree):
+            powers_f[e] = fwd_pow
+            powers_i[e] = inv_pow
+            fwd_pow = fwd_pow * psi % p
+            inv_pow = inv_pow * ipsi % p
+        for i in range(degree):
+            e = bit_reverse(i, logn)
+            fw = int(powers_f[e])
+            bw = int(powers_i[e])
+            w[i] = fw
+            wq[i] = (fw << 64) // p
+            iw[i] = bw
+            iwq[i] = (bw << 64) // p
+
+        return cls(
+            degree=degree,
+            modulus=modulus,
+            psi=psi,
+            w=w,
+            wq=wq,
+            iw=iw,
+            iwq=iwq,
+            n_inv=MultiplyOperand.create(inv_mod(degree, modulus), modulus),
+        )
+
+    @property
+    def log_degree(self) -> int:
+        return self.degree.bit_length() - 1
+
+
+@lru_cache(maxsize=128)
+def _cached_tables(degree: int, modulus_value: int) -> NTTTables:
+    return NTTTables.create(degree, Modulus(modulus_value))
+
+
+def get_tables(degree: int, modulus: Modulus | int) -> NTTTables:
+    """Memoized table lookup (tables are expensive and immutable)."""
+    value = modulus.value if isinstance(modulus, Modulus) else int(modulus)
+    return _cached_tables(degree, value)

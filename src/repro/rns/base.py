@@ -1,0 +1,112 @@
+"""Residue number system base: a list of pairwise-coprime word moduli.
+
+The CKKS ciphertext modulus ``q = prod(q_i)`` never materializes in the
+hot path; polynomials are stored as one uint64 residue row per prime
+(Sec. II-B of the paper).  :class:`RNSBase` caches everything the scheme
+needs about the base:
+
+* punctured products ``q/q_i`` (as Python ints, precompute only);
+* ``inv_punctured[i] = (q/q_i)^{-1} mod q_i`` for CRT interpolation;
+* per-pair reductions ``q_i mod q_j`` used by base conversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd, prod
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..modmath import Modulus, inv_mod
+
+__all__ = ["RNSBase"]
+
+
+@dataclass(frozen=True)
+class RNSBase:
+    """An ordered tuple of pairwise-coprime :class:`Modulus` values."""
+
+    moduli: Tuple[Modulus, ...]
+    product: int = field(init=False, repr=False)
+    punctured: Tuple[int, ...] = field(init=False, repr=False)
+    inv_punctured: Tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.moduli:
+            raise ValueError("RNSBase needs at least one modulus")
+        values = [m.value for m in self.moduli]
+        for i, a in enumerate(values):
+            for b in values[i + 1:]:
+                if gcd(a, b) != 1:
+                    raise ValueError(f"moduli {a} and {b} are not coprime")
+        q = prod(values)
+        punctured = tuple(q // v for v in values)
+        inv_punc = tuple(
+            inv_mod(punc % m.value, m) for punc, m in zip(punctured, self.moduli)
+        )
+        object.__setattr__(self, "product", q)
+        object.__setattr__(self, "punctured", punctured)
+        object.__setattr__(self, "inv_punctured", inv_punc)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "RNSBase":
+        return cls(tuple(Modulus(v) for v in values))
+
+    # -- basic container protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __getitem__(self, i: int) -> Modulus:
+        return self.moduli[i]
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    @property
+    def values(self) -> List[int]:
+        return [m.value for m in self.moduli]
+
+    # -- derived bases --------------------------------------------------------
+
+    def drop_last(self) -> "RNSBase":
+        """The base with the last modulus removed (rescale / mod-switch)."""
+        if len(self.moduli) == 1:
+            raise ValueError("cannot drop the last remaining modulus")
+        return RNSBase(self.moduli[:-1])
+
+    def prefix(self, size: int) -> "RNSBase":
+        """The first ``size`` moduli as a base (a level of the chain)."""
+        if not 1 <= size <= len(self.moduli):
+            raise ValueError(f"invalid prefix size {size}")
+        return RNSBase(self.moduli[:size])
+
+    def extend(self, extra: "RNSBase") -> "RNSBase":
+        """Concatenate two bases (e.g. append the special prime)."""
+        return RNSBase(self.moduli + extra.moduli)
+
+    # -- numeric helpers -------------------------------------------------------
+
+    def decompose(self, value: int) -> np.ndarray:
+        """Residues of a scalar Python int across the base (uint64)."""
+        value = int(value) % self.product
+        return np.array([value % m.value for m in self.moduli], dtype=np.uint64)
+
+    def compose(self, residues: Sequence[int]) -> int:
+        """CRT interpolation of one residue vector back to ``[0, q)``."""
+        if len(residues) != len(self.moduli):
+            raise ValueError("residue count does not match base size")
+        q = self.product
+        acc = 0
+        for r, punc, inv, m in zip(
+            residues, self.punctured, self.inv_punctured, self.moduli
+        ):
+            acc += (int(r) * inv % m.value) * punc
+        return acc % q
+
+    def half_q(self) -> int:
+        """``q // 2`` — threshold for centered (signed) interpretation."""
+        return self.product >> 1

@@ -1,0 +1,76 @@
+"""Vectorized CRT composition/decomposition for polynomial residue matrices.
+
+A polynomial in RNS form is a ``(k, n)`` uint64 matrix: row ``i`` holds the
+coefficients modulo ``q_i``.  These helpers move whole polynomials between
+that representation and exact big-integer / signed-centered forms.  They are
+used at the edges of the pipeline (encode, decode, decrypt) — never in the
+GPU hot path, mirroring Fig. 1 of the paper where encode/decode stay on the
+host CPU.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..modmath import Modulus
+from .base import RNSBase
+
+__all__ = [
+    "decompose_poly",
+    "decompose_signed_poly",
+    "compose_poly",
+    "compose_signed_poly",
+]
+
+
+def decompose_poly(coeffs: Sequence[int], base: RNSBase) -> np.ndarray:
+    """Reduce integer coefficients into an RNS matrix of shape ``(k, n)``.
+
+    ``coeffs`` may be arbitrary Python ints (positive or negative); each is
+    reduced into ``[0, q_i)`` per modulus.
+    """
+    n = len(coeffs)
+    out = np.empty((len(base), n), dtype=np.uint64)
+    for i, m in enumerate(base):
+        p = m.value
+        out[i] = np.array([int(c) % p for c in coeffs], dtype=np.uint64)
+    return out
+
+
+def decompose_signed_poly(coeffs: np.ndarray, base: RNSBase) -> np.ndarray:
+    """Fast path for int64 coefficient arrays (e.g. rounded encodings)."""
+    coeffs = np.asarray(coeffs, dtype=np.int64)
+    out = np.empty((len(base), coeffs.shape[-1]), dtype=np.uint64)
+    for i, m in enumerate(base):
+        p = np.int64(m.value) if m.value < 2**63 else None
+        if p is None:  # pragma: no cover - moduli are < 2^61 by construction
+            raise ValueError("modulus too large for signed fast path")
+        r = coeffs % p  # Python-style modulo: result in [0, p)
+        out[i] = r.astype(np.uint64)
+    return out
+
+
+def compose_poly(matrix: np.ndarray, base: RNSBase) -> List[int]:
+    """CRT-interpolate each column of the RNS matrix to ``[0, q)`` ints."""
+    k, n = matrix.shape
+    if k != len(base):
+        raise ValueError("matrix row count does not match base size")
+    q = base.product
+    acc = [0] * n
+    for i, m in enumerate(base):
+        scale = base.inv_punctured[i]
+        punc = base.punctured[i]
+        row = matrix[i]
+        p = m.value
+        for j in range(n):
+            acc[j] += (int(row[j]) * scale % p) * punc
+    return [a % q for a in acc]
+
+
+def compose_signed_poly(matrix: np.ndarray, base: RNSBase) -> List[int]:
+    """CRT-interpolate to *centered* representatives in ``(-q/2, q/2]``."""
+    q = base.product
+    half = base.half_q()
+    return [c - q if c > half else c for c in compose_poly(matrix, base)]

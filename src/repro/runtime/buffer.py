@@ -1,0 +1,77 @@
+"""Device buffers: USM-style allocations backed by NumPy storage.
+
+A :class:`DeviceBuffer` distinguishes *capacity* (bytes reserved by the
+allocation) from *size* (bytes of the current logical content) — the
+distinction the paper's memory cache exploits by re-issuing a large freed
+buffer for a smaller request (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DeviceBuffer"]
+
+_ids = count(1)
+
+
+@dataclass
+class DeviceBuffer:
+    """A device allocation: uint64 storage with capacity/size bookkeeping."""
+
+    capacity_bytes: int
+    size_bytes: int
+    storage: np.ndarray = field(repr=False)
+    buffer_id: int = field(default_factory=lambda: next(_ids))
+    freed: bool = False
+
+    @classmethod
+    def allocate(cls, size_bytes: int, capacity_bytes: Optional[int] = None) -> "DeviceBuffer":
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        cap = size_bytes if capacity_bytes is None else capacity_bytes
+        if cap < size_bytes:
+            raise ValueError("capacity smaller than size")
+        words = -(-cap // 8)
+        return cls(
+            capacity_bytes=cap,
+            size_bytes=size_bytes,
+            storage=np.zeros(words, dtype=np.uint64),
+        )
+
+    def view(self, shape: tuple) -> np.ndarray:
+        """A writable ndarray view of the logical content."""
+        self._check_live()
+        n = int(np.prod(shape)) if shape else 1
+        if n * 8 > self.capacity_bytes:
+            raise ValueError("view exceeds buffer capacity")
+        return self.storage[:n].reshape(shape)
+
+    def upload(self, host_array: np.ndarray) -> None:
+        """Copy host data into the buffer (host -> device)."""
+        self._check_live()
+        flat = np.ascontiguousarray(host_array, dtype=np.uint64).ravel()
+        if flat.nbytes > self.capacity_bytes:
+            raise ValueError("upload exceeds buffer capacity")
+        self.storage[: flat.size] = flat
+        self.size_bytes = flat.nbytes
+
+    def download(self, shape: tuple) -> np.ndarray:
+        """Copy device data back to a fresh host array (device -> host)."""
+        self._check_live()
+        return self.view(shape).copy()
+
+    def resize_logical(self, size_bytes: int) -> None:
+        """Re-use the allocation for a (smaller or equal) logical size."""
+        self._check_live()
+        if size_bytes > self.capacity_bytes:
+            raise ValueError("logical size exceeds capacity")
+        self.size_bytes = size_bytes
+
+    def _check_live(self) -> None:
+        if self.freed:
+            raise RuntimeError(f"use-after-free of buffer {self.buffer_id}")

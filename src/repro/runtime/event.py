@@ -1,0 +1,63 @@
+"""Events: completion handles for asynchronous submissions (SYCL-style).
+
+The runtime keeps two clocks — the *host* clock (CPU issuing submissions)
+and the *device* clock (GPU executing the in-order queue).  An
+:class:`Event` records when its work was submitted (host time) and when it
+starts/ends on the device; ``wait()`` advances the host clock to the
+device completion time, which is exactly the synchronization cost the
+paper's fully-asynchronous pipeline avoids (Sec. III, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = ["EventStatus", "Event"]
+
+
+class EventStatus(Enum):
+    SUBMITTED = "submitted"
+    COMPLETE = "complete"
+
+
+@dataclass
+class Event:
+    """Completion handle for one queue submission."""
+
+    name: str
+    submit_host_time: float
+    device_start: float
+    device_end: float
+    status: EventStatus = EventStatus.SUBMITTED
+    _clock: Optional["HostClock"] = field(default=None, repr=False)
+
+    @property
+    def duration(self) -> float:
+        return self.device_end - self.device_start
+
+    def wait(self) -> float:
+        """Block the host until the work completes; returns host time."""
+        self.status = EventStatus.COMPLETE
+        if self._clock is not None:
+            self._clock.advance_to(self.device_end)
+            return self._clock.now
+        return self.device_end
+
+
+@dataclass
+class HostClock:
+    """The host-side simulated clock shared by queues and pipelines."""
+
+    now: float = 0.0
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError("cannot advance clock backwards")
+        self.now += dt
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        self.now = max(self.now, t)
+        return self.now

@@ -1,0 +1,83 @@
+"""Explicit multi-tile work distribution (paper Sec. III-C.2).
+
+DPC++ of the paper's era did not transparently spread one queue across
+tiles of a multi-tile GPU; the paper therefore opens one queue per tile
+and splits batched workloads between them ("explicit multiple-tile
+submission").  :class:`MultiTileScheduler` reproduces that: it partitions
+a batch of kernel profiles round-robin across per-tile queues and reports
+the makespan (the slowest tile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..xesim.device import DeviceSpec
+from ..xesim.kernel import KernelProfile, scale_profile
+from .event import HostClock
+from .queue import Queue
+
+__all__ = ["MultiTileScheduler", "split_batch"]
+
+
+def split_batch(batch: int, parts: int) -> List[int]:
+    """Split a batch count into ``parts`` near-equal positive chunks."""
+    if batch < 1 or parts < 1:
+        raise ValueError("batch and parts must be >= 1")
+    parts = min(parts, batch)
+    base, rem = divmod(batch, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+@dataclass
+class MultiTileScheduler:
+    """One in-order queue per tile, fed round-robin."""
+
+    device: DeviceSpec
+    use_tiles: int
+    clock: HostClock = field(default_factory=HostClock)
+    queues: List[Queue] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.use_tiles <= self.device.tiles:
+            raise ValueError(
+                f"use_tiles must be in [1, {self.device.tiles}], got {self.use_tiles}"
+            )
+        self.queues = [
+            Queue(device=self.device, tiles=1, clock=self.clock)
+            for _ in range(self.use_tiles)
+        ]
+
+    def submit_batched(
+        self,
+        profile_for_batch: Callable[[int], Sequence[KernelProfile]],
+        batch: int,
+    ) -> None:
+        """Split a batch across tiles; each tile gets its own kernel chain.
+
+        ``profile_for_batch(b)`` must return the kernel profiles for a
+        sub-batch of size ``b`` (the same kernels, smaller grids).
+        """
+        for q, sub in zip(self.queues, split_batch(batch, self.use_tiles)):
+            for p in profile_for_batch(sub):
+                q.submit(p)
+
+    def wait_all(self) -> float:
+        """Drain every tile queue; returns the makespan (host time)."""
+        for q in self.queues:
+            q.wait()
+        return self.clock.now
+
+    @property
+    def makespan(self) -> float:
+        return max(q.device_time for q in self.queues)
+
+    @property
+    def total_busy(self) -> float:
+        return sum(q.busy_time for q in self.queues)
+
+    def load_imbalance(self) -> float:
+        """Makespan / ideal: 1.0 means perfectly balanced tiles."""
+        ideal = self.total_busy / self.use_tiles
+        return self.makespan / ideal if ideal else 1.0

@@ -1,0 +1,64 @@
+"""Intel-Xe-class GPU performance model (the paper's evaluation substrate)."""
+
+from .calibration import TARGETS, check_calibration, compute_metrics
+from .device import DeviceSpec
+from .energy import EnergyReport, estimate_energy, variant_energy_ladder
+from .multigpu import MultiGpuResult, plan_split, simulate_multi_gpu_ntt
+from .devices import DEVICE1, DEVICE2, get_device
+from .executor import AggregateTiming, KernelTiming, simulate_kernel, simulate_kernels
+from .isa import (
+    ADD_MOD_MIX,
+    COMM,
+    MAD_MOD_MIX,
+    MUL_MOD_MIX,
+    NTT_BUTTERFLY_MIX,
+    OpMix,
+    ntt_cycles_per_work_item_round,
+)
+from .kernel import KernelProfile, scale_profile
+from .nttmodel import NttSimResult, build_ntt_profiles, simulate_ntt
+from .occupancy import thread_slot_fill, utilization
+from .roofline import (
+    RooflinePoint,
+    operational_density,
+    roofline_bound,
+    roofline_points,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICE1",
+    "DEVICE2",
+    "get_device",
+    "KernelProfile",
+    "scale_profile",
+    "KernelTiming",
+    "AggregateTiming",
+    "simulate_kernel",
+    "simulate_kernels",
+    "OpMix",
+    "ADD_MOD_MIX",
+    "MUL_MOD_MIX",
+    "MAD_MOD_MIX",
+    "NTT_BUTTERFLY_MIX",
+    "COMM",
+    "ntt_cycles_per_work_item_round",
+    "build_ntt_profiles",
+    "simulate_ntt",
+    "NttSimResult",
+    "thread_slot_fill",
+    "utilization",
+    "operational_density",
+    "roofline_bound",
+    "roofline_points",
+    "RooflinePoint",
+    "TARGETS",
+    "compute_metrics",
+    "check_calibration",
+    "EnergyReport",
+    "estimate_energy",
+    "variant_energy_ladder",
+    "MultiGpuResult",
+    "plan_split",
+    "simulate_multi_gpu_ntt",
+]

@@ -1,0 +1,85 @@
+"""Energy model: Gop/J comparisons across NTT variants.
+
+The paper's motivation for GPUs includes "higher memory bandwidth and
+computing throughput with lower unit power consumption" (Sec. I).  This
+extension quantifies that angle on the device model: energy = busy power
+x simulated time, with busy power interpolating between idle and TDP by
+achieved utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..ntt.variants import NTTVariant
+from .device import DeviceSpec
+from .nttmodel import simulate_ntt
+
+__all__ = ["EnergyReport", "estimate_energy", "variant_energy_ladder"]
+
+#: Board power assumptions per modelled device (W per tile at full load).
+TDP_W_PER_TILE: Dict[str, float] = {"Device1": 250.0, "Device2": 120.0}
+#: Fraction of TDP drawn while idle-but-clocked.
+IDLE_FRACTION = 0.35
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Simulated energy for one batched workload."""
+
+    variant_name: str
+    device_name: str
+    time_s: float
+    avg_power_w: float
+    energy_j: float
+    nominal_gop: float
+
+    @property
+    def gop_per_joule(self) -> float:
+        return self.nominal_gop / self.energy_j if self.energy_j else 0.0
+
+
+def estimate_energy(
+    variant: NTTVariant,
+    device: DeviceSpec,
+    *,
+    n: int = 32768,
+    instances: int = 1024,
+    rns: int = 8,
+    tiles: int = 1,
+) -> EnergyReport:
+    """Energy of a batched NTT workload under the utilization-power model.
+
+    ``P = tiles * TDP * (idle + (1 - idle) * efficiency_vs_tile_peak)``:
+    a memory-bound kernel burns nearly idle+leakage power while a
+    compute-saturated kernel approaches TDP.
+    """
+    res = simulate_ntt(variant, device, n=n, instances=instances, rns=rns,
+                       tiles=tiles)
+    tdp = TDP_W_PER_TILE.get(device.name, 200.0) * tiles
+    # Efficiency against the *used tiles'* peak, for the power draw.
+    tile_eff = min(
+        1.0,
+        res.timing.achieved_gops() / device.peak_int64_gops(tiles),
+    )
+    power = tdp * (IDLE_FRACTION + (1.0 - IDLE_FRACTION) * tile_eff)
+    energy = power * res.time_s
+    return EnergyReport(
+        variant_name=variant.name,
+        device_name=device.name,
+        time_s=res.time_s,
+        avg_power_w=power,
+        energy_j=energy,
+        nominal_gop=res.timing.nominal_ops / 1e9,
+    )
+
+
+def variant_energy_ladder(device: DeviceSpec, variant_names, **kw) -> list:
+    """Energy reports for a list of variants, most efficient last."""
+    from .nttmodel import simulate_ntt  # noqa: F401  (doc parity)
+    from ..ntt.variants import get_variant
+
+    reports = [estimate_energy(get_variant(v), device, **kw)
+               for v in variant_names]
+    return sorted(reports, key=lambda r: r.gop_per_joule)

@@ -1,0 +1,119 @@
+"""The kernel-time executor: profiles -> simulated durations.
+
+Per kernel launch the model takes the slower of the compute roofline and
+the memory roofline, divides by the occupancy utilization, applies the
+inter-tile scaling loss for multi-queue submissions, and adds the launch
+overhead:
+
+    t = max(cycles / compute_rate, bytes / effective_bandwidth) / u
+        + launches * overhead
+
+This is deliberately a *performance model*, not a cycle simulator — the
+paper's evaluation is expressed entirely in ratios that this level of
+modelling determines (see DESIGN.md Sec. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from .device import DeviceSpec
+from .kernel import KernelProfile
+from .occupancy import utilization
+
+__all__ = ["KernelTiming", "AggregateTiming", "simulate_kernel", "simulate_kernels"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Simulated execution record of one kernel profile."""
+
+    profile: KernelProfile
+    time_s: float
+    compute_s: float
+    mem_s: float
+    occupancy: float
+    launch_s: float
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_s >= self.mem_s else "memory"
+
+
+@dataclass(frozen=True)
+class AggregateTiming:
+    """Sum over a kernel sequence, with NTT/other decomposition."""
+
+    kernels: tuple
+    time_s: float
+    ntt_time_s: float
+    other_time_s: float
+    nominal_ops: float
+
+    @property
+    def ntt_fraction(self) -> float:
+        return self.ntt_time_s / self.time_s if self.time_s else 0.0
+
+    def achieved_gops(self) -> float:
+        return self.nominal_ops / self.time_s / 1e9 if self.time_s else 0.0
+
+    def efficiency(self, device: DeviceSpec) -> float:
+        """Fraction of the *full-machine* int64 peak (paper convention)."""
+        return self.achieved_gops() / device.peak_int64_gops()
+
+
+def simulate_kernel(
+    profile: KernelProfile, device: DeviceSpec, *, tiles: int = 1
+) -> KernelTiming:
+    """Simulate one kernel launch on ``tiles`` tiles of ``device``."""
+    if not 1 <= tiles <= device.tiles:
+        raise ValueError(f"tiles must be in [1, {device.tiles}], got {tiles}")
+    scale = device.inter_tile_efficiency if tiles > 1 else 1.0
+
+    compute_rate = device.peak_int64_gops(tiles) * 1e9 * scale  # lane-cycles/s
+    compute_s = profile.total_cycles / compute_rate
+
+    bw = device.bandwidth_gbs(tiles) * 1e9 * scale
+    mem_eff = device.mem_efficiency[profile.mem_pattern]
+    mem_s = profile.global_bytes / (bw * mem_eff) if profile.global_bytes else 0.0
+
+    u = utilization(profile.work_items, device, tiles)
+    if profile.work_groups is not None:
+        # SLM kernels pin each work-group to a sub-slice: with few groups
+        # most of the machine idles regardless of per-group size.
+        needed = device.subslices_per_tile * tiles * device.wg_saturation_fraction
+        u *= min(1.0, profile.work_groups / needed)
+    # Tiny kernels are latency-bound, not rate-starved: floor utilization.
+    u = max(u, device.min_utilization)
+    launch_s = profile.launches * device.kernel_launch_overhead_us * 1e-6
+    time_s = max(compute_s, mem_s) / u + launch_s
+    return KernelTiming(
+        profile=profile,
+        time_s=time_s,
+        compute_s=compute_s,
+        mem_s=mem_s,
+        occupancy=u,
+        launch_s=launch_s,
+    )
+
+
+def simulate_kernels(
+    profiles: Sequence[KernelProfile], device: DeviceSpec, *, tiles: int = 1
+) -> AggregateTiming:
+    """Simulate an in-order kernel sequence (times add; no overlap).
+
+    The paper's queues are in-order (Fig. 2), so successive kernels of one
+    computational graph serialize; asynchrony buys overlap with the *host*,
+    not between device kernels, and is modelled in :mod:`repro.runtime`.
+    """
+    timings = [simulate_kernel(p, device, tiles=tiles) for p in profiles]
+    ntt_time = sum(t.time_s for t in timings if t.profile.ntt_class)
+    total = sum(t.time_s for t in timings)
+    return AggregateTiming(
+        kernels=tuple(timings),
+        time_s=total,
+        ntt_time_s=ntt_time,
+        other_time_s=total - ntt_time,
+        nominal_ops=sum(t.profile.total_nominal_ops for t in timings),
+    )

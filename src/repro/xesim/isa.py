@@ -1,0 +1,127 @@
+"""Cycle-cost models for the modelled instruction mixes.
+
+Bridges :mod:`repro.modmath.instcount` (what the code *does*, in nominal
+int64 ALU ops) to cycles (what it *costs* on a device).  The single most
+important rule, taken straight from the paper's Sec. III-A:
+
+* a **multiply-class** nominal op costs ``device.compiler_mul_penalty``
+  cycles when the compiler emulates int64 multiplication (Fig. 4a) and
+  1.0 cycle under the inline-assembly ``mul_low_high`` path (Fig. 4b);
+* an **add/compare-class** nominal op costs 4/3 cycles compiler (Fig. 3a,
+  4 instructions for 3 ops of work) and 1.0 cycle under inline assembly.
+
+Lazy butterflies contain no full ``add_mod`` sequences, so their add-class
+ops cost 1.0 regardless; the add_mod factor applies to dyadic HE kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..modmath.instcount import (
+    BUTTERFLY_ADD_CLASS_OPS,
+    BUTTERFLY_MUL_CLASS_OPS,
+    butterflies_per_work_item,
+    other_ops,
+)
+from .device import DeviceSpec
+
+__all__ = [
+    "OpMix",
+    "butterfly_cycles_per_work_item",
+    "ntt_cycles_per_work_item_round",
+    "ADD_MOD_MIX",
+    "SUB_MOD_MIX",
+    "MUL_MOD_MIX",
+    "MAD_MOD_MIX",
+    "NTT_BUTTERFLY_MIX",
+    "COMM",
+]
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """A device-independent instruction mix for one logical operation.
+
+    ``mul_class`` ops are subject to the compiler int64-multiply penalty;
+    ``add_class`` ops to the (much smaller) add_mod penalty; ``other``
+    ops (index math, moves) always cost one cycle.
+    """
+
+    name: str
+    mul_class: float
+    add_class: float
+    other: float = 0.0
+
+    @property
+    def nominal_ops(self) -> float:
+        return self.mul_class + self.add_class + self.other
+
+    def cycles(self, device: DeviceSpec, *, asm: bool) -> float:
+        mul_cost = 1.0 if asm else device.compiler_mul_penalty
+        add_cost = 1.0 if asm else 4.0 / 3.0
+        return (
+            self.mul_class * mul_cost + self.add_class * add_cost + self.other
+        )
+
+
+#: Dyadic HE kernel mixes (per coefficient). add/sub: Fig. 3 sequences.
+ADD_MOD_MIX = OpMix("add_mod", mul_class=0, add_class=3, other=1)
+SUB_MOD_MIX = OpMix("sub_mod", mul_class=0, add_class=3, other=1)
+#: mul_mod: wide multiply (3 partial-product mul64-class ops) + Barrett
+#: reduction (2 more multiply-class ops) + carries/selects.
+MUL_MOD_MIX = OpMix("mul_mod", mul_class=15, add_class=8, other=3)
+#: Fused multiply-add with a single reduction (Sec. III-A.1): saves the
+#: second reduction's multiplies and the separate add_mod sequence.
+MAD_MOD_MIX = OpMix("mad_mod", mul_class=15, add_class=10, other=3)
+
+#: One lazy radix-2 butterfly (Algorithm 1): Table I's 28 ops.
+NTT_BUTTERFLY_MIX = OpMix(
+    "ntt_butterfly",
+    mul_class=BUTTERFLY_MUL_CLASS_OPS,
+    add_class=0,
+    other=BUTTERFLY_ADD_CLASS_OPS,
+)
+
+
+def butterfly_cycles_per_work_item(
+    radix: int, device: DeviceSpec, *, asm: bool
+) -> float:
+    """Cycles for the butterfly column of Table I, one work-item round."""
+    n = butterflies_per_work_item(radix)
+    return n * NTT_BUTTERFLY_MIX.cycles(device, asm=asm)
+
+
+def ntt_cycles_per_work_item_round(
+    radix: int, device: DeviceSpec, *, asm: bool
+) -> float:
+    """Total Table-I cycles per work-item per radix-R round.
+
+    With ``asm=True`` and penalty 1.0 this equals Table I's totals
+    exactly (48/157/456/1156); without asm the radix-8 ratio lands in the
+    paper's measured 35.8--40.7% band (Sec. IV-A.3).
+    """
+    return butterfly_cycles_per_work_item(radix, device, asm=asm) + other_ops(radix)
+
+
+@dataclass(frozen=True)
+class CommCosts:
+    """Data-movement costs not visible in Table I (per element).
+
+    * ``slm_sync``: barrier + banked SLM round-trip per synchronized SLM
+      exchange round;
+    * ``shuffle``: sub-group shuffle exchange per SIMD round;
+    * ``slot_penalty_base``: in-register exchange overhead per round for
+      multi-slot SIMD variants, scaling with ``slots**2 - 1`` (the paper's
+      SIMD(16,8)/SIMD(32,8) regressions, Sec. IV-A.1).
+    """
+
+    slm_sync: float = 3.0
+    shuffle: float = 2.0
+    slot_penalty_base: float = 5.0
+
+    def slot_penalty(self, reg_slots: int) -> float:
+        return self.slot_penalty_base * (reg_slots**2 - 1)
+
+
+COMM = CommCosts()

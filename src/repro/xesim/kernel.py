@@ -1,0 +1,88 @@
+"""Kernel profiles: the unit of work the performance model executes.
+
+A :class:`KernelProfile` captures everything about a GPU kernel launch
+that determines its simulated duration: total work-items, ISA-weighted
+compute cycles per work-item, nominal (Table-I) op counts for efficiency
+reporting, global-memory traffic and access pattern, and launch count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+__all__ = ["KernelProfile", "scale_profile"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One kernel launch (or a batch of identical launches).
+
+    Attributes
+    ----------
+    name:
+        Human-readable tag (shows up in profiling breakdowns).
+    work_items:
+        Total work-items across the launch grid.
+    lane_cycles_per_item:
+        Compute cycles one work-item occupies on its SIMD lane, already
+        weighted by ISA costs, IPC and communication overheads.
+    nominal_ops_per_item:
+        Un-weighted int64 ALU ops (Table-I accounting) — the numerator of
+        the paper's efficiency metric.
+    global_bytes:
+        Total DRAM traffic (both directions).
+    mem_pattern:
+        ``"strided"`` or ``"coalesced"`` — selects the device's effective
+        bandwidth fraction.
+    launches:
+        Number of driver submissions this profile represents.
+    work_groups:
+        For SLM-phase kernels: the number of work-groups, each pinned to
+        one sub-slice.  Few work-groups cap achievable concurrency (the
+        unbatched-routine effect of Sec. IV-C).  ``None`` = no WG limit.
+    ntt_class:
+        True when the kernel belongs to the NTT/iNTT family — used for
+        the Fig. 5/16/18 NTT-vs-Others decompositions.
+    """
+
+    name: str
+    work_items: int
+    lane_cycles_per_item: float
+    nominal_ops_per_item: float
+    global_bytes: float
+    mem_pattern: str = "coalesced"
+    launches: int = 1
+    work_groups: int | None = None
+    ntt_class: bool = False
+
+    def __post_init__(self) -> None:
+        if self.work_items <= 0:
+            raise ValueError("work_items must be positive")
+        if self.lane_cycles_per_item < 0 or self.global_bytes < 0:
+            raise ValueError("negative cost")
+        if self.mem_pattern not in ("strided", "coalesced"):
+            raise ValueError(f"unknown mem_pattern {self.mem_pattern!r}")
+
+    @property
+    def total_cycles(self) -> float:
+        return self.work_items * self.lane_cycles_per_item
+
+    @property
+    def total_nominal_ops(self) -> float:
+        return self.work_items * self.nominal_ops_per_item
+
+
+def scale_profile(profile: KernelProfile, batch: int) -> KernelProfile:
+    """Replicate a single-instance profile across a batch dimension.
+
+    Work-items, bytes and launches scale; per-item costs do not (batched
+    instances share each launch in the paper's kernels, so launches stay).
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    return replace(
+        profile,
+        work_items=profile.work_items * batch,
+        global_bytes=profile.global_bytes * batch,
+    )

@@ -1,0 +1,170 @@
+"""Kernel-profile builder for the NTT variants (Figs. 12-15, 17).
+
+Translates an :class:`~repro.ntt.variants.NTTVariant` round schedule into
+:class:`~repro.xesim.kernel.KernelProfile` objects and simulates them.
+This is the "simulate-only" execution mode: no polynomial data is touched,
+so 32K-point x 1024-instance sweeps cost microseconds of host time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..modmath.instcount import work_item_ops
+from ..ntt.variants import NTTVariant
+from .device import DeviceSpec
+from .executor import AggregateTiming, simulate_kernels
+from .isa import COMM, ntt_cycles_per_work_item_round
+from .kernel import KernelProfile
+
+__all__ = ["build_ntt_profiles", "simulate_ntt", "NttSimResult"]
+
+BYTES_PER_ELEM = 8  # int64 coefficients
+
+
+def _variant_ilp(variant: NTTVariant) -> int:
+    """Independent butterflies in flight per work-item (Sec. III-B.4/5).
+
+    High-radix work-items run R/2 independent butterflies per internal
+    round.  Multi-slot radix-2 variants hold more data but the paper's
+    measurements show no issue-rate win (the in-register exchanges
+    serialize them), so radix-2 stays at ILP 1.
+    """
+    return variant.radix // 2 if variant.radix > 2 else 1
+
+
+def _spilled(variant: NTTVariant, device: DeviceSpec) -> bool:
+    return variant.registers_per_work_item() * 8 > device.grf_bytes_per_lane()
+
+
+def build_ntt_profiles(
+    variant: NTTVariant, n: int, batch: int, device: DeviceSpec
+) -> List[KernelProfile]:
+    """Profiles for ``batch`` independent n-point transforms.
+
+    ``batch`` is instances x RNS size — both axes are embarrassingly
+    parallel (paper Fig. 10) and share kernel launches.
+    """
+    held = variant.radix if variant.radix > 2 else 2 * variant.reg_slots
+    items_per_round = batch * n // held
+    ilp = _variant_ilp(variant)
+    ipc = device.ipc(ilp)
+    spilled = _spilled(variant, device)
+    if spilled:
+        ipc *= device.spill_ipc_penalty
+    grf_per_lane = device.grf_bytes_per_lane()
+    spill_bytes_per_item = max(
+        0, variant.registers_per_work_item() * 8 - grf_per_lane
+    )
+
+    profiles: List[KernelProfile] = []
+    for group in variant.schedule(n):
+        radix = group.radix
+        log_r = radix.bit_length() - 1
+        radix_rounds = group.rounds / log_r
+        per_round = ntt_cycles_per_work_item_round(radix, device, asm=variant.asm)
+        g_held = radix if radix > 2 else held
+        g_items = batch * n // g_held
+        # ntt_cycles_per_work_item_round prices a radix-2 item holding one
+        # butterfly (2 elements); a multi-slot item does held/2 butterflies.
+        per_item_scale = g_held // 2 if radix == 2 else 1
+
+        comm = 0.0
+        bytes_total = 0.0
+        pattern = "coalesced"
+        work_groups = None
+        if group.kind == "global":
+            bytes_total = 2 * BYTES_PER_ELEM * n * batch * radix_rounds
+            pattern = "strided" if radix == 2 else "coalesced"
+        elif group.kind == "slm":
+            # One load + one store through DRAM for the whole phase; every
+            # radix-R round inside is an SLM-synchronized exchange.  Each
+            # work-group owns a 2*first_gap-element slice on one sub-slice.
+            bytes_total = 2 * BYTES_PER_ELEM * n * batch
+            work_groups = batch * max(1, n // (2 * group.first_gap))
+            comm += COMM.slm_sync * g_held * radix_rounds
+            comm += COMM.slot_penalty(variant.reg_slots) * g_held * group.rounds
+        else:  # simd
+            comm += COMM.shuffle * g_held * group.rounds
+            comm += COMM.slot_penalty(variant.reg_slots) * g_held * group.rounds
+
+        if spilled:
+            bytes_total += 2 * spill_bytes_per_item * g_items * radix_rounds
+
+        cycles = radix_rounds * per_round * per_item_scale / ipc + comm
+        nominal = radix_rounds * work_item_ops(radix, asm=False) * per_item_scale
+        profiles.append(
+            KernelProfile(
+                name=f"ntt[{variant.name}]:{group.kind}",
+                work_items=g_items,
+                lane_cycles_per_item=cycles,
+                nominal_ops_per_item=nominal,
+                global_bytes=bytes_total,
+                mem_pattern=pattern,
+                launches=group.kernel_launches,
+                work_groups=work_groups,
+                ntt_class=True,
+            )
+        )
+
+    if variant.naive:
+        # Fig. 6 baseline: the final [0,4p)->[0,p) correction is a separate
+        # global pass (2N extra accesses, Sec. III-B.1) — fused elsewhere.
+        profiles.append(
+            KernelProfile(
+                name=f"ntt[{variant.name}]:lastround",
+                work_items=batch * n // 2,
+                lane_cycles_per_item=4.0,
+                nominal_ops_per_item=4.0,
+                global_bytes=2 * BYTES_PER_ELEM * n * batch,
+                mem_pattern="strided",
+                launches=1,
+                ntt_class=True,
+            )
+        )
+    return profiles
+
+
+@dataclass(frozen=True)
+class NttSimResult:
+    """Simulated batched-NTT outcome with the paper's metrics."""
+
+    variant_name: str
+    n: int
+    instances: int
+    rns: int
+    tiles: int
+    timing: AggregateTiming
+    efficiency: float  # fraction of full-machine int64 peak
+
+    @property
+    def time_s(self) -> float:
+        return self.timing.time_s
+
+    def speedup_over(self, other: "NttSimResult") -> float:
+        return other.time_s / self.time_s
+
+
+def simulate_ntt(
+    variant: NTTVariant,
+    device: DeviceSpec,
+    *,
+    n: int = 32768,
+    instances: int = 1024,
+    rns: int = 8,
+    tiles: int = 1,
+) -> NttSimResult:
+    """Simulate a batched NTT workload; the unit of Figs. 12-14 and 17."""
+    profiles = build_ntt_profiles(variant, n, instances * rns, device)
+    timing = simulate_kernels(profiles, device, tiles=tiles)
+    return NttSimResult(
+        variant_name=variant.name,
+        n=n,
+        instances=instances,
+        rns=rns,
+        tiles=tiles,
+        timing=timing,
+        efficiency=timing.efficiency(device),
+    )

@@ -1,0 +1,38 @@
+"""Occupancy / latency-hiding model.
+
+GPUs hide ALU and memory latency by oversubscribing EU thread slots.  When
+a launch provides too few work-items (small batch, small transform), the
+machine idles between dependent instructions.  We model utilization as
+
+    u(x) = x / (x + c)
+
+where ``x`` is the *thread-slot fill ratio* — work-items divided by the
+device's resident lane capacity — and ``c`` is a per-device constant.
+This is the standard saturating-throughput form (same shape as Little's
+law under fixed latency) and reproduces the rising efficiency-vs-instance
+curves of the paper's Figs. 12b/13b.
+"""
+
+from __future__ import annotations
+
+from .device import DeviceSpec
+
+__all__ = ["thread_slot_fill", "utilization"]
+
+
+def thread_slot_fill(work_items: int, device: DeviceSpec, tiles: int) -> float:
+    """Fraction of resident lane slots this launch can fill (can exceed 1)."""
+    if work_items < 0:
+        raise ValueError("work_items must be non-negative")
+    return work_items / device.thread_slot_lanes(tiles)
+
+
+def utilization(work_items: int, device: DeviceSpec, tiles: int) -> float:
+    """Achieved fraction of peak throughput for the launch, in (0, 1).
+
+    The executor additionally floors the combined utilization at
+    ``device.min_utilization`` (tiny kernels are latency-bound).
+    """
+    x = thread_slot_fill(work_items, device, tiles)
+    c = device.occupancy_constant
+    return x / (x + c)

@@ -1,0 +1,84 @@
+"""Roofline analysis (paper Sec. IV-B, Fig. 15).
+
+Operational density counts nominal Table-I int64 ALU ops against global
+memory bytes, exactly the paper's own arithmetic:
+
+* naive radix-2: ``(48/2 * log2 n) / (2 * log2 n * 8) = 1.5`` op/byte;
+* SLM radix-8 (32K): ``(456/8 * 5) / (4 * 8) = 8.9`` op/byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..ntt.variants import NTTVariant
+from .device import DeviceSpec
+from .kernel import KernelProfile
+from .nttmodel import build_ntt_profiles, simulate_ntt
+
+__all__ = ["operational_density", "RooflinePoint", "roofline_points", "roofline_bound"]
+
+
+def operational_density(variant: NTTVariant, n: int, device: DeviceSpec) -> float:
+    """Nominal int64 ops per DRAM byte for one transform."""
+    profiles = build_ntt_profiles(variant, n, 1, device)
+    # The paper's density arithmetic ignores the last-round correction pass
+    # ("we do not count the memory access of last round", Sec. IV-B).
+    profiles = [p for p in profiles if not p.name.endswith("lastround")]
+    ops = sum(p.total_nominal_ops for p in profiles)
+    bytes_total = sum(p.global_bytes for p in profiles)
+    if bytes_total == 0:
+        return float("inf")
+    return ops / bytes_total
+
+
+def roofline_bound(density: float, device: DeviceSpec, *, tiles: int | None = None,
+                   pattern: str = "coalesced") -> float:
+    """Attainable Gop/s at a density: min(peak, density * bandwidth)."""
+    t = device.tiles if tiles is None else tiles
+    peak = device.peak_int64_gops()  # paper normalizes to machine peak
+    bw = device.bandwidth_gbs(t) * device.mem_efficiency[pattern]
+    return min(peak, density * bw)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One variant's position on the roofline plot."""
+
+    variant_name: str
+    density: float          # int64 op / byte
+    achieved_gops: float
+    bound_gops: float
+    peak_fraction: float
+    bound_type: str         # "memory" or "compute"
+
+
+def roofline_points(
+    variants: List[NTTVariant],
+    device: DeviceSpec,
+    *,
+    n: int = 32768,
+    instances: int = 1024,
+    rns: int = 8,
+    tiles_per_variant: dict | None = None,
+) -> List[RooflinePoint]:
+    """Fig. 15's points: density vs achieved performance per variant."""
+    out = []
+    tiles_map = tiles_per_variant or {}
+    for v in variants:
+        tiles = tiles_map.get(v.name, 1)
+        res = simulate_ntt(v, device, n=n, instances=instances, rns=rns, tiles=tiles)
+        density = operational_density(v, n, device)
+        bound = roofline_bound(density, device, tiles=tiles)
+        out.append(
+            RooflinePoint(
+                variant_name=v.name,
+                density=density,
+                achieved_gops=res.timing.achieved_gops(),
+                bound_gops=bound,
+                peak_fraction=res.efficiency,
+                bound_type="compute" if bound >= device.peak_int64_gops() else "memory",
+            )
+        )
+    return out

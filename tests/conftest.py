@@ -1,0 +1,61 @@
+"""Shared fixtures: one small CKKS deployment reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CkksContext,
+    CkksEncoder,
+    CkksParameters,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    HERoutines,
+    KeyGenerator,
+)
+
+TEST_DEGREE = 1024
+TEST_LEVELS = 3
+TEST_SCALE_BITS = 30
+
+
+@pytest.fixture(scope="session")
+def ckks():
+    """A complete small CKKS deployment (NOT secure parameters; test-only)."""
+    params = CkksParameters.default(
+        degree=TEST_DEGREE,
+        levels=TEST_LEVELS,
+        scale_bits=TEST_SCALE_BITS,
+        first_bits=50,
+        special_bits=50,
+    )
+    context = CkksContext(params)
+    keygen = KeyGenerator(context, seed=1234)
+    secret = keygen.secret_key()
+    public = keygen.public_key()
+    relin = keygen.relin_key()
+    galois = keygen.galois_keys([1, 2, 3, 5], include_conjugate=True)
+    encoder = CkksEncoder(context)
+    return {
+        "params": params,
+        "context": context,
+        "encoder": encoder,
+        "keygen": keygen,
+        "secret": secret,
+        "public": public,
+        "relin": relin,
+        "galois": galois,
+        "encryptor": Encryptor(context, public, seed=77),
+        "decryptor": Decryptor(context, secret),
+        "evaluator": Evaluator(context),
+    }
+
+
+@pytest.fixture(scope="session")
+def routines(ckks):
+    return HERoutines(ckks["evaluator"], ckks["relin"], ckks["galois"])
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(20220522)

@@ -1,0 +1,151 @@
+"""Tests for the applications: encrypted matMul and private inference."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    MATMUL_STAGES,
+    LinearModel,
+    MatmulShape,
+    encrypted_inference,
+    run_encrypted_matmul,
+    simulate_matmul,
+    stage_config,
+)
+from repro.apps.inference import rotation_steps_needed
+from repro.apps.matmul import SHAPE_100x10x1, SHAPE_10x9x8
+from repro.xesim import DEVICE1, DEVICE2
+
+
+class TestMatmulShape:
+    def test_products_and_outputs(self):
+        s = MatmulShape(10, 9, 8)
+        assert s.products == 720
+        assert s.outputs == 90
+        assert s.label() == "matMul_10x9x8"
+
+    def test_paper_shapes(self):
+        assert SHAPE_100x10x1.products == 1000
+        assert SHAPE_10x9x8.products == 720
+
+
+class TestStageConfig:
+    def test_cumulative_flags(self):
+        assert not stage_config("baseline").mad_fusion
+        assert stage_config("mad_mod").mad_fusion
+        assert stage_config("inline asm").asm
+        cfg = stage_config("mem cache")
+        assert cfg.asm and cfg.mad_fusion and cfg.memcache
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            stage_config("turbo")
+
+
+class TestSimulatedMatmul:
+    @pytest.mark.parametrize("device", [DEVICE1, DEVICE2], ids=lambda d: d.name)
+    @pytest.mark.parametrize("shape", [SHAPE_100x10x1, SHAPE_10x9x8],
+                             ids=lambda s: s.label())
+    def test_stages_monotone(self, device, shape):
+        times = [simulate_matmul(shape, device, st).total_s for st in MATMUL_STAGES]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    @pytest.mark.parametrize("device", [DEVICE1, DEVICE2], ids=lambda d: d.name)
+    def test_fig19_total_band(self, device):
+        """Paper: 2.68x/2.79x (D1) and 3.11x/2.82x (D2) overall."""
+        for shape in (SHAPE_100x10x1, SHAPE_10x9x8):
+            base = simulate_matmul(shape, device, "baseline")
+            final = simulate_matmul(shape, device, "mem cache")
+            assert 2.0 <= final.speedup_over(base) <= 3.4
+
+    def test_memcache_is_the_big_step(self):
+        """Paper: the cache adds ~90% on top of the other two."""
+        asm = simulate_matmul(SHAPE_100x10x1, DEVICE1, "inline asm")
+        cache = simulate_matmul(SHAPE_100x10x1, DEVICE1, "mem cache")
+        step = asm.total_s / cache.total_s
+        assert 1.6 <= step <= 2.6
+
+    def test_cache_eliminates_fresh_allocations(self):
+        t = simulate_matmul(SHAPE_100x10x1, DEVICE1, "mem cache")
+        # Steady state: only the first handful of buffers are fresh.
+        assert t.alloc_stats["fresh"] <= 8
+        assert t.alloc_stats["hits"] > 0.99 * (t.alloc_stats["requests"] - 8)
+
+    def test_no_cache_all_fresh(self):
+        t = simulate_matmul(SHAPE_100x10x1, DEVICE1, "inline asm")
+        assert t.alloc_stats["hits"] == 0
+        assert t.alloc_stats["fresh"] == t.alloc_stats["requests"]
+
+
+class TestFunctionalMatmul:
+    def test_small_matmul_correct(self, ckks, rng):
+        m, k, n = 2, 2, 2
+        slots = ckks["encoder"].slots
+        A = [[rng.normal(size=slots) for _ in range(k)] for _ in range(m)]
+        B = [[rng.normal(size=slots) for _ in range(n)] for _ in range(k)]
+        C, timing = run_encrypted_matmul(
+            A, B,
+            encoder=ckks["encoder"], encryptor=ckks["encryptor"],
+            decryptor=ckks["decryptor"], evaluator=ckks["evaluator"],
+            relin_key=ckks["relin"], device=DEVICE2,
+        )
+        for i in range(m):
+            for j in range(n):
+                expect = sum(A[i][l] * B[l][j] for l in range(k))
+                assert np.abs(C[i][j].real - expect).max() < 5e-3
+        assert timing.compute_s > 0
+        assert timing.shape.products == m * n * k
+
+    def test_dimension_mismatch(self, ckks, rng):
+        slots = ckks["encoder"].slots
+        A = [[rng.normal(size=slots)]]
+        B = [[rng.normal(size=slots)], [rng.normal(size=slots)]]
+        with pytest.raises(ValueError):
+            run_encrypted_matmul(
+                A, B,
+                encoder=ckks["encoder"], encryptor=ckks["encryptor"],
+                decryptor=ckks["decryptor"], evaluator=ckks["evaluator"],
+                relin_key=ckks["relin"], device=DEVICE2,
+            )
+
+
+class TestInference:
+    def test_rotation_steps(self):
+        assert rotation_steps_needed(8) == [1, 2, 4]
+        assert rotation_steps_needed(1) == []
+        with pytest.raises(ValueError):
+            rotation_steps_needed(0)
+
+    def test_linear_model_validation(self):
+        with pytest.raises(ValueError):
+            LinearModel(weights=np.ones((2, 4)), bias=np.ones(3))
+
+    def test_scores_match_plaintext(self, ckks, rng):
+        dim = 4
+        model = LinearModel(
+            weights=rng.normal(size=(3, dim)), bias=rng.normal(size=3)
+        )
+        x = rng.normal(size=dim)
+        # Galois keys for steps 1 and 2 exist in the fixture.
+        result = encrypted_inference(
+            x, model,
+            encoder=ckks["encoder"], encryptor=ckks["encryptor"],
+            decryptor=ckks["decryptor"], evaluator=ckks["evaluator"],
+            relin_key=ckks["relin"], galois_keys=ckks["galois"],
+            device=DEVICE2,
+        )
+        expect = model.reference_scores(x)
+        assert np.abs(result.scores - expect).max() < 1e-2
+        assert result.rotations_used == 2 * model.classes
+        assert result.device_time_s > 0
+
+    def test_non_power_of_two_rejected(self, ckks, rng):
+        model = LinearModel(weights=np.ones((1, 3)), bias=np.zeros(1))
+        with pytest.raises(ValueError):
+            encrypted_inference(
+                [1.0, 2.0, 3.0], model,
+                encoder=ckks["encoder"], encryptor=ckks["encryptor"],
+                decryptor=ckks["decryptor"], evaluator=ckks["evaluator"],
+                relin_key=ckks["relin"], galois_keys=ckks["galois"],
+                device=DEVICE2,
+            )

@@ -1,0 +1,250 @@
+"""End-to-end CKKS scheme tests: keygen, encrypt/decrypt, evaluator ops."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ciphertext, CkksParameters, KeyGenerator
+from repro.core.keygen import ERROR_STDDEV
+
+TOL = 1e-3  # slot tolerance at 30-bit scale with fresh noise
+
+
+def enc_slots(ckks, rng, scale=None):
+    enc = ckks["encoder"]
+    z = rng.normal(size=enc.slots)
+    return z, ckks["encryptor"].encrypt(enc.encode(z, scale=scale))
+
+
+def decode(ckks, ct):
+    return ckks["encoder"].decode(ckks["decryptor"].decrypt(ct)).real
+
+
+class TestKeyGen:
+    def test_secret_is_ternary(self, ckks):
+        s = ckks["secret"].signed_coeffs
+        assert set(np.unique(s)).issubset({-1, 0, 1})
+
+    def test_secret_key_cached(self, ckks):
+        kg = ckks["keygen"]
+        assert kg.secret_key() is kg.secret_key()
+
+    def test_public_key_relation(self, ckks):
+        """b + a*s must decode to the (small) error polynomial."""
+        from repro.modmath.ops import add_mod, mul_mod
+        from repro.rns import compose_signed_poly
+
+        ctx = ckks["context"]
+        pk, sk = ckks["public"], ckks["secret"]
+        lvl = ctx.max_level
+        acc = np.stack([
+            add_mod(mul_mod(pk.a[i], sk.ntt_rows[i], ctx.modulus(i)), pk.b[i],
+                    ctx.modulus(i))
+            for i in range(lvl)
+        ])
+        coeff = ctx.from_ntt(acc)
+        signed = compose_signed_poly(coeff, ctx.level_base(lvl))
+        bound = 8 * ERROR_STDDEV
+        assert max(abs(v) for v in signed) <= bound
+
+    def test_relin_key_size(self, ckks):
+        rlk = ckks["relin"]
+        ctx = ckks["context"]
+        assert rlk.key.decomp_count == ctx.max_level
+        assert rlk.key.data[0].shape == (2, len(ctx.key_base), ctx.degree)
+
+    def test_galois_keys_coverage(self, ckks):
+        from repro.core.galois import conjugation_galois_elt, rotation_galois_elt
+
+        gk = ckks["galois"]
+        ctx = ckks["context"]
+        for steps in (1, 2, 3, 5):
+            assert gk.has(rotation_galois_elt(steps, ctx.degree))
+        assert gk.has(conjugation_galois_elt(ctx.degree))
+        with pytest.raises(KeyError):
+            gk.get(999999)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, ckks, rng):
+        z, ct = enc_slots(ckks, rng)
+        assert np.abs(decode(ckks, ct) - z).max() < TOL
+
+    def test_fresh_ciphertext_shape(self, ckks, rng):
+        _, ct = enc_slots(ckks, rng)
+        ctx = ckks["context"]
+        assert ct.size == 2
+        assert ct.level == ctx.max_level
+        assert ct.is_ntt
+
+    def test_encrypt_zero(self, ckks):
+        ct = ckks["encryptor"].encrypt_zero()
+        assert np.abs(decode(ckks, ct)).max() < TOL
+
+    def test_distinct_encryptions_differ(self, ckks, rng):
+        enc = ckks["encoder"]
+        pt = enc.encode(np.ones(enc.slots))
+        c1 = ckks["encryptor"].encrypt(pt)
+        c2 = ckks["encryptor"].encrypt(pt)
+        assert not np.array_equal(c1.data, c2.data)  # fresh randomness
+        assert np.abs(decode(ckks, c1) - decode(ckks, c2)).max() < TOL
+
+    def test_wrong_key_fails_to_decrypt(self, ckks, rng):
+        from repro.core import Decryptor
+
+        z, ct = enc_slots(ckks, rng)
+        other = KeyGenerator(ckks["context"], seed=999).secret_key()
+        got = ckks["encoder"].decode(Decryptor(ckks["context"], other).decrypt(ct))
+        assert np.abs(got.real - z).max() > 1.0  # garbage, not the message
+
+
+class TestAdditive:
+    def test_add(self, ckks, rng):
+        z1, c1 = enc_slots(ckks, rng)
+        z2, c2 = enc_slots(ckks, rng)
+        got = decode(ckks, ckks["evaluator"].add(c1, c2))
+        assert np.abs(got - (z1 + z2)).max() < TOL
+
+    def test_sub(self, ckks, rng):
+        z1, c1 = enc_slots(ckks, rng)
+        z2, c2 = enc_slots(ckks, rng)
+        got = decode(ckks, ckks["evaluator"].sub(c1, c2))
+        assert np.abs(got - (z1 - z2)).max() < TOL
+
+    def test_add_plain(self, ckks, rng):
+        enc = ckks["encoder"]
+        z1, c1 = enc_slots(ckks, rng)
+        z2 = rng.normal(size=enc.slots)
+        got = decode(ckks, ckks["evaluator"].add_plain(c1, enc.encode(z2)))
+        assert np.abs(got - (z1 + z2)).max() < TOL
+
+    def test_add_scale_mismatch_rejected(self, ckks, rng):
+        _, c1 = enc_slots(ckks, rng)
+        _, c2 = enc_slots(ckks, rng, scale=2.0**35)
+        with pytest.raises(ValueError):
+            ckks["evaluator"].add(c1, c2)
+
+    def test_add_level_mismatch_rejected(self, ckks, rng):
+        _, c1 = enc_slots(ckks, rng)
+        _, c2 = enc_slots(ckks, rng)
+        c2low = ckks["evaluator"].mod_switch_to_next(c2)
+        with pytest.raises(ValueError):
+            ckks["evaluator"].add(c1, c2low)
+
+
+class TestMultiplicative:
+    def test_multiply_then_relin(self, ckks, rng):
+        z1, c1 = enc_slots(ckks, rng)
+        z2, c2 = enc_slots(ckks, rng)
+        ev = ckks["evaluator"]
+        c3 = ev.multiply(c1, c2)
+        assert c3.size == 3
+        lin = ev.relinearize(c3, ckks["relin"])
+        assert lin.size == 2
+        assert np.abs(decode(ckks, lin) - z1 * z2).max() < TOL
+
+    def test_size3_decrypts_directly(self, ckks, rng):
+        """Decryption handles non-relinearized ciphertexts (c2 s^2 term)."""
+        z1, c1 = enc_slots(ckks, rng)
+        z2, c2 = enc_slots(ckks, rng)
+        c3 = ckks["evaluator"].multiply(c1, c2)
+        assert np.abs(decode(ckks, c3) - z1 * z2).max() < TOL
+
+    def test_square_matches_multiply(self, ckks, rng):
+        z, c = enc_slots(ckks, rng)
+        ev = ckks["evaluator"]
+        sq = ev.relinearize(ev.square(c), ckks["relin"])
+        assert np.abs(decode(ckks, sq) - z * z).max() < TOL
+
+    def test_multiply_plain(self, ckks, rng):
+        enc = ckks["encoder"]
+        z1, c1 = enc_slots(ckks, rng)
+        z2 = rng.normal(size=enc.slots)
+        got = decode(ckks, ckks["evaluator"].multiply_plain(c1, enc.encode(z2)))
+        assert np.abs(got - z1 * z2).max() < TOL
+
+    def test_multiply_size3_rejected(self, ckks, rng):
+        _, c1 = enc_slots(ckks, rng)
+        _, c2 = enc_slots(ckks, rng)
+        c3 = ckks["evaluator"].multiply(c1, c2)
+        with pytest.raises(ValueError):
+            ckks["evaluator"].multiply(c3, c1)
+
+    def test_relin_size2_rejected(self, ckks, rng):
+        _, c1 = enc_slots(ckks, rng)
+        with pytest.raises(ValueError):
+            ckks["evaluator"].relinearize(c1, ckks["relin"])
+
+
+class TestRescaleModSwitch:
+    def test_rescale_drops_level_and_scale(self, ckks, rng):
+        z1, c1 = enc_slots(ckks, rng)
+        z2, c2 = enc_slots(ckks, rng)
+        ev = ckks["evaluator"]
+        prod = ev.relinearize(ev.multiply(c1, c2), ckks["relin"])
+        rs = ev.rescale(prod)
+        assert rs.level == prod.level - 1
+        # Scale returns to ~the base scale (q_mid close to 2^30).
+        assert abs(rs.scale_bits() - 30) < 0.1
+        assert np.abs(decode(ckks, rs) - z1 * z2).max() < TOL
+
+    def test_depth_two_evaluation(self, ckks, rng):
+        """(z1*z2)*z3 across two rescales stays accurate."""
+        z1, c1 = enc_slots(ckks, rng)
+        z2, c2 = enc_slots(ckks, rng)
+        z3, c3 = enc_slots(ckks, rng)
+        ev = ckks["evaluator"]
+        p12 = ev.rescale(ev.relinearize(ev.multiply(c1, c2), ckks["relin"]))
+        c3d = ev.mod_switch_to_next(c3)
+        c3d = Ciphertext(c3d.data, p12.scale, c3d.is_ntt)
+        p123 = ev.rescale(ev.relinearize(ev.multiply(p12, c3d), ckks["relin"]))
+        assert np.abs(decode(ckks, p123) - z1 * z2 * z3).max() < 10 * TOL
+
+    def test_mod_switch_preserves_value(self, ckks, rng):
+        z, c = enc_slots(ckks, rng)
+        low = ckks["evaluator"].mod_switch_to_next(c)
+        assert low.level == c.level - 1
+        assert low.scale == c.scale
+        assert np.abs(decode(ckks, low) - z).max() < TOL
+
+    def test_rescale_at_bottom_rejected(self, ckks, rng):
+        _, c = enc_slots(ckks, rng)
+        ev = ckks["evaluator"]
+        while c.level > 1:
+            c = ev.mod_switch_to_next(c)
+        with pytest.raises(ValueError):
+            ev.rescale(c)
+
+
+class TestRotation:
+    @pytest.mark.parametrize("steps", [1, 2, 3, 5])
+    def test_rotate_left(self, ckks, rng, steps):
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots) + 1j * rng.normal(size=enc.slots)
+        ct = ckks["encryptor"].encrypt(enc.encode(z))
+        rot = ckks["evaluator"].rotate(ct, steps, ckks["galois"])
+        got = enc.decode(ckks["decryptor"].decrypt(rot))
+        assert np.abs(got - np.roll(z, -steps)).max() < TOL
+
+    def test_conjugate(self, ckks, rng):
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots) + 1j * rng.normal(size=enc.slots)
+        ct = ckks["encryptor"].encrypt(enc.encode(z))
+        conj = ckks["evaluator"].conjugate(ct, ckks["galois"])
+        got = enc.decode(ckks["decryptor"].decrypt(conj))
+        assert np.abs(got - np.conj(z)).max() < TOL
+
+    def test_missing_galois_key(self, ckks, rng):
+        _, c = enc_slots(ckks, rng)
+        with pytest.raises(KeyError):
+            ckks["evaluator"].rotate(c, 7, ckks["galois"])
+
+    def test_rotate_composes(self, ckks, rng):
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots)
+        ct = ckks["encryptor"].encrypt(enc.encode(z))
+        ev = ckks["evaluator"]
+        r12 = ev.rotate(ev.rotate(ct, 1, ckks["galois"]), 2, ckks["galois"])
+        r3 = ev.rotate(ct, 3, ckks["galois"])
+        got12 = enc.decode(ckks["decryptor"].decrypt(r12)).real
+        got3 = enc.decode(ckks["decryptor"].decrypt(r3)).real
+        assert np.abs(got12 - got3).max() < TOL

@@ -1,0 +1,55 @@
+"""Tests for the fused modular dot product (mad_mod chain, vector form)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modmath import Modulus, dot_mod, gen_ntt_prime
+
+MODULUS = Modulus(gen_ntt_prime(60, 1024))
+RNG = np.random.default_rng(4)
+
+
+class TestDotMod:
+    @pytest.mark.parametrize("n", [1, 2, 31, 32, 33, 64, 100, 513])
+    def test_matches_bignum(self, n):
+        a = RNG.integers(0, MODULUS.value, n, dtype=np.uint64)
+        b = RNG.integers(0, MODULUS.value, n, dtype=np.uint64)
+        expect = sum(int(x) * int(y) for x, y in zip(a, b)) % MODULUS.value
+        assert int(dot_mod(a, b, MODULUS)) == expect
+
+    def test_zero_vectors(self):
+        z = np.zeros(16, dtype=np.uint64)
+        assert int(dot_mod(z, z, MODULUS)) == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            dot_mod(np.zeros(4, dtype=np.uint64), np.zeros(5, dtype=np.uint64),
+                    MODULUS)
+        with pytest.raises(ValueError):
+            dot_mod(np.zeros((2, 2), dtype=np.uint64),
+                    np.zeros((2, 2), dtype=np.uint64), MODULUS)
+
+    def test_commutative(self):
+        a = RNG.integers(0, MODULUS.value, 77, dtype=np.uint64)
+        b = RNG.integers(0, MODULUS.value, 77, dtype=np.uint64)
+        assert int(dot_mod(a, b, MODULUS)) == int(dot_mod(b, a, MODULUS))
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=MODULUS.value - 1),
+            st.integers(min_value=0, max_value=MODULUS.value - 1),
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_dot_mod_property(pairs):
+    a = np.array([p[0] for p in pairs], dtype=np.uint64)
+    b = np.array([p[1] for p in pairs], dtype=np.uint64)
+    expect = sum(x * y for x, y in pairs) % MODULUS.value
+    assert int(dot_mod(a, b, MODULUS)) == expect

@@ -1,0 +1,43 @@
+"""Integration tests: every example script must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "private_inference.py", "ntt_optimization_tour.py",
+     "async_pipeline.py"],
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # produced some report
+
+
+def test_encrypted_matmul_example_runs():
+    """Separate (slowest) example; checks a correctness line in output."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "encrypted_matmul.py")],
+        capture_output=True, text=True, timeout=900,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "max slot error" in result.stdout
+    assert "mem cache" in result.stdout
+
+
+def test_quickstart_precision_reported():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert "precision" in result.stdout
+    assert "max abs error" in result.stdout

@@ -1,0 +1,140 @@
+"""Failure-injection tests: the library must fail loudly, not silently.
+
+Covers tampering, cross-context key misuse, domain confusion and other
+misuse paths a downstream user could hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Ciphertext,
+    CkksContext,
+    CkksParameters,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+    Plaintext,
+)
+
+
+class TestTampering:
+    def test_tampered_ciphertext_decrypts_to_garbage(self, ckks, rng):
+        """Flipping device data must destroy the plaintext (no silent
+        partial corruption masking)."""
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots)
+        ct = ckks["encryptor"].encrypt(enc.encode(z))
+        ct.data[0, 0, :128] ^= np.uint64(1 << 20)
+        got = enc.decode(ckks["decryptor"].decrypt(ct)).real
+        assert np.abs(got - z).max() > 1.0
+
+    def test_swapped_components_garbage(self, ckks, rng):
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots)
+        ct = ckks["encryptor"].encrypt(enc.encode(z))
+        swapped = Ciphertext(ct.data[::-1].copy(), ct.scale)
+        got = enc.decode(ckks["decryptor"].decrypt(swapped)).real
+        assert np.abs(got - z).max() > 1.0
+
+
+class TestCrossContext:
+    @pytest.fixture(scope="class")
+    def other(self):
+        params = CkksParameters.default(degree=1024, levels=3, scale_bits=30,
+                                        first_bits=50, special_bits=50)
+        ctx = CkksContext(params)
+        kg = KeyGenerator(ctx, seed=31337)
+        return {"context": ctx, "keygen": kg}
+
+    def test_foreign_relin_key_breaks_result(self, ckks, other, rng):
+        """A relin key from different secret material must not work."""
+        enc = ckks["encoder"]
+        z1 = rng.normal(size=enc.slots)
+        z2 = rng.normal(size=enc.slots)
+        ev = ckks["evaluator"]
+        c1 = ckks["encryptor"].encrypt(enc.encode(z1))
+        c2 = ckks["encryptor"].encrypt(enc.encode(z2))
+        prod = ev.multiply(c1, c2)
+        foreign = other["keygen"].relin_key()
+        out = ev.relinearize(prod, foreign)
+        got = enc.decode(ckks["decryptor"].decrypt(out)).real
+        assert np.abs(got - z1 * z2).max() > 1.0
+
+    def test_foreign_decryptor_fails(self, ckks, other, rng):
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots)
+        ct = ckks["encryptor"].encrypt(enc.encode(z))
+        d = Decryptor(other["context"], other["keygen"].secret_key())
+        got = enc.decode(d.decrypt(ct)).real
+        assert np.abs(got - z).max() > 1.0
+
+
+class TestDomainAndShapeErrors:
+    def test_coeff_form_plaintext_rejected_by_encryptor(self, ckks, rng):
+        enc = ckks["encoder"]
+        pt = enc.encode(rng.normal(size=enc.slots))
+        pt_coeff = Plaintext(pt.data, pt.scale, is_ntt=False)
+        with pytest.raises(ValueError):
+            ckks["encryptor"].encrypt(pt_coeff)
+
+    def test_coeff_form_ciphertext_rejected_by_evaluator(self, ckks, rng):
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots)
+        ct = ckks["encryptor"].encrypt(enc.encode(z))
+        coeff_ct = Ciphertext(ct.data, ct.scale, is_ntt=False)
+        with pytest.raises(ValueError):
+            ckks["evaluator"].add(coeff_ct, ct)
+        with pytest.raises(ValueError):
+            ckks["decryptor"].decrypt(coeff_ct)
+
+    def test_bad_ciphertext_shapes(self):
+        with pytest.raises(ValueError):
+            Ciphertext(np.zeros((2, 8), dtype=np.uint64), 1.0)  # 2-D
+        with pytest.raises(ValueError):
+            Ciphertext(np.zeros((1, 2, 8), dtype=np.uint64), 1.0)  # size 1
+        with pytest.raises(ValueError):
+            Ciphertext(np.zeros((2, 2, 8), dtype=np.uint64), -1.0)  # scale
+
+    def test_bad_plaintext_shapes(self):
+        with pytest.raises(ValueError):
+            Plaintext(np.zeros(8, dtype=np.uint64), 1.0)
+        with pytest.raises(ValueError):
+            Plaintext(np.zeros((2, 8), dtype=np.uint64), 0.0)
+
+    def test_plain_ops_level_mismatch(self, ckks, rng):
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots)
+        ct = ckks["encryptor"].encrypt(enc.encode(z))
+        low = ckks["evaluator"].mod_switch_to_next(ct)
+        pt = enc.encode(z)  # full level
+        with pytest.raises(ValueError):
+            ckks["evaluator"].add_plain(low, pt)
+        with pytest.raises(ValueError):
+            ckks["evaluator"].multiply_plain(low, pt)
+
+
+class TestNoiseOverflowBehaviour:
+    def test_deep_circuit_without_rescale_loses_precision(self, ckks, rng):
+        """Multiplying without rescaling squares the scale; by depth 2
+        the scale exceeds q and decryption must be garbage — the failure
+        mode rescaling exists to prevent."""
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots) * 0.5 + 1.0
+        ev = ckks["evaluator"]
+        ct = ckks["encryptor"].encrypt(enc.encode(z))
+        cur = ct
+        for _ in range(2):
+            cur = ev.relinearize(ev.square(cur), ckks["relin"])
+        # scale is now 2^120 vs q ~ 2^140: decode noise overwhelms.
+        got = enc.decode(ckks["decryptor"].decrypt(cur)).real
+        expect = z**4
+        # Depth 2 without rescale: precision collapses vs the rescaled path.
+        rescaled = ct
+        for _ in range(2):
+            rescaled = ev.rescale(ev.relinearize(ev.square(rescaled),
+                                                 ckks["relin"]))
+        got_rs = enc.decode(ckks["decryptor"].decrypt(rescaled)).real
+        err_rs = np.abs(got_rs - expect).max()
+        assert err_rs < 0.05  # the supported path stays accurate

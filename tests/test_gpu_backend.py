@@ -1,0 +1,147 @@
+"""Tests for the GPU backend: profiles, functional evaluator, timelines."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GpuConfig, GpuEvaluator, GpuOpProfiler, simulate_routine
+from repro.xesim import DEVICE1, DEVICE2
+
+
+class TestGpuConfig:
+    def test_stages(self):
+        assert GpuConfig.stage("naive").ntt_variant == "naive"
+        s = GpuConfig.stage("opt-NTT+asm+dual-tile", tiles_available=2)
+        assert s.ntt_variant == "local-radix-8" and s.asm and s.tiles == 2
+
+    def test_dual_tile_clamps_to_available(self):
+        s = GpuConfig.stage("opt-NTT+asm+dual-tile", tiles_available=1)
+        assert s.tiles == 1
+
+    def test_unknown_stage(self):
+        with pytest.raises(KeyError):
+            GpuConfig.stage("quantum")
+
+    def test_variant_asm_propagation(self):
+        assert GpuConfig(ntt_variant="local-radix-8", asm=True).variant().asm
+        assert not GpuConfig(ntt_variant="local-radix-8").variant().asm
+
+
+class TestProfilerStructure:
+    def prof(self, **kw):
+        return GpuOpProfiler(4096, DEVICE1, GpuConfig(**kw))
+
+    def count_transforms(self, profiles, tag):
+        """Count transform sequences by the per-transform phase profile."""
+        from repro.xesim.nttmodel import build_ntt_profiles
+
+        starts = [p for p in profiles if p.name.startswith(tag)]
+        per = len(build_ntt_profiles(self.prof().config.variant(), 4096, 1, DEVICE1))
+        return len(starts) / per
+
+    def test_relin_transform_count(self):
+        """Relin at level l: l iNTT + l(l+1) NTT + 2 iNTT + 2l NTT."""
+        l = 4
+        profiles = self.prof().relinearize(l)
+        ntts = self.count_transforms(profiles, "ntt:")
+        intts = self.count_transforms(profiles, "intt:")
+        assert ntts == l * (l + 1) + 2 * l
+        assert intts == l + 2
+
+    def test_rescale_transform_count(self):
+        l = 4
+        profiles = self.prof().rescale(l)
+        assert self.count_transforms(profiles, "ntt:") == 2 * (l - 1)
+        assert self.count_transforms(profiles, "intt:") == 2
+
+    def test_rotate_has_galois_and_keyswitch(self):
+        profiles = self.prof().rotate(4)
+        names = {p.name for p in profiles}
+        assert any("galois.permute" in n for n in names)
+        assert any("ks.accumulate" in n for n in names)
+
+    def test_mad_fusion_removes_add_pass(self):
+        base = self.prof().multiply(4)
+        fused = self.prof(mad_fusion=True).multiply(4)
+        assert len(fused) < len(base)
+        assert not any("cross-add" in p.name for p in fused)
+
+    def test_routine_dispatch(self):
+        p = self.prof()
+        for name in ["MulLin", "MulLinRS", "SqrLinRS", "MulLinRSModSwAdd", "Rotate"]:
+            assert len(p.routine(name, 4)) > 0
+        with pytest.raises(KeyError):
+            p.routine("Bootstrap", 4)
+
+    def test_ntt_kernels_flagged(self):
+        profiles = self.prof().relinearize(4)
+        ntt = [p for p in profiles if p.ntt_class]
+        other = [p for p in profiles if not p.ntt_class]
+        assert ntt and other
+        assert all(p.name.startswith(("ntt:", "intt:")) for p in ntt)
+
+
+class TestGpuEvaluatorFunctional:
+    """The GPU evaluator must produce the exact core-evaluator results."""
+
+    @pytest.fixture()
+    def gpu_ev(self, ckks):
+        return GpuEvaluator(
+            ckks["evaluator"], DEVICE2, GpuConfig(ntt_variant="local-radix-8")
+        )
+
+    def encpair(self, ckks, rng):
+        z = rng.normal(size=ckks["encoder"].slots)
+        return z, ckks["encryptor"].encrypt(ckks["encoder"].encode(z))
+
+    def test_results_match_core(self, ckks, gpu_ev, rng):
+        z1, c1 = self.encpair(ckks, rng)
+        z2, c2 = self.encpair(ckks, rng)
+        core = ckks["evaluator"]
+        gpu_prod = gpu_ev.relinearize(gpu_ev.multiply(c1, c2), ckks["relin"])
+        core_prod = core.relinearize(core.multiply(c1, c2), ckks["relin"])
+        assert np.array_equal(gpu_prod.data, core_prod.data)
+
+    def test_timeline_advances(self, ckks, gpu_ev, rng):
+        _, c1 = self.encpair(ckks, rng)
+        _, c2 = self.encpair(ckks, rng)
+        t0 = gpu_ev.device_time
+        gpu_ev.multiply(c1, c2)
+        t1 = gpu_ev.device_time
+        assert t1 > t0
+        gpu_ev.add(c1, c2)
+        assert gpu_ev.device_time > t1
+
+    def test_relin_costs_more_than_add(self, ckks, rng):
+        _, c1 = self.encpair(ckks, rng)
+        _, c2 = self.encpair(ckks, rng)
+        ev_a = GpuEvaluator(ckks["evaluator"], DEVICE2, GpuConfig())
+        ev_a.add(c1, c2)
+        add_time = ev_a.device_time
+        ev_r = GpuEvaluator(ckks["evaluator"], DEVICE2, GpuConfig())
+        c3 = ev_r.multiply(c1, c2)
+        ev_r2 = GpuEvaluator(ckks["evaluator"], DEVICE2, GpuConfig())
+        ev_r2.relinearize(c3, ckks["relin"])
+        assert ev_r2.device_time > 5 * add_time  # key switch dominates
+
+    def test_rotate_and_rescale_supported(self, ckks, gpu_ev, rng):
+        z, c = self.encpair(ckks, rng)
+        rot = gpu_ev.rotate(c, 1, ckks["galois"])
+        got = ckks["encoder"].decode(ckks["decryptor"].decrypt(rot)).real
+        assert np.abs(got - np.roll(z, -1)).max() < 1e-3
+
+
+class TestRoutineSimulation:
+    def test_tiles_1_vs_2_decomposition(self):
+        cfg1 = GpuConfig(ntt_variant="local-radix-8", asm=True, tiles=1)
+        cfg2 = GpuConfig(ntt_variant="local-radix-8", asm=True, tiles=2)
+        t1 = simulate_routine("MulLinRS", DEVICE1, cfg1)
+        t2 = simulate_routine("MulLinRS", DEVICE1, cfg2)
+        assert t2.time_s < t1.time_s
+        # Dual tile shrinks NTT time, leaves the dyadic glue in place.
+        assert t2.ntt_time_s < t1.ntt_time_s
+        assert t2.other_time_s == pytest.approx(t1.other_time_s, rel=0.05)
+
+    def test_routine_timing_fields(self):
+        t = simulate_routine("Rotate", DEVICE2, GpuConfig())
+        assert t.time_s == pytest.approx(t.ntt_time_s + t.other_time_s)
+        assert 0 < t.ntt_fraction < 1

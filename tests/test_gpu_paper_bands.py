@@ -1,0 +1,132 @@
+"""Reproduction bands for the routine-level figures (Figs. 5, 16, 18).
+
+Complements test_xesim_calibration.py (NTT figures) with the HE-routine
+results of the paper's Secs. IV-C and IV-D.
+"""
+
+import pytest
+
+from repro.core.routines import ROUTINE_NAMES
+from repro.gpu import GpuConfig, simulate_routine
+from repro.xesim import DEVICE1, DEVICE2
+
+
+def staged_times(routine, device, stages):
+    out = {}
+    for stage in stages:
+        cfg = GpuConfig.stage(stage, tiles_available=device.tiles)
+        out[stage] = simulate_routine(routine, device, cfg)
+    return out
+
+
+D1_STAGES = ["naive", "opt-NTT", "opt-NTT+asm", "opt-NTT+asm+dual-tile"]
+D2_STAGES = ["naive", "simd(8,8)", "opt-NTT", "opt-NTT+asm"]
+
+
+@pytest.fixture(scope="module")
+def d1():
+    return {r: staged_times(r, DEVICE1, D1_STAGES) for r in ROUTINE_NAMES}
+
+
+@pytest.fixture(scope="module")
+def d2():
+    return {r: staged_times(r, DEVICE2, D2_STAGES) for r in ROUTINE_NAMES}
+
+
+class TestFig5NttShare:
+    """Paper: NTT is 79.99% (D1) / 75.64% (D2) of routine time on average,
+    and at least ~70% for every routine."""
+
+    def test_average_share_device1(self, d1):
+        fracs = [d1[r]["naive"].ntt_fraction for r in ROUTINE_NAMES]
+        assert 0.72 <= sum(fracs) / len(fracs) <= 0.90
+
+    def test_average_share_device2(self, d2):
+        fracs = [d2[r]["naive"].ntt_fraction for r in ROUTINE_NAMES]
+        assert 0.70 <= sum(fracs) / len(fracs) <= 0.88
+
+    @pytest.mark.parametrize("routine", ROUTINE_NAMES)
+    def test_every_routine_at_least_70pct(self, d1, routine):
+        assert d1[routine]["naive"].ntt_fraction >= 0.70
+
+    def test_rotate_most_ntt_heavy(self, d1):
+        """Rotate does two automorphism transform sweeps + key switch."""
+        fr = {r: d1[r]["naive"].ntt_fraction for r in ROUTINE_NAMES}
+        assert fr["Rotate"] == max(fr.values())
+
+
+class TestFig16Device1Staging:
+    """Paper Sec. IV-C: opt-NTT +43.5% avg, +asm +27.4% avg, dual-tile
+    +49.5-78.2%, overall 2.32x-3.05x."""
+
+    @pytest.mark.parametrize("routine", ROUTINE_NAMES)
+    def test_monotone_improvement(self, d1, routine):
+        times = [d1[routine][s].time_s for s in D1_STAGES]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_opt_ntt_step_band(self, d1):
+        steps = [
+            d1[r]["naive"].time_s / d1[r]["opt-NTT"].time_s for r in ROUTINE_NAMES
+        ]
+        avg = sum(steps) / len(steps)
+        assert 1.30 <= avg <= 1.70  # paper avg 1.435
+
+    def test_asm_step_band(self, d1):
+        steps = [
+            d1[r]["opt-NTT"].time_s / d1[r]["opt-NTT+asm"].time_s
+            for r in ROUTINE_NAMES
+        ]
+        avg = sum(steps) / len(steps)
+        assert 1.10 <= avg <= 1.35  # paper avg 1.274
+
+    def test_dual_tile_step_band(self, d1):
+        steps = [
+            d1[r]["opt-NTT+asm"].time_s / d1[r]["opt-NTT+asm+dual-tile"].time_s
+            for r in ROUTINE_NAMES
+        ]
+        assert all(1.35 <= s <= 1.85 for s in steps)  # paper 1.495-1.782
+
+    def test_overall_band(self, d1):
+        cums = [
+            d1[r]["naive"].time_s / d1[r]["opt-NTT+asm+dual-tile"].time_s
+            for r in ROUTINE_NAMES
+        ]
+        assert all(2.2 <= c <= 3.3 for c in cums)  # paper up to 3.05
+        assert max(cums) >= 2.6
+
+    def test_asm_helps_ntt_more_than_others(self, d1):
+        """Paper: non-NTT kernels are less sensitive to inline assembly."""
+        r = d1["MulLinRS"]
+        ntt_gain = r["opt-NTT"].ntt_time_s / r["opt-NTT+asm"].ntt_time_s
+        other_gain = r["opt-NTT"].other_time_s / r["opt-NTT+asm"].other_time_s
+        assert ntt_gain > other_gain
+
+
+class TestFig18Device2Staging:
+    """Paper Sec. IV-D: SIMD(8,8) +29.6%, opt-NTT 1.92x, +asm 2.32-2.41x."""
+
+    @pytest.mark.parametrize("routine", ROUTINE_NAMES)
+    def test_monotone_improvement(self, d2, routine):
+        times = [d2[routine][s].time_s for s in D2_STAGES]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_simd88_step(self, d2):
+        steps = [
+            d2[r]["naive"].time_s / d2[r]["simd(8,8)"].time_s for r in ROUTINE_NAMES
+        ]
+        avg = sum(steps) / len(steps)
+        assert 1.20 <= avg <= 1.75  # paper ~1.296
+
+    def test_opt_ntt_cumulative(self, d2):
+        cums = [
+            d2[r]["naive"].time_s / d2[r]["opt-NTT"].time_s for r in ROUTINE_NAMES
+        ]
+        avg = sum(cums) / len(cums)
+        assert 1.6 <= avg <= 2.4  # paper avg 1.92
+
+    def test_final_band(self, d2):
+        cums = [
+            d2[r]["naive"].time_s / d2[r]["opt-NTT+asm"].time_s
+            for r in ROUTINE_NAMES
+        ]
+        assert all(2.0 <= c <= 2.9 for c in cums)  # paper 2.32-2.41

@@ -1,0 +1,138 @@
+"""Focused unit tests for model details added during calibration:
+work-group granularity caps, utilization floor, batched profile mode,
+and the context's NTT-domain divide-and-round against the RNS reference.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.gpu.profiles import GpuConfig, GpuOpProfiler
+from repro.ntt.radix2 import ntt_forward
+from repro.rns import LastModulusScaler, RNSBase, decompose_poly
+from repro.xesim import DEVICE1, DEVICE2, KernelProfile, simulate_kernel
+
+
+class TestWorkGroupCap:
+    def make(self, wg):
+        return KernelProfile("k", 4096, 100.0, 100.0, 0.0, work_groups=wg)
+
+    def test_few_workgroups_slower(self):
+        few = simulate_kernel(self.make(2), DEVICE1)
+        many = simulate_kernel(self.make(1000), DEVICE1)
+        assert few.time_s > many.time_s
+
+    def test_no_wg_field_means_no_cap(self):
+        uncapped = simulate_kernel(self.make(None), DEVICE1)
+        capped = simulate_kernel(self.make(2), DEVICE1)
+        assert capped.time_s > uncapped.time_s
+
+    def test_cap_saturates(self):
+        """Beyond the saturation count more work-groups don't help."""
+        a = simulate_kernel(self.make(100), DEVICE1)
+        b = simulate_kernel(self.make(10_000), DEVICE1)
+        assert a.time_s == pytest.approx(b.time_s)
+
+    def test_utilization_floor_bounds_penalty(self):
+        """Even a 1-work-group kernel keeps min_utilization of peak."""
+        t = simulate_kernel(self.make(1), DEVICE1)
+        floor_time = (
+            self.make(1).total_cycles
+            / (DEVICE1.peak_int64_gops(1) * 1e9)
+            / DEVICE1.min_utilization
+        )
+        assert t.time_s <= floor_time + 2 * DEVICE1.kernel_launch_overhead_us * 1e-6
+
+
+class TestBatchedProfileMode:
+    def test_batched_fewer_profiles(self):
+        prof = GpuOpProfiler(8192, DEVICE1, GpuConfig(ntt_variant="local-radix-8"))
+        unbatched = prof.ntt(16)
+        batched = prof.ntt(16, batched=True)
+        assert len(batched) < len(unbatched)
+        # Same total nominal work either way.
+        assert sum(p.total_nominal_ops for p in batched) == pytest.approx(
+            sum(p.total_nominal_ops for p in unbatched)
+        )
+
+    def test_batched_faster_at_scale(self):
+        from repro.xesim import simulate_kernels
+
+        prof = GpuOpProfiler(8192, DEVICE1, GpuConfig(ntt_variant="local-radix-8"))
+        t_un = simulate_kernels(prof.ntt(64), DEVICE1).time_s
+        t_ba = simulate_kernels(prof.ntt(64, batched=True), DEVICE1).time_s
+        assert t_ba < t_un
+
+
+class TestContextDivideRound:
+    def test_matches_rns_scaler(self, ckks):
+        """divide_round_drop_ntt (NTT domain) == LastModulusScaler (coeff)."""
+        ctx = ckks["context"]
+        level = ctx.max_level
+        base = ctx.level_base(level)
+        rng = random.Random(1)
+        n = ctx.degree
+        coeffs = [rng.randrange(base.product) for _ in range(n)]
+        mat = decompose_poly(coeffs, base)
+        # Reference: coefficient-domain divide-and-round of the full base.
+        scaler = LastModulusScaler(base)
+        expect = scaler.divide_round(mat)
+        # Under test: transform to NTT, drop in NTT domain, come back.
+        ntt_mat = ctx.to_ntt(mat)
+        dropped = ctx.divide_round_drop_ntt(ntt_mat, level - 1)
+        got = ctx.from_ntt(dropped)
+        # Both are round-to-nearest of x / q_last: equal up to 1 ulp from
+        # the tie-breaking of even residues.
+        kept = base.drop_last()
+        for col in range(0, n, 97):
+            a = kept.compose(got[:, col])
+            b = kept.compose(expect[:, col])
+            assert abs(a - b) <= 1
+
+    def test_requires_two_rows(self, ckks):
+        ctx = ckks["context"]
+        with pytest.raises(ValueError):
+            ctx.divide_round_drop_ntt(
+                np.zeros((1, ctx.degree), dtype=np.uint64), 0
+            )
+
+    def test_rescale_level_check(self, ckks):
+        ctx = ckks["context"]
+        with pytest.raises(ValueError):
+            ctx.rescale_ntt(np.zeros((2, ctx.degree), dtype=np.uint64), 3)
+
+
+class TestEncoderSymmetry:
+    def test_real_input_decodes_real(self, ckks, rng):
+        """Conjugate symmetry: real slot vectors stay real through the ring."""
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots)
+        back = enc.decode(enc.encode(z))
+        assert np.abs(back.imag).max() < 1e-6
+
+    def test_purely_imaginary_input(self, ckks, rng):
+        enc = ckks["encoder"]
+        z = 1j * rng.normal(size=enc.slots)
+        back = enc.decode(enc.encode(z))
+        assert np.abs(back.real).max() < 1e-6
+        assert np.abs(back.imag - z.imag).max() < 1e-6
+
+    def test_encode_at_lower_level(self, ckks, rng):
+        enc = ckks["encoder"]
+        z = rng.normal(size=enc.slots)
+        pt = enc.encode(z, level=2)
+        assert pt.level == 2
+        assert np.abs(enc.decode(pt).real - z).max() < 1e-6
+
+
+class TestDeviceValidate:
+    def test_valid_devices_pass(self):
+        DEVICE1.validate()
+        DEVICE2.validate()
+
+    def test_bad_geometry_rejected(self):
+        bad = dataclasses.replace(DEVICE2, eus_per_tile=7)
+        with pytest.raises(ValueError):
+            bad.validate()

@@ -1,0 +1,116 @@
+"""Unit tests for Harvey lazy arithmetic (paper Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.modmath import Modulus, MultiplyOperand
+from repro.modmath.harvey import (
+    ct_butterfly_lazy,
+    gs_butterfly_lazy,
+    mul_mod_harvey,
+    mul_mod_lazy,
+    reduce_from_lazy,
+)
+
+RNG = np.random.default_rng(35)
+
+# Harvey requires p < 2^62/4; NTT moduli in this library are < 2^61.
+MODULI = [Modulus((1 << 30) - 35), Modulus(1125899904679937), Modulus((1 << 59) - 55)]
+
+
+@pytest.mark.parametrize("m", MODULI, ids=lambda m: f"p={m.value}")
+class TestLazyMul:
+    def test_lazy_in_2p(self, m):
+        w = MultiplyOperand.create(int(RNG.integers(1, m.value)), m)
+        y = RNG.integers(0, 2**63, size=300, dtype=np.uint64)
+        r = mul_mod_lazy(y, w, m)
+        assert (r.astype(object) < 2 * m.value).all()
+
+    def test_lazy_congruent(self, m):
+        w_val = int(RNG.integers(1, m.value))
+        w = MultiplyOperand.create(w_val, m)
+        y = RNG.integers(0, m.value, size=300, dtype=np.uint64)
+        r = mul_mod_lazy(y, w, m)
+        expect = (y.astype(object) * w_val) % m.value
+        assert ((r.astype(object) - expect) % m.value == 0).all()
+
+    def test_exact_matches_mod(self, m):
+        w_val = int(RNG.integers(1, m.value))
+        w = MultiplyOperand.create(w_val, m)
+        y = RNG.integers(0, m.value, size=300, dtype=np.uint64)
+        got = mul_mod_harvey(y, w, m)
+        expect = (y.astype(object) * w_val) % m.value
+        assert (got.astype(object) == expect).all()
+
+
+@pytest.mark.parametrize("m", MODULI, ids=lambda m: f"p={m.value}")
+class TestCtButterfly:
+    def test_outputs_lazy_bounded(self, m):
+        """Algorithm 1 invariant: inputs in [0,4p) -> outputs in [0,4p)."""
+        w = MultiplyOperand.create(int(RNG.integers(1, m.value)), m)
+        x = RNG.integers(0, 4 * m.value, size=500, dtype=np.uint64)
+        y = RNG.integers(0, 4 * m.value, size=500, dtype=np.uint64)
+        # The W*Y lazy product needs Y < 4p as precondition, which holds.
+        xo, yo = ct_butterfly_lazy(x, y, w, m)
+        assert (xo.astype(object) < 4 * m.value).all()
+        assert (yo.astype(object) < 4 * m.value).all()
+
+    def test_congruences(self, m):
+        w_val = int(RNG.integers(1, m.value))
+        w = MultiplyOperand.create(w_val, m)
+        x = RNG.integers(0, 4 * m.value, size=500, dtype=np.uint64)
+        y = RNG.integers(0, 4 * m.value, size=500, dtype=np.uint64)
+        xo, yo = ct_butterfly_lazy(x, y, w, m)
+        xs = x.astype(object) % m.value
+        ys = y.astype(object) % m.value
+        assert ((xo.astype(object) - (xs + w_val * ys)) % m.value == 0).all()
+        assert ((yo.astype(object) - (xs - w_val * ys)) % m.value == 0).all()
+
+
+@pytest.mark.parametrize("m", MODULI, ids=lambda m: f"p={m.value}")
+class TestGsButterfly:
+    def test_outputs_bounded(self, m):
+        w = MultiplyOperand.create(int(RNG.integers(1, m.value)), m)
+        x = RNG.integers(0, 2 * m.value, size=500, dtype=np.uint64)
+        y = RNG.integers(0, 2 * m.value, size=500, dtype=np.uint64)
+        xo, yo = gs_butterfly_lazy(x, y, w, m)
+        assert (xo.astype(object) < 2 * m.value).all()
+        assert (yo.astype(object) < 2 * m.value).all()
+
+    def test_congruences(self, m):
+        w_val = int(RNG.integers(1, m.value))
+        w = MultiplyOperand.create(w_val, m)
+        x = RNG.integers(0, 2 * m.value, size=500, dtype=np.uint64)
+        y = RNG.integers(0, 2 * m.value, size=500, dtype=np.uint64)
+        xo, yo = gs_butterfly_lazy(x, y, w, m)
+        xs = x.astype(object) % m.value
+        ys = y.astype(object) % m.value
+        assert ((xo.astype(object) - (xs + ys)) % m.value == 0).all()
+        assert ((yo.astype(object) - w_val * (xs - ys)) % m.value == 0).all()
+
+
+class TestReduceFromLazy:
+    def test_maps_4p_to_p(self):
+        m = MODULI[1]
+        x = RNG.integers(0, 4 * m.value, size=1000, dtype=np.uint64)
+        r = reduce_from_lazy(x, m)
+        assert (r < m.u64).all()
+        assert ((x.astype(object) - r.astype(object)) % m.value == 0).all()
+
+    def test_identity_below_p(self):
+        m = MODULI[0]
+        x = RNG.integers(0, m.value, size=100, dtype=np.uint64)
+        assert np.array_equal(reduce_from_lazy(x, m), x)
+
+
+class TestMultiplyOperand:
+    def test_quotient_definition(self):
+        m = MODULI[1]
+        for w in [1, 2, 12345, m.value - 1]:
+            op = MultiplyOperand.create(w, m)
+            assert op.quotient == (w << 64) // m.value
+
+    def test_reduces_operand(self):
+        m = Modulus(97)
+        op = MultiplyOperand.create(97 + 5, m)
+        assert op.operand == 5

@@ -1,0 +1,155 @@
+"""Unit tests for Modulus, Barrett reduction and modular ops."""
+
+import numpy as np
+import pytest
+
+from repro.modmath import (
+    Modulus,
+    add_mod,
+    barrett_reduce_64,
+    barrett_reduce_128,
+    inv_mod,
+    mad_mod,
+    mul_mod,
+    neg_mod,
+    pow_mod,
+    sub_mod,
+)
+from repro.modmath.uint128 import decompose128
+
+RNG = np.random.default_rng(7)
+
+MODULI = [
+    Modulus(17),
+    Modulus((1 << 30) - 35),          # 30-bit prime
+    Modulus(1125899904679937),        # 50-bit NTT prime (= 1 mod 2^15)
+    Modulus((1 << 60) - 93),          # 60-bit prime
+    Modulus(2305843009213693951),     # Mersenne 2^61 - 1
+]
+
+
+def rand_mod(p, n):
+    return RNG.integers(0, p, size=n, dtype=np.uint64)
+
+
+class TestModulus:
+    def test_const_ratio_matches_divmod(self):
+        for m in MODULI:
+            hi, lo, rem = m.const_ratio
+            assert ((hi << 64) | lo) == (1 << 128) // m.value
+            assert rem == (1 << 128) % m.value
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            Modulus(1 << 62)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            Modulus(1)
+
+    def test_supports_ntt(self):
+        m = Modulus(1125899904679937)  # = 1 mod 2*16384
+        assert m.supports_ntt(16384)
+        assert not Modulus(17).supports_ntt(16384)
+
+    def test_int_conversion(self):
+        assert int(Modulus(97)) == 97
+
+    def test_bit_count(self):
+        assert Modulus(17).bit_count == 5
+        assert Modulus((1 << 60) - 93).bit_count == 60
+
+
+class TestBarrett:
+    @pytest.mark.parametrize("m", MODULI, ids=lambda m: f"p={m.value}")
+    def test_reduce_64_matches_mod(self, m):
+        x = RNG.integers(0, 2**64, size=400, dtype=np.uint64)
+        got = barrett_reduce_64(x, m)
+        for i in range(400):
+            assert int(got[i]) == int(x[i]) % m.value
+
+    @pytest.mark.parametrize("m", MODULI, ids=lambda m: f"p={m.value}")
+    def test_reduce_128_matches_mod(self, m):
+        for _ in range(200):
+            v = int(RNG.integers(0, 2**63)) << 65 | int(RNG.integers(0, 2**63))
+            hi, lo = decompose128(v)
+            assert int(barrett_reduce_128(hi, lo, m)) == v % m.value
+
+    def test_reduce_128_vectorized(self):
+        m = MODULI[3]
+        hi = RNG.integers(0, 2**64, size=256, dtype=np.uint64)
+        lo = RNG.integers(0, 2**64, size=256, dtype=np.uint64)
+        got = barrett_reduce_128(hi, lo, m)
+        for i in range(256):
+            v = (int(hi[i]) << 64) | int(lo[i])
+            assert int(got[i]) == v % m.value
+
+
+class TestDyadicOps:
+    @pytest.mark.parametrize("m", MODULI, ids=lambda m: f"p={m.value}")
+    def test_add_mod(self, m):
+        a, b = rand_mod(m.value, 300), rand_mod(m.value, 300)
+        got = add_mod(a, b, m)
+        expect = (a.astype(object) + b.astype(object)) % m.value
+        assert (got.astype(object) == expect).all()
+
+    @pytest.mark.parametrize("m", MODULI, ids=lambda m: f"p={m.value}")
+    def test_sub_mod(self, m):
+        a, b = rand_mod(m.value, 300), rand_mod(m.value, 300)
+        got = sub_mod(a, b, m)
+        expect = (a.astype(object) - b.astype(object)) % m.value
+        assert (got.astype(object) == expect).all()
+
+    @pytest.mark.parametrize("m", MODULI, ids=lambda m: f"p={m.value}")
+    def test_mul_mod(self, m):
+        a, b = rand_mod(m.value, 300), rand_mod(m.value, 300)
+        got = mul_mod(a, b, m)
+        expect = (a.astype(object) * b.astype(object)) % m.value
+        assert (got.astype(object) == expect).all()
+
+    @pytest.mark.parametrize("m", MODULI, ids=lambda m: f"p={m.value}")
+    def test_mad_mod(self, m):
+        a, b = rand_mod(m.value, 300), rand_mod(m.value, 300)
+        c = rand_mod(m.value, 300)
+        got = mad_mod(a, b, c, m)
+        expect = (a.astype(object) * b.astype(object) + c.astype(object)) % m.value
+        assert (got.astype(object) == expect).all()
+
+    def test_mad_mod_equals_mul_then_add(self):
+        m = MODULI[2]
+        a, b, c = (rand_mod(m.value, 200) for _ in range(3))
+        fused = mad_mod(a, b, c, m)
+        eager = add_mod(mul_mod(a, b, m), c, m)
+        assert np.array_equal(fused, eager)
+
+    def test_neg_mod(self):
+        m = MODULI[1]
+        a = rand_mod(m.value, 200)
+        got = neg_mod(a, m)
+        assert (add_mod(a, got, m) == 0).all()
+        assert int(neg_mod(np.uint64(0), m)) == 0
+
+    def test_results_strictly_below_modulus(self):
+        m = MODULI[4]
+        a, b = rand_mod(m.value, 500), rand_mod(m.value, 500)
+        for arr in (add_mod(a, b, m), sub_mod(a, b, m), mul_mod(a, b, m)):
+            assert (arr < m.u64).all()
+
+
+class TestScalarHelpers:
+    def test_pow_mod(self):
+        m = Modulus(97)
+        assert pow_mod(3, 10, m) == pow(3, 10, 97)
+
+    def test_inv_mod(self):
+        m = Modulus(1125899904679937)
+        for a in [2, 3, 12345, m.value - 1]:
+            assert (a * inv_mod(a, m)) % m.value == 1
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            inv_mod(0, Modulus(97))
+
+    def test_inv_noninvertible_raises(self):
+        with pytest.raises(ValueError):
+            inv_mod(3, Modulus(9))

@@ -1,0 +1,107 @@
+"""Hypothesis property-based tests for the modular arithmetic substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modmath import (
+    Modulus,
+    MultiplyOperand,
+    add_mod,
+    mad_mod,
+    mul_mod,
+    mul_mod_harvey,
+    neg_mod,
+    sub_mod,
+)
+from repro.modmath.barrett import barrett_reduce_64, barrett_reduce_128
+from repro.modmath.uint128 import decompose128, mul_wide
+
+# A few representative moduli spanning small to 61-bit.
+MODULUS_VALUES = [
+    17,
+    (1 << 30) - 35,
+    1125899904679937,
+    (1 << 59) - 55,
+    2305843009213693951,
+]
+MODULI = [Modulus(v) for v in MODULUS_VALUES]
+
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+u128 = st.integers(min_value=0, max_value=2**128 - 1)
+mod_idx = st.integers(min_value=0, max_value=len(MODULI) - 1)
+
+
+@given(a=u64, b=u64)
+def test_mul_wide_exact(a, b):
+    hi, lo = mul_wide(np.uint64(a), np.uint64(b))
+    assert (int(hi) << 64) | int(lo) == a * b
+
+
+@given(x=u64, i=mod_idx)
+def test_barrett64_matches_mod(x, i):
+    m = MODULI[i]
+    assert int(barrett_reduce_64(np.uint64(x), m)) == x % m.value
+
+
+@given(v=u128, i=mod_idx)
+def test_barrett128_matches_mod(v, i):
+    m = MODULI[i]
+    hi, lo = decompose128(v)
+    assert int(barrett_reduce_128(hi, lo, m)) == v % m.value
+
+
+@given(a=u64, b=u64, i=mod_idx)
+def test_mul_mod_matches_bignum(a, b, i):
+    m = MODULI[i]
+    a %= m.value
+    b %= m.value
+    assert int(mul_mod(np.uint64(a), np.uint64(b), m)) == (a * b) % m.value
+
+
+@given(a=u64, b=u64, c=u64, i=mod_idx)
+def test_mad_mod_matches_bignum(a, b, c, i):
+    m = MODULI[i]
+    a, b, c = a % m.value, b % m.value, c % m.value
+    got = mad_mod(np.uint64(a), np.uint64(b), np.uint64(c), m)
+    assert int(got) == (a * b + c) % m.value
+
+
+@given(a=u64, b=u64, i=mod_idx)
+def test_add_sub_inverse(a, b, i):
+    """(a + b) - b == a in Z_p."""
+    m = MODULI[i]
+    a, b = a % m.value, b % m.value
+    s = add_mod(np.uint64(a), np.uint64(b), m)
+    assert int(sub_mod(s, np.uint64(b), m)) == a
+
+
+@given(a=u64, i=mod_idx)
+def test_neg_is_additive_inverse(a, i):
+    m = MODULI[i]
+    a %= m.value
+    n = neg_mod(np.uint64(a), m)
+    assert int(add_mod(np.uint64(a), n, m)) == 0
+
+
+@given(a=u64, b=u64, c=u64, i=mod_idx)
+def test_mul_distributes_over_add(a, b, c, i):
+    m = MODULI[i]
+    a, b, c = a % m.value, b % m.value, c % m.value
+    lhs = mul_mod(np.uint64(a), add_mod(np.uint64(b), np.uint64(c), m), m)
+    rhs = add_mod(
+        mul_mod(np.uint64(a), np.uint64(b), m),
+        mul_mod(np.uint64(a), np.uint64(c), m),
+        m,
+    )
+    assert int(lhs) == int(rhs)
+
+
+@given(w=u64, y=u64, i=mod_idx)
+@settings(max_examples=200)
+def test_harvey_matches_barrett(w, y, i):
+    m = MODULI[i]
+    w %= m.value
+    y %= m.value
+    op = MultiplyOperand.create(w, m)
+    assert int(mul_mod_harvey(np.uint64(y), op, m)) == (w * y) % m.value

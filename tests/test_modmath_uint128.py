@@ -1,0 +1,139 @@
+"""Unit tests for emulated 128-bit arithmetic (repro.modmath.uint128)."""
+
+import numpy as np
+import pytest
+
+from repro.modmath.uint128 import (
+    add128,
+    add_carry,
+    compose128,
+    decompose128,
+    mul_high,
+    mul_low,
+    mul_wide,
+    shl128,
+    shr128,
+    split32,
+    sub_borrow,
+)
+
+RNG = np.random.default_rng(20220929)
+
+
+def rand_u64(n):
+    return RNG.integers(0, 2**64, size=n, dtype=np.uint64)
+
+
+class TestSplit32:
+    def test_roundtrip(self):
+        x = rand_u64(100)
+        hi, lo = split32(x)
+        assert np.array_equal((hi << np.uint64(32)) | lo, x)
+
+    def test_halves_in_range(self):
+        hi, lo = split32(rand_u64(100))
+        assert (hi < 2**32).all()
+        assert (lo < 2**32).all()
+
+    def test_scalar(self):
+        hi, lo = split32(np.uint64(0x1234567890ABCDEF))
+        assert int(hi) == 0x12345678
+        assert int(lo) == 0x90ABCDEF
+
+
+class TestMulWide:
+    def test_against_python_ints(self):
+        a = rand_u64(500)
+        b = rand_u64(500)
+        hi, lo = mul_wide(a, b)
+        for i in range(500):
+            expect = int(a[i]) * int(b[i])
+            assert compose128(hi[i], lo[i]) == expect
+
+    def test_extremes(self):
+        m = np.uint64(2**64 - 1)
+        hi, lo = mul_wide(m, m)
+        assert compose128(hi, lo) == (2**64 - 1) ** 2
+
+    def test_zero_one(self):
+        hi, lo = mul_wide(np.uint64(0), np.uint64(12345))
+        assert int(hi) == 0 and int(lo) == 0
+        hi, lo = mul_wide(np.uint64(1), np.uint64(12345))
+        assert int(hi) == 0 and int(lo) == 12345
+
+    def test_commutative(self):
+        a, b = rand_u64(200), rand_u64(200)
+        assert all(
+            np.array_equal(x, y)
+            for x, y in zip(mul_wide(a, b), mul_wide(b, a))
+        )
+
+    def test_mul_high_low_consistent_with_wide(self):
+        a, b = rand_u64(200), rand_u64(200)
+        hi, lo = mul_wide(a, b)
+        assert np.array_equal(mul_high(a, b), hi)
+        assert np.array_equal(mul_low(a, b), lo)
+
+
+class TestCarries:
+    def test_add_carry_matches_python(self):
+        a, b = rand_u64(300), rand_u64(300)
+        s, c = add_carry(a, b)
+        for i in range(300):
+            total = int(a[i]) + int(b[i])
+            assert int(s[i]) == total % 2**64
+            assert int(c[i]) == total // 2**64
+
+    def test_sub_borrow_matches_python(self):
+        a, b = rand_u64(300), rand_u64(300)
+        d, br = sub_borrow(a, b)
+        for i in range(300):
+            diff = int(a[i]) - int(b[i])
+            assert int(d[i]) == diff % 2**64
+            assert int(br[i]) == (1 if diff < 0 else 0)
+
+    def test_add128(self):
+        a = RNG.integers(0, 2**63, size=50, dtype=np.uint64)
+        for i in range(50):
+            x = int(a[i]) << 40
+            y = (int(a[i]) << 17) | 0xFF
+            xh, xl = decompose128(x)
+            yh, yl = decompose128(y)
+            hi, lo = add128(xh, xl, yh, yl)
+            assert compose128(hi, lo) == (x + y) % 2**128
+
+
+class TestShifts:
+    @pytest.mark.parametrize("shift", [0, 1, 31, 32, 63, 64, 65, 100, 127])
+    def test_shl_matches_python(self, shift):
+        val = 0xDEADBEEFCAFEBABE0123456789ABCDEF
+        hi, lo = decompose128(val)
+        rh, rl = shl128(hi, lo, shift)
+        assert compose128(rh, rl) == (val << shift) % 2**128
+
+    @pytest.mark.parametrize("shift", [0, 1, 31, 32, 63, 64, 65, 100, 127])
+    def test_shr_matches_python(self, shift):
+        val = 0xDEADBEEFCAFEBABE0123456789ABCDEF
+        hi, lo = decompose128(val)
+        rh, rl = shr128(hi, lo, shift)
+        assert compose128(rh, rl) == val >> shift
+
+    def test_invalid_shift_raises(self):
+        hi, lo = decompose128(1)
+        with pytest.raises(ValueError):
+            shl128(hi, lo, 128)
+        with pytest.raises(ValueError):
+            shr128(hi, lo, -1)
+
+
+class TestComposeDecompose:
+    def test_roundtrip(self):
+        for val in [0, 1, 2**64 - 1, 2**64, 2**127, 2**128 - 1]:
+            hi, lo = decompose128(val)
+            assert compose128(hi, lo) == val
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            decompose128(2**128)
+        with pytest.raises(ValueError):
+            decompose128(-1)

@@ -1,0 +1,73 @@
+"""Tests for the hierarchical (four-step) NTT ablation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.modmath import Modulus, gen_ntt_prime
+from repro.ntt import get_tables, ntt_forward, ntt_reference
+from repro.ntt.hierarchical import (
+    hierarchical_ntt_forward,
+    hierarchical_profile,
+    hierarchical_split,
+)
+from repro.ntt.tables import bit_reverse
+
+RNG = np.random.default_rng(5)
+
+
+def make(n, bits=28):
+    return get_tables(n, Modulus(gen_ntt_prime(bits, n)))
+
+
+class TestSplit:
+    def test_factorization(self):
+        for n in (16, 64, 256, 1024, 32768):
+            na, nb = hierarchical_split(n)
+            assert na * nb == n
+            assert na <= nb
+            assert na & (na - 1) == 0 and nb & (nb - 1) == 0
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+class TestCorrectness:
+    def test_matches_reference_natural_order(self, n):
+        t = make(n)
+        x = RNG.integers(0, t.modulus.value, size=n, dtype=np.uint64)
+        got = hierarchical_ntt_forward(x, t)
+        ref = ntt_reference([int(v) for v in x], t.psi, t.modulus)
+        assert [int(v) for v in got] == ref
+
+    def test_matches_staged_up_to_bit_reversal(self, n):
+        t = make(n)
+        x = RNG.integers(0, t.modulus.value, size=n, dtype=np.uint64)
+        hier = hierarchical_ntt_forward(x, t)
+        staged = ntt_forward(x, t)
+        logn = n.bit_length() - 1
+        assert all(
+            int(staged[i]) == int(hier[bit_reverse(i, logn)]) for i in range(n)
+        )
+
+    def test_shape_validation(self, n):
+        t = make(n)
+        with pytest.raises(ValueError):
+            hierarchical_ntt_forward(np.zeros(n // 2, dtype=np.uint64), t)
+
+
+class TestAblationProfile:
+    def test_constant_global_passes(self):
+        """The hierarchical scheme's selling point: O(1) global passes."""
+        for n in (4096, 32768):
+            prof = hierarchical_profile(n)
+            assert prof["global_passes"] == 3
+
+    def test_alu_disadvantage_grows_with_n(self):
+        """...and its weakness: O(n^1.5) MACs vs O(n log n) butterflies."""
+        small = hierarchical_profile(1024)["alu_ratio_vs_staged"]
+        large = hierarchical_profile(32768)["alu_ratio_vs_staged"]
+        assert large > small > 1.0
+
+    def test_paper_scale_tradeoff(self):
+        """At the paper's 32K size the ALU surplus is decisive — the
+        quantitative backing for preferring the staged implementation."""
+        prof = hierarchical_profile(32768)
+        assert prof["alu_ratio_vs_staged"] > 10

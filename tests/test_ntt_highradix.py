@@ -1,0 +1,122 @@
+"""High-radix NTT: equivalence with radix-2 and structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.modmath import Modulus, gen_ntt_prime
+from repro.ntt import (
+    get_tables,
+    high_radix_forward_group,
+    ntt_forward,
+    ntt_forward_high_radix,
+)
+from repro.ntt.highradix import max_radix_for_stage
+from repro.ntt.radix2 import forward_stage
+
+RNG = np.random.default_rng(88)
+
+
+def make_tables(n, bits=30):
+    return get_tables(n, Modulus(gen_ntt_prime(bits, n)))
+
+
+@pytest.mark.parametrize("radix", [4, 8, 16])
+@pytest.mark.parametrize("n", [64, 256, 2048])
+class TestEquivalence:
+    def test_full_transform_matches_radix2(self, radix, n):
+        t = make_tables(n)
+        a = RNG.integers(0, t.modulus.value, size=n, dtype=np.uint64)
+        assert np.array_equal(
+            ntt_forward_high_radix(a, t, radix), ntt_forward(a, t)
+        )
+
+    def test_lazy_matches_radix2_lazy(self, radix, n):
+        t = make_tables(n)
+        a = RNG.integers(0, t.modulus.value, size=n, dtype=np.uint64)
+        assert np.array_equal(
+            ntt_forward_high_radix(a, t, radix, lazy=True),
+            ntt_forward(a, t, lazy=True),
+        )
+
+    def test_batched(self, radix, n):
+        t = make_tables(n)
+        a = RNG.integers(0, t.modulus.value, size=(3, n), dtype=np.uint64)
+        got = ntt_forward_high_radix(a, t, radix)
+        expect = ntt_forward(a, t)
+        assert np.array_equal(got, expect)
+
+
+class TestGroupSemantics:
+    def test_group_equals_consecutive_radix2_stages(self):
+        """One radix-8 group == exactly 3 radix-2 stages (paper Sec. III-B.5)."""
+        n = 512
+        t = make_tables(n)
+        a = RNG.integers(0, t.modulus.value, size=n, dtype=np.uint64)
+        grouped = a.copy()
+        high_radix_forward_group(grouped, t, m=1, radix=8)
+        staged = a.copy()
+        for s in range(3):
+            forward_stage(staged, t, 1 << s)
+        assert np.array_equal(grouped, staged)
+
+    def test_group_midway(self):
+        n = 256
+        t = make_tables(n)
+        a = RNG.integers(0, t.modulus.value, size=n, dtype=np.uint64)
+        # Advance two stages first, then compare a radix-4 group at m=4.
+        for m in (1, 2):
+            forward_stage(a, t, m)
+        grouped = a.copy()
+        high_radix_forward_group(grouped, t, m=4, radix=4)
+        staged = a.copy()
+        forward_stage(staged, t, 4)
+        forward_stage(staged, t, 8)
+        assert np.array_equal(grouped, staged)
+
+    def test_radix_too_large_for_tail_raises(self):
+        n = 64
+        t = make_tables(n)
+        a = RNG.integers(0, t.modulus.value, size=n, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            # At m = n/2 only one stage remains; radix 8 cannot fit.
+            high_radix_forward_group(a, t, m=n // 2, radix=8)
+
+    def test_invalid_radix_raises(self):
+        t = make_tables(64)
+        a = np.zeros(64, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            high_radix_forward_group(a, t, m=1, radix=6)
+
+
+class TestMaxRadix:
+    def test_full_radix_early(self):
+        assert max_radix_for_stage(1024, 1, 16) == 16
+
+    def test_degrades_at_tail(self):
+        # m = n/2: one stage left -> radix 2.
+        assert max_radix_for_stage(1024, 512, 16) == 2
+        # m = n/4: two stages left -> radix 4.
+        assert max_radix_for_stage(1024, 256, 16) == 4
+
+    def test_never_exceeds_request(self):
+        assert max_radix_for_stage(1024, 1, 4) == 4
+
+
+class TestNonPowerOfTwoSizes:
+    def test_odd_tail_1024_radix8(self):
+        """log2(1024) = 10 = 3+3+3+1: the tail degrades to radix 2."""
+        n = 1024
+        t = make_tables(n)
+        a = RNG.integers(0, t.modulus.value, size=n, dtype=np.uint64)
+        assert np.array_equal(
+            ntt_forward_high_radix(a, t, 8), ntt_forward(a, t)
+        )
+
+    def test_tail_32_radix16(self):
+        """log2(32) = 5 = 4+1."""
+        n = 32
+        t = make_tables(n)
+        a = RNG.integers(0, t.modulus.value, size=n, dtype=np.uint64)
+        assert np.array_equal(
+            ntt_forward_high_radix(a, t, 16), ntt_forward(a, t)
+        )

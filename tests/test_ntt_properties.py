@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for the NTT engines."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modmath import Modulus, gen_ntt_prime
+from repro.ntt import (
+    get_tables,
+    negacyclic_polymul_reference,
+    ntt_forward,
+    ntt_forward_high_radix,
+    ntt_inverse,
+)
+from repro.ntt.reference import negacyclic_convolution_theorem_check
+
+N = 64
+TABLES = get_tables(N, Modulus(gen_ntt_prime(30, N)))
+P = TABLES.modulus.value
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=P - 1), min_size=N, max_size=N
+)
+
+
+def as_arr(coeffs):
+    return np.array(coeffs, dtype=np.uint64)
+
+
+@given(coeffs=coeff_lists)
+@settings(max_examples=50)
+def test_roundtrip_property(coeffs):
+    a = as_arr(coeffs)
+    assert np.array_equal(ntt_inverse(ntt_forward(a, TABLES), TABLES), a)
+
+
+@given(coeffs=coeff_lists)
+@settings(max_examples=30)
+def test_high_radix_agrees(coeffs):
+    a = as_arr(coeffs)
+    expect = ntt_forward(a, TABLES)
+    for radix in (4, 8, 16):
+        assert np.array_equal(ntt_forward_high_radix(a, TABLES, radix), expect)
+
+
+@given(coeffs=coeff_lists, scalar=st.integers(min_value=1, max_value=P - 1))
+@settings(max_examples=30)
+def test_scalar_homogeneity(coeffs, scalar):
+    """NTT(c * a) == c * NTT(a) element-wise mod p."""
+    a = as_arr(coeffs)
+    ca = ((a.astype(object) * scalar) % P).astype(np.uint64)
+    lhs = ntt_forward(ca, TABLES).astype(object)
+    rhs = (ntt_forward(a, TABLES).astype(object) * scalar) % P
+    assert (lhs % P == rhs).all()
+
+
+@given(
+    a=st.lists(st.integers(min_value=0, max_value=30), min_size=8, max_size=8),
+    b=st.lists(st.integers(min_value=0, max_value=30), min_size=8, max_size=8),
+)
+@settings(max_examples=25)
+def test_convolution_theorem_small(a, b):
+    """Paper Sec. II-B: c = iNTT(NTT(a~) . NTT(b~)) reproduces a*b."""
+    n8 = 8
+    m = Modulus(gen_ntt_prime(28, n8))
+    t = get_tables(n8, m)
+    assert negacyclic_convolution_theorem_check(a, b, t.psi, m)
+
+
+@given(
+    a=st.lists(st.integers(min_value=0, max_value=P - 1), min_size=N, max_size=N),
+    b=st.lists(st.integers(min_value=0, max_value=P - 1), min_size=N, max_size=N),
+)
+@settings(max_examples=15)
+def test_fast_polymul_matches_schoolbook(a, b):
+    fa = ntt_forward(as_arr(a), TABLES)
+    fb = ntt_forward(as_arr(b), TABLES)
+    prod = (fa.astype(object) * fb.astype(object)) % P
+    got = ntt_inverse(prod.astype(np.uint64), TABLES)
+    expect = negacyclic_polymul_reference(a, b, TABLES.modulus)
+    assert [int(v) for v in got] == expect

@@ -1,0 +1,98 @@
+"""The paper's abstract, as a test file.
+
+Every quantitative sentence of the abstract asserted against this
+reproduction — the repository's top-level acceptance test:
+
+  "...accelerate the NTT by up to 9.93X compared with the naive GPU
+  baseline.  The roofline analysis confirms that our optimized NTT
+  reaches 79.8% and 85.7% of the peak performance on two GPU devices.
+  ...we obtain 2.32X - 3.05X acceleration for HE evaluation routines.
+  ...our all-together systematic optimizations improve the performance
+  of encrypted element-wise polynomial matrix multiplication application
+  by up to 3.10X."
+"""
+
+import pytest
+
+from repro.apps.matmul import MATMUL_STAGES, SHAPE_100x10x1, SHAPE_10x9x8, simulate_matmul
+from repro.core.routines import ROUTINE_NAMES
+from repro.gpu import GpuConfig, simulate_routine
+from repro.ntt import get_variant
+from repro.xesim import DEVICE1, DEVICE2, simulate_ntt
+
+
+class TestAbstractClaims:
+    def test_ntt_up_to_9_93x(self):
+        """'accelerate the NTT by up to 9.93X compared with the naive GPU
+        baseline' (Device1, dual tile, 32K/1024)."""
+        naive = simulate_ntt(get_variant("naive"), DEVICE1)
+        best = simulate_ntt(get_variant("local-radix-8+asm"), DEVICE1, tiles=2)
+        speedup = best.speedup_over(naive)
+        assert 8.0 <= speedup <= 12.0, f"measured {speedup:.2f}x vs paper 9.93x"
+
+    def test_peak_fractions_79_8_and_85_7(self):
+        """'reaches 79.8% and 85.7% of the peak performance on two GPU
+        devices'."""
+        d1 = simulate_ntt(get_variant("local-radix-8+asm"), DEVICE1, tiles=2)
+        d2 = simulate_ntt(get_variant("local-radix-8+asm"), DEVICE2)
+        assert 0.70 <= d1.efficiency <= 0.90, f"D1 {d1.efficiency:.3f} vs 0.798"
+        assert 0.72 <= d2.efficiency <= 0.95, f"D2 {d2.efficiency:.3f} vs 0.857"
+
+    def test_routines_2_32x_to_3_05x(self):
+        """'2.32X - 3.05X acceleration for HE evaluation routines' —
+        the best stage on each device against its naive baseline."""
+        finals = []
+        for dev, final_stage in (
+            (DEVICE1, "opt-NTT+asm+dual-tile"),
+            (DEVICE2, "opt-NTT+asm"),
+        ):
+            for routine in ROUTINE_NAMES:
+                base = simulate_routine(routine, dev, GpuConfig.stage("naive"))
+                best = simulate_routine(
+                    routine, dev,
+                    GpuConfig.stage(final_stage, tiles_available=dev.tiles),
+                )
+                finals.append(best.speedup_over(base))
+        assert min(finals) >= 2.0, f"min routine speedup {min(finals):.2f}"
+        assert max(finals) <= 3.4, f"max routine speedup {max(finals):.2f}"
+        assert max(finals) >= 2.6  # "up to 3.05X"
+
+    def test_matmul_up_to_3_10x(self):
+        """'improve ... polynomial matrix multiplication by up to 3.10X'."""
+        best = 0.0
+        for dev in (DEVICE1, DEVICE2):
+            for shape in (SHAPE_100x10x1, SHAPE_10x9x8):
+                base = simulate_matmul(shape, dev, "baseline")
+                final = simulate_matmul(shape, dev, "mem cache")
+                best = max(best, final.speedup_over(base))
+        assert 2.3 <= best <= 3.4, f"best matMul speedup {best:.2f}x vs 3.10x"
+
+    def test_ntt_is_the_key_algorithm(self):
+        """'the NTT, a key algorithm for HE': >= 70% of every routine."""
+        for dev in (DEVICE1, DEVICE2):
+            for routine in ROUTINE_NAMES:
+                t = simulate_routine(routine, dev, GpuConfig.stage("naive"))
+                assert t.ntt_fraction >= 0.70
+
+    def test_staged_optimizations_all_contribute(self):
+        """Every stage of the ladder must contribute on both devices."""
+        for dev, stages in (
+            (DEVICE1, ["naive", "opt-NTT", "opt-NTT+asm",
+                       "opt-NTT+asm+dual-tile"]),
+            (DEVICE2, ["naive", "simd(8,8)", "opt-NTT", "opt-NTT+asm"]),
+        ):
+            times = [
+                simulate_routine("MulLinRS", dev,
+                                 GpuConfig.stage(s, tiles_available=dev.tiles)
+                                 ).time_s
+                for s in stages
+            ]
+            assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_matmul_stage_order_matches_fig19(self):
+        for dev in (DEVICE1, DEVICE2):
+            times = [
+                simulate_matmul(SHAPE_100x10x1, dev, st).total_s
+                for st in MATMUL_STAGES
+            ]
+            assert all(b < a for a, b in zip(times, times[1:]))

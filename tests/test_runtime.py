@@ -1,0 +1,225 @@
+"""Tests for the SYCL-like runtime: buffers, cache, queues, scheduler, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    AsyncPipeline,
+    DeviceBuffer,
+    HostClock,
+    MemoryCache,
+    MultiTileScheduler,
+    Queue,
+    split_batch,
+)
+from repro.runtime.memcache import CACHE_HIT_US, FRESH_ALLOC_US
+from repro.xesim import DEVICE1, DEVICE2, KernelProfile
+
+
+def profile(cycles=1000.0, items=10**6, name="k", launches=1):
+    return KernelProfile(name, items, cycles, cycles, 0.0, launches=launches)
+
+
+class TestDeviceBuffer:
+    def test_allocate_and_view(self):
+        b = DeviceBuffer.allocate(64)
+        v = b.view((8,))
+        v[:] = np.arange(8, dtype=np.uint64)
+        assert np.array_equal(b.download((8,)), np.arange(8, dtype=np.uint64))
+
+    def test_upload_roundtrip(self):
+        b = DeviceBuffer.allocate(80)
+        data = np.arange(10, dtype=np.uint64)
+        b.upload(data)
+        assert np.array_equal(b.download((10,)), data)
+        assert b.size_bytes == 80
+
+    def test_capacity_vs_size(self):
+        b = DeviceBuffer.allocate(32, capacity_bytes=128)
+        assert b.capacity_bytes == 128 and b.size_bytes == 32
+        b.resize_logical(100)
+        with pytest.raises(ValueError):
+            b.resize_logical(200)
+
+    def test_view_too_large(self):
+        b = DeviceBuffer.allocate(32)
+        with pytest.raises(ValueError):
+            b.view((100,))
+
+    def test_use_after_free(self):
+        cache = MemoryCache()
+        b, _ = cache.malloc(64)
+        cache.free(b)
+        with pytest.raises(RuntimeError):
+            b.view((4,))
+
+
+class TestMemoryCache:
+    def test_hit_on_refree(self):
+        cache = MemoryCache()
+        b1, c1 = cache.malloc(1000)
+        assert c1 == FRESH_ALLOC_US
+        cache.free(b1)
+        b2, c2 = cache.malloc(500)  # smaller request reuses the big buffer
+        assert c2 == CACHE_HIT_US
+        assert b2.buffer_id == b1.buffer_id
+        assert cache.stats.hit_rate == 0.5
+
+    def test_miss_when_too_small(self):
+        cache = MemoryCache()
+        b1, _ = cache.malloc(100)
+        cache.free(b1)
+        b2, cost = cache.malloc(1000)
+        assert cost == FRESH_ALLOC_US
+        assert b2.buffer_id != b1.buffer_id
+
+    def test_best_adequate_fit(self):
+        cache = MemoryCache()
+        big, _ = cache.malloc(10_000)
+        small, _ = cache.malloc(200)
+        cache.free(big)
+        cache.free(small)
+        got, _ = cache.malloc(100)
+        assert got.buffer_id == small.buffer_id  # not the 10KB one
+
+    def test_disabled_cache_never_hits(self):
+        cache = MemoryCache(enabled=False)
+        b, _ = cache.malloc(100)
+        cache.free(b)
+        _, cost = cache.malloc(100)
+        assert cost == FRESH_ALLOC_US
+        assert cache.stats.hits == 0
+        assert cache.free_count == 0
+
+    def test_double_free_rejected(self):
+        cache = MemoryCache()
+        b, _ = cache.malloc(10)
+        cache.free(b)
+        with pytest.raises(ValueError):
+            cache.free(b)
+
+    def test_pools_and_bytes(self):
+        cache = MemoryCache()
+        b1, _ = cache.malloc(100)
+        b2, _ = cache.malloc(200)
+        cache.free(b1)
+        assert cache.used_count == 1 and cache.free_count == 1
+        assert cache.total_device_bytes() == b1.capacity_bytes + b2.capacity_bytes
+        cache.clear()
+        assert cache.free_count == 0
+
+    def test_data_integrity_across_reuse(self):
+        """Recycled buffers must not leak stale logical sizes into views."""
+        cache = MemoryCache()
+        b1, _ = cache.malloc(64)
+        b1.view((8,))[:] = 7
+        cache.free(b1)
+        b2, _ = cache.malloc(32)
+        v = b2.view((4,))
+        v[:] = 1
+        assert (b2.download((4,)) == 1).all()
+
+
+class TestQueue:
+    def test_in_order_device_times(self):
+        q = Queue(device=DEVICE1)
+        e1 = q.submit(profile())
+        e2 = q.submit(profile())
+        assert e2.device_start == pytest.approx(e1.device_end)
+
+    def test_async_host_does_not_block(self):
+        q = Queue(device=DEVICE1)
+        q.submit(profile(cycles=10_000.0))
+        assert q.clock.now < q.device_time  # host ran ahead
+
+    def test_wait_advances_host(self):
+        q = Queue(device=DEVICE1)
+        q.submit(profile())
+        t = q.wait()
+        assert t == pytest.approx(q.device_time)
+
+    def test_payload_executes(self):
+        q = Queue(device=DEVICE1)
+        ran = []
+        q.submit(profile(), fn=lambda: ran.append(1))
+        assert ran == [1]
+
+    def test_memcpy_duration_scales_with_bytes(self):
+        q = Queue(device=DEVICE1)
+        e1 = q.memcpy("a", 32_000_000, to_device=True)
+        e2 = q.memcpy("b", 64_000_000, to_device=True)
+        assert e2.duration == pytest.approx(2 * e1.duration)
+
+    def test_tiles_validation(self):
+        with pytest.raises(ValueError):
+            Queue(device=DEVICE2, tiles=2)
+
+
+class TestScheduler:
+    def test_split_batch(self):
+        assert split_batch(10, 2) == [5, 5]
+        assert split_batch(11, 2) == [6, 5]
+        assert split_batch(1, 4) == [1]
+        with pytest.raises(ValueError):
+            split_batch(0, 2)
+
+    def test_two_tiles_beat_one(self):
+        def profiles(batch):
+            return [profile(cycles=1000.0, items=10**6 * batch)]
+
+        one = MultiTileScheduler(device=DEVICE1, use_tiles=1)
+        one.submit_batched(profiles, 64)
+        two = MultiTileScheduler(device=DEVICE1, use_tiles=2)
+        two.submit_batched(profiles, 64)
+        assert two.makespan < one.makespan
+
+    def test_balanced_load(self):
+        def profiles(batch):
+            return [profile(items=10**5 * batch)]
+
+        sched = MultiTileScheduler(device=DEVICE1, use_tiles=2)
+        sched.submit_batched(profiles, 64)
+        assert sched.load_imbalance() == pytest.approx(1.0, abs=0.05)
+
+    def test_use_tiles_validation(self):
+        with pytest.raises(ValueError):
+            MultiTileScheduler(device=DEVICE2, use_tiles=2)
+
+
+class TestAsyncPipeline:
+    def build(self, n_ops=20):
+        pipe = AsyncPipeline(DEVICE1)
+        pipe.add_upload(8 * 1024 * 1024)
+        for _ in range(n_ops):
+            pipe.add_op(profile(cycles=200.0))
+        pipe.add_download(8 * 1024 * 1024)
+        return pipe
+
+    def test_async_faster_than_sync(self):
+        pipe = self.build()
+        assert pipe.speedup_async_over_sync() > 1.0
+
+    def test_sync_counts(self):
+        pipe = self.build(n_ops=5)
+        sync = pipe.run("synchronous")
+        async_ = pipe.run("asynchronous")
+        assert sync.sync_count == 1 + 5 + 1  # upload + each op + download
+        assert async_.sync_count == 1        # only the final download wait
+
+    def test_device_busy_equal_between_modes(self):
+        pipe = self.build(n_ops=8)
+        s = pipe.run("synchronous")
+        a = pipe.run("asynchronous")
+        assert s.device_busy_s == pytest.approx(a.device_busy_s)
+
+    def test_payloads_run_in_both_modes(self):
+        pipe = AsyncPipeline(DEVICE1)
+        hits = []
+        pipe.add_op(profile(), payload=lambda: hits.append(1))
+        pipe.run("synchronous")
+        pipe.run("asynchronous")
+        assert hits == [1, 1]
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            self.build().run("turbo")
