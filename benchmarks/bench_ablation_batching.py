@@ -11,10 +11,11 @@ from repro.gpu.profiles import GpuConfig, GpuOpProfiler
 from repro.xesim import DEVICE1, simulate_kernels
 
 
-def _relin_profiles(batched: bool):
-    prof = GpuOpProfiler(32768, DEVICE1,
+def _relin_profiles(batched: bool, *, quick: bool = False):
+    # --quick (CI smoke): smaller ring and RNS size, same structure.
+    n, l = (8192, 4) if quick else (32768, 8)
+    prof = GpuOpProfiler(n, DEVICE1,
                          GpuConfig(ntt_variant="local-radix-8", asm=True))
-    l = 8
     out = []
     out += prof.ntt(l, inverse=True, batched=batched)
     out += prof.ntt(l * (l + 1), batched=batched)
@@ -22,20 +23,22 @@ def _relin_profiles(batched: bool):
     return out
 
 
-def test_unbatched_transforms(benchmark):
-    t = benchmark(lambda: simulate_kernels(_relin_profiles(False), DEVICE1))
+def test_unbatched_transforms(benchmark, quick):
+    t = benchmark(lambda: simulate_kernels(
+        _relin_profiles(False, quick=quick), DEVICE1))
     assert t.time_s > 0
 
 
-def test_batched_transforms(benchmark):
-    t = benchmark(lambda: simulate_kernels(_relin_profiles(True), DEVICE1))
+def test_batched_transforms(benchmark, quick):
+    t = benchmark(lambda: simulate_kernels(
+        _relin_profiles(True, quick=quick), DEVICE1))
     assert t.time_s > 0
 
 
-def test_batching_gain(benchmark):
+def test_batching_gain(benchmark, quick):
     def gain():
-        un = simulate_kernels(_relin_profiles(False), DEVICE1).time_s
-        ba = simulate_kernels(_relin_profiles(True), DEVICE1).time_s
+        un = simulate_kernels(_relin_profiles(False, quick=quick), DEVICE1).time_s
+        ba = simulate_kernels(_relin_profiles(True, quick=quick), DEVICE1).time_s
         return un / ba
 
     g = benchmark(gain)

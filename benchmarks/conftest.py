@@ -13,6 +13,19 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="shrink benchmark shapes for CI smoke runs",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """True when the run should use CI-sized shapes (--quick)."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -9,6 +9,11 @@ Commands
     Recompute the 18 NTT-level calibration metrics and show band status.
 ``devices``
     Print the modelled device specifications.
+``serve``
+    Run the batched HE serving subsystem on synthetic traffic and report
+    latency/throughput vs. the unbatched synchronous baseline.
+    ``--self-test`` additionally verifies every decrypted result and
+    exits non-zero unless batched-async beats the baseline.
 ``info``
     Version and package inventory.
 """
@@ -68,12 +73,113 @@ def cmd_devices(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .core import (
+        CkksContext,
+        CkksEncoder,
+        CkksParameters,
+        Decryptor,
+        Encryptor,
+        KeyGenerator,
+    )
+    from .server import BatchPolicy, HEServer, ServerClient
+    from .xesim import DEVICE1, DEVICE2
+
+    if args.requests < 1:
+        print("serve: --requests must be >= 1")
+        return 2
+    if args.max_batch < 1:
+        print("serve: --max-batch must be >= 1")
+        return 2
+    if args.window_us < 0:
+        print("serve: --window-us must be >= 0")
+        return 2
+
+    pools = {
+        "device1": [(DEVICE1, 2)],
+        "device2": [(DEVICE2, 1)],
+        "both": [(DEVICE1, 2), (DEVICE2, 1)],
+        "dual-device2": [(DEVICE2, 1), (DEVICE2, 1)],
+    }
+    devices = pools[args.devices]
+
+    params = CkksParameters.default(degree=args.degree, levels=3,
+                                    scale_bits=30, first_bits=50,
+                                    special_bits=50)
+    context = CkksContext(params)
+    keygen = KeyGenerator(context, seed=args.seed)
+    encoder = CkksEncoder(context)
+    server = HEServer(
+        ServerClient.params_wire(params),
+        devices=devices,
+        policy=BatchPolicy(max_batch=args.max_batch,
+                           window_us=args.window_us),
+    )
+    client = ServerClient(
+        server,
+        encoder=encoder,
+        encryptor=Encryptor(context, keygen.public_key(), seed=args.seed + 1),
+        decryptor=Decryptor(context, keygen.secret_key()),
+        relin_key=keygen.relin_key(),
+        galois_keys=keygen.galois_keys([1, 2], include_conjugate=False),
+    )
+
+    rng = np.random.default_rng(args.seed)
+    inputs = {}
+    # Bursty synthetic traffic: the gap tracks the batching budget but is
+    # capped so a huge --window-us still exercises batching (batches then
+    # close by size) instead of spreading arrivals over the whole window.
+    mean_gap_us = min(args.window_us / args.max_batch, 50.0)
+    t_us = 0.0
+    for i in range(args.requests):
+        t_us += rng.exponential(mean_gap_us)
+        if i % 3 == 2:
+            a = rng.normal(size=encoder.slots)
+            b = rng.normal(size=encoder.slots)
+            rid = client.submit_multiply(a, b, arrival_us=t_us)
+            inputs[rid] = a * b
+        else:
+            v = rng.normal(size=encoder.slots)
+            rid = client.submit_square(v, arrival_us=t_us)
+            inputs[rid] = v * v
+
+    replay = server.request_log
+    client.serve()
+    baseline_s = server.serial_baseline_time_s(replay)
+    batched_s = server.metrics.span_us * 1e-6
+    speedup = baseline_s / batched_s if batched_s > 0 else float("inf")
+
+    worst = 0.0
+    failures = 0
+    for rid, expected in inputs.items():
+        if not client.response(rid).ok:
+            failures += 1
+            continue
+        worst = max(worst, float(np.abs(client.result(rid).real
+                                        - expected).max()))
+
+    print(f"pool: {', '.join(f'{d.name} x{t}' for d, t in devices)}")
+    print(server.metrics.render())
+    print(f"serial sync baseline : {baseline_s * 1e3:.3f} ms "
+          f"-> batched async {batched_s * 1e3:.3f} ms "
+          f"({speedup:.2f}x)")
+    print(f"worst decrypt error  : {worst:.2e} ({failures} failures)")
+
+    if args.self_test:
+        ok = failures == 0 and worst < 1e-3 and speedup > 1.0
+        print(f"self-test: {'PASS' if ok else 'FAIL'}")
+        return 0 if ok else 1
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from . import __version__
 
     print(f"repro {__version__} — reproduction of 'Accelerating Encrypted "
           f"Computing on Intel GPUs' (IPDPS 2022, arXiv:2109.14704)")
-    print("packages: modmath rns ntt xesim runtime core gpu apps analysis")
+    print("packages: modmath rns ntt xesim runtime core gpu server apps analysis")
     print("docs: README.md DESIGN.md EXPERIMENTS.md")
     return 0
 
@@ -94,6 +200,23 @@ def main(argv: list | None = None) -> int:
 
     p_dev = sub.add_parser("devices", help="print modelled device specs")
     p_dev.set_defaults(fn=cmd_devices)
+
+    p_srv = sub.add_parser("serve", help="run the batched HE serving subsystem")
+    p_srv.add_argument("--requests", type=int, default=24,
+                       help="synthetic requests to serve (default 24)")
+    p_srv.add_argument("--devices", default="both",
+                       choices=["device1", "device2", "both", "dual-device2"],
+                       help="simulated device pool (default both)")
+    p_srv.add_argument("--max-batch", type=int, default=8,
+                       help="batch size budget (default 8)")
+    p_srv.add_argument("--window-us", type=float, default=200.0,
+                       help="batching latency budget in us (default 200)")
+    p_srv.add_argument("--degree", type=int, default=1024,
+                       help="CKKS ring degree (default 1024; test-scale)")
+    p_srv.add_argument("--seed", type=int, default=2022)
+    p_srv.add_argument("--self-test", action="store_true",
+                       help="verify results + speedup; nonzero exit on failure")
+    p_srv.set_defaults(fn=cmd_serve)
 
     p_info = sub.add_parser("info", help="version and inventory")
     p_info.set_defaults(fn=cmd_info)

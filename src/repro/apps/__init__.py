@@ -1,6 +1,12 @@
 """Applications built on the public API (paper Sec. IV-E and Sec. I)."""
 
-from .inference import InferenceResult, LinearModel, encrypted_inference
+from .inference import (
+    InferenceResult,
+    LinearModel,
+    ServedInferenceResult,
+    encrypted_inference,
+    served_inference,
+)
 from .matmul import (
     MATMUL_STAGES,
     MatmulShape,
@@ -20,4 +26,6 @@ __all__ = [
     "LinearModel",
     "InferenceResult",
     "encrypted_inference",
+    "ServedInferenceResult",
+    "served_inference",
 ]

@@ -33,7 +33,7 @@ from ..gpu.profiles import GpuConfig
 from ..xesim.device import DeviceSpec
 
 __all__ = ["LinearModel", "InferenceResult", "encrypted_inference",
-           "rotation_steps_needed"]
+           "rotation_steps_needed", "ServedInferenceResult", "served_inference"]
 
 
 @dataclass(frozen=True)
@@ -134,3 +134,73 @@ def encrypted_inference(
         device_time_s=gpu_ev.device_time,
         rotations_used=rotations,
     )
+
+
+# -- private inference as a service (repro.server) ---------------------------
+
+
+@dataclass(frozen=True)
+class ServedInferenceResult:
+    """Decrypted scores with the serving-layer telemetry."""
+
+    scores: np.ndarray
+    metrics: "object"          # repro.server.ServerMetrics
+    request_ids: List[str]
+
+    @property
+    def latency_p95_us(self) -> float:
+        return self.metrics.latency_percentile_us(95)
+
+
+def served_inference(
+    x: Sequence[float],
+    model: LinearModel,
+    *,
+    params,
+    encoder: CkksEncoder,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    relin_key: RelinKey,
+    galois_keys: GaloisKeys,
+    devices=None,
+    policy=None,
+) -> ServedInferenceResult:
+    """``W x + b`` through the batched HE serving subsystem.
+
+    Private-inference-as-a-service: the model's weight rows are installed
+    server-side as cached plaintext artifacts, then one ``dot_plain``
+    request per output class ships the encrypted features; the server
+    batches the per-class requests across its device pool.  Requires
+    Galois keys for the power-of-two steps of the rotate-and-add tree
+    (``rotation_steps_needed(model.dim)``).
+    """
+    from ..server import BatchPolicy, HEServer, ServerClient
+
+    x = np.asarray(x, dtype=np.float64)
+    if model.dim != len(x):
+        raise ValueError("model dimension does not match features")
+    if model.dim & (model.dim - 1):
+        raise ValueError("feature dimension must be a power of two")
+
+    server = HEServer(
+        ServerClient.params_wire(params),
+        devices=devices,
+        policy=policy or BatchPolicy(max_batch=max(2, model.classes),
+                                     window_us=100.0),
+    )
+    client = ServerClient(
+        server, encoder=encoder, encryptor=encryptor, decryptor=decryptor,
+        relin_key=relin_key, galois_keys=galois_keys, client_id="inference",
+    )
+    for c in range(model.classes):
+        server.install_weights(f"class{c}", model.weights[c])
+
+    ids = [client.submit_dot(x, f"class{c}", arrival_us=float(c))
+           for c in range(model.classes)]
+    client.serve()
+    scores = np.array(
+        [client.result(rid)[0].real + model.bias[c]
+         for c, rid in enumerate(ids)]
+    )
+    return ServedInferenceResult(scores=scores, metrics=server.metrics,
+                                 request_ids=list(ids))

@@ -22,6 +22,7 @@ from .plaintext import Plaintext
 
 __all__ = [
     "FORMAT_VERSION",
+    "to_bytes", "from_bytes",
     "save_params", "load_params",
     "save_ciphertext", "load_ciphertext",
     "save_plaintext", "load_plaintext",
@@ -179,9 +180,22 @@ def load_galois_keys(fp: PathOrFile) -> GaloisKeys:
     return out
 
 
-def roundtrip_bytes(obj, saver, loader):
-    """Helper: serialize to memory and back (used by tests)."""
+def to_bytes(saver, obj) -> bytes:
+    """Serialize ``obj`` with one of the ``save_*`` functions to bytes.
+
+    The wire-format primitive of :mod:`repro.server`: requests and
+    responses frame these byte blobs with a JSON header.
+    """
     buf = io.BytesIO()
     saver(obj, buf)
-    buf.seek(0)
-    return loader(buf)
+    return buf.getvalue()
+
+
+def from_bytes(loader, data: bytes):
+    """Deserialize bytes produced by :func:`to_bytes` with a ``load_*``."""
+    return loader(io.BytesIO(data))
+
+
+def roundtrip_bytes(obj, saver, loader):
+    """Helper: serialize to memory and back (used by tests)."""
+    return from_bytes(loader, to_bytes(saver, obj))

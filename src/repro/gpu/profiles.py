@@ -151,6 +151,10 @@ class GpuOpProfiler:
     def add(self, level: int) -> List[KernelProfile]:
         return self.dyadic("add", level, ADD_MOD_MIX, passes=2)
 
+    def multiply_plain(self, level: int) -> List[KernelProfile]:
+        """Ciphertext x plaintext: one modular multiply pass per component."""
+        return self.dyadic("mulplain", 2 * level, MUL_MOD_MIX)
+
     def key_switch(self, level: int) -> List[KernelProfile]:
         """The special-prime key switch (core of Relin and Rotate)."""
         l = level

@@ -22,9 +22,18 @@ __all__ = ["MultiTileScheduler", "split_batch"]
 
 
 def split_batch(batch: int, parts: int) -> List[int]:
-    """Split a batch count into ``parts`` near-equal positive chunks."""
-    if batch < 1 or parts < 1:
-        raise ValueError("batch and parts must be >= 1")
+    """Split a batch count into ``parts`` near-equal positive chunks.
+
+    An empty batch is a legal no-op (``[]``): the serving layer forms
+    batches from a request queue that may momentarily be empty, and an
+    empty split must not abort a dispatch cycle.
+    """
+    if batch < 0:
+        raise ValueError("batch must be >= 0")
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if batch == 0:
+        return []
     parts = min(parts, batch)
     base, rem = divmod(batch, parts)
     return [base + (1 if i < rem else 0) for i in range(parts)]
@@ -32,22 +41,36 @@ def split_batch(batch: int, parts: int) -> List[int]:
 
 @dataclass
 class MultiTileScheduler:
-    """One in-order queue per tile, fed round-robin."""
+    """One in-order queue per tile, fed round-robin.
+
+    ``strict=False`` clamps ``use_tiles`` into ``[1, device.tiles]``
+    instead of raising — the serving layer shares one device table across
+    heterogeneous devices, so a tile request that exceeds a smaller
+    device's tile count degrades gracefully to "all tiles".
+    """
 
     device: DeviceSpec
     use_tiles: int
     clock: HostClock = field(default_factory=HostClock)
+    strict: bool = True
     queues: List[Queue] = field(init=False)
 
     def __post_init__(self) -> None:
         if not 1 <= self.use_tiles <= self.device.tiles:
-            raise ValueError(
-                f"use_tiles must be in [1, {self.device.tiles}], got {self.use_tiles}"
-            )
+            if self.strict:
+                raise ValueError(
+                    f"use_tiles must be in [1, {self.device.tiles}], "
+                    f"got {self.use_tiles}"
+                )
+            self.use_tiles = max(1, min(self.use_tiles, self.device.tiles))
         self.queues = [
             Queue(device=self.device, tiles=1, clock=self.clock)
             for _ in range(self.use_tiles)
         ]
+
+    def least_loaded(self) -> Queue:
+        """The tile queue with the earliest projected drain time."""
+        return min(self.queues, key=lambda q: q.device_time)
 
     def submit_batched(
         self,

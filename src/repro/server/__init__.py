@@ -1,0 +1,47 @@
+"""Batched asynchronous HE serving (the paper's deployment target).
+
+Composes the reproduced components into the client/server system the
+paper's end-to-end design (Fig. 1/2) actually serves: wire-format
+requests are coalesced by a :class:`RequestBatcher` under a latency/size
+budget, dispatched through an :class:`~repro.runtime.pipeline.AsyncPipeline`
+onto one :class:`~repro.runtime.scheduler.MultiTileScheduler` per
+simulated device (sharded by modelled throughput), with hot artifacts
+held in the :class:`~repro.runtime.memcache.MemoryCache`.
+
+Entry points: :class:`HEServer` (in-process server), :class:`ServerClient`
+(synchronous client), and ``python -m repro serve`` (CLI).
+"""
+
+from .batcher import Batch, BatchPolicy, RequestBatcher
+from .client import ServerClient
+from .dispatcher import ArtifactCache, BatchDispatcher, HEServer, ServerSession
+from .metrics import RequestRecord, ServerMetrics
+from .request import (
+    SUPPORTED_OPS,
+    ServeRequest,
+    ServeResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+__all__ = [
+    "SUPPORTED_OPS",
+    "ServeRequest",
+    "ServeResponse",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "BatchPolicy",
+    "Batch",
+    "RequestBatcher",
+    "ServerMetrics",
+    "RequestRecord",
+    "ArtifactCache",
+    "ServerSession",
+    "BatchDispatcher",
+    "HEServer",
+    "ServerClient",
+]

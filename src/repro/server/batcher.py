@@ -1,0 +1,120 @@
+"""Request coalescing under a latency/size budget.
+
+The paper's throughput numbers come from *batched* HE workloads (Fig. 8's
+``poly_num`` grid axis, Fig. 10's batch scaling); a serving deployment
+only sees batches if something forms them.  :class:`RequestBatcher`
+implements the classic serving trade-off on the simulated clock:
+
+* a batch *opens* when the first request arrives;
+* it *closes* (becomes dispatchable) when either ``max_batch`` requests
+  have accumulated (closed by size — dispatch at the closing request's
+  arrival) or ``window_us`` has elapsed since it opened (closed by time —
+  dispatch at ``open + window``);
+* requests arriving after a batch's close time open the next batch.
+
+Batching is deterministic given arrival times, so tests can assert exact
+window semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .request import ServeRequest
+
+__all__ = ["BatchPolicy", "Batch", "RequestBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The latency/size budget one batch may consume.
+
+    ``max_batch`` bounds added queueing work; ``window_us`` bounds the
+    extra latency the *first* request of a batch can pay waiting for
+    company.  ``window_us=0`` degenerates to per-request dispatch.
+    """
+
+    max_batch: int = 8
+    window_us: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.window_us < 0:
+            raise ValueError("window_us must be >= 0")
+
+
+@dataclass
+class Batch:
+    """A closed batch ready for dispatch."""
+
+    requests: List[ServeRequest]
+    open_us: float
+    dispatch_us: float
+    closed_by: str  # "size" | "window" | "drain"
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class RequestBatcher:
+    """Accumulates stamped requests; forms deterministic batches."""
+
+    def __init__(self, policy: BatchPolicy | None = None):
+        self.policy = policy or BatchPolicy()
+        self.pending: List[ServeRequest] = []
+
+    def add(self, req: ServeRequest) -> None:
+        self.pending.append(req)
+
+    @property
+    def depth(self) -> int:
+        return len(self.pending)
+
+    def form_batches(self, *, drain: bool = False,
+                     now_us: float | None = None) -> List[Batch]:
+        """Close every batch implied by the pending arrivals.
+
+        With ``drain=True`` the final partial batch closes immediately
+        (server shutdown / explicit flush) at ``now_us`` — clamped to its
+        last arrival — without waiting out the window; otherwise a
+        partial batch younger than its window stays pending.
+        """
+        if not self.pending:
+            return []
+        pol = self.policy
+        reqs = sorted(self.pending, key=lambda r: (r.arrival_us, r.request_id))
+        batches: List[Batch] = []
+        i = 0
+        while i < len(reqs):
+            open_us = reqs[i].arrival_us
+            deadline = open_us + pol.window_us
+            take = [reqs[i]]
+            j = i + 1
+            while (j < len(reqs) and len(take) < pol.max_batch
+                   and reqs[j].arrival_us <= deadline):
+                take.append(reqs[j])
+                j += 1
+            if len(take) == pol.max_batch:
+                closed_by = "size"
+                dispatch = take[-1].arrival_us
+            elif j < len(reqs):
+                # A later arrival fell outside the window: this batch
+                # closed at its deadline.
+                closed_by = "window"
+                dispatch = deadline
+            elif drain:
+                # Explicit flush: dispatch now (never before the last
+                # arrival), without waiting out the window.
+                closed_by = "drain"
+                last = take[-1].arrival_us
+                dispatch = max(last, now_us) if now_us is not None else last
+            else:
+                break  # keep the young partial batch pending
+            batches.append(Batch(take, open_us, dispatch, closed_by))
+            i = j
+        consumed = {id(r) for b in batches for r in b.requests}
+        self.pending = [r for r in reqs if id(r) not in consumed]
+        return batches

@@ -1,0 +1,127 @@
+"""Synchronous in-process client for the batched HE server.
+
+Plays the paper's client role (Fig. 1): owns the secret key side
+(encoder / encryptor / decryptor), ships parameters and evaluation keys
+to the server once, then encodes + encrypts + frames requests and
+decrypts + decodes responses.  Every byte crossing the client/server
+boundary goes through the wire format — the server never touches secret
+material or raw values.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.ciphertext import Ciphertext
+from ..core.decryptor import Decryptor
+from ..core.encoder import CkksEncoder
+from ..core.encryptor import Encryptor
+from ..core.keys import GaloisKeys, RelinKey
+from ..core.params import CkksParameters
+from ..core.serialize import (
+    save_galois_keys,
+    save_params,
+    save_relin_key,
+    to_bytes,
+)
+from .dispatcher import HEServer
+from .request import ServeRequest, ServeResponse, encode_request
+
+__all__ = ["ServerClient"]
+
+
+class ServerClient:
+    """Encrypts, submits, decrypts — the private-inference-as-a-service
+    entry point used by :mod:`repro.apps.inference`."""
+
+    def __init__(self, server: HEServer, *,
+                 encoder: CkksEncoder,
+                 encryptor: Encryptor,
+                 decryptor: Decryptor,
+                 relin_key: Optional[RelinKey] = None,
+                 galois_keys: Optional[GaloisKeys] = None,
+                 client_id: str = "client"):
+        self.server = server
+        self.encoder = encoder
+        self.encryptor = encryptor
+        self.decryptor = decryptor
+        self._ids = itertools.count()
+        self.client_id = client_id
+        self._responses: Dict[str, ServeResponse] = {}
+        if relin_key is not None:
+            server.install_relin_key(to_bytes(save_relin_key, relin_key))
+        if galois_keys is not None:
+            server.install_galois_keys(to_bytes(save_galois_keys, galois_keys))
+
+    @classmethod
+    def params_wire(cls, params: CkksParameters) -> bytes:
+        """Serialized parameters for :class:`HEServer` construction."""
+        return to_bytes(save_params, params)
+
+    # -- encryption helpers --------------------------------------------------------
+
+    def encrypt(self, values: Sequence[float]) -> Ciphertext:
+        vals = np.asarray(values, dtype=np.float64)
+        padded = np.zeros(self.encoder.slots)
+        padded[: len(vals)] = vals
+        return self.encryptor.encrypt(self.encoder.encode(padded))
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, op: str, cts: List[Ciphertext], *,
+               arrival_us: Optional[float] = None, **meta) -> str:
+        """Frame and submit one operation; returns the request id."""
+        rid = f"{self.client_id}-{next(self._ids)}"
+        req = ServeRequest(request_id=rid, op=op, cts=cts, meta=meta)
+        self.server.submit(encode_request(req), arrival_us=arrival_us)
+        return rid
+
+    def submit_square(self, values, *, arrival_us=None) -> str:
+        return self.submit("square", [self.encrypt(values)],
+                           arrival_us=arrival_us)
+
+    def submit_multiply(self, a, b, *, arrival_us=None) -> str:
+        return self.submit("multiply", [self.encrypt(a), self.encrypt(b)],
+                           arrival_us=arrival_us)
+
+    def submit_add(self, a, b, *, arrival_us=None) -> str:
+        return self.submit("add", [self.encrypt(a), self.encrypt(b)],
+                           arrival_us=arrival_us)
+
+    def submit_rotate(self, values, steps: int, *, arrival_us=None) -> str:
+        return self.submit("rotate", [self.encrypt(values)],
+                           arrival_us=arrival_us, steps=steps)
+
+    def submit_dot(self, values, weights_name: str, *, arrival_us=None) -> str:
+        """Inner product with a server-side weight vector (slot 0)."""
+        return self.submit("dot_plain", [self.encrypt(values)],
+                           arrival_us=arrival_us, weights=weights_name)
+
+    # -- results -------------------------------------------------------------------
+
+    def serve(self) -> Dict[str, ServeResponse]:
+        """Drain the server; caches and returns all responses."""
+        responses = self.server.drain()
+        self._responses.update(responses)
+        return responses
+
+    def response(self, request_id: str) -> ServeResponse:
+        try:
+            return self._responses[request_id]
+        except KeyError:
+            raise KeyError(
+                f"no response for {request_id!r}; call serve() first"
+            ) from None
+
+    def result(self, request_id: str, *, slots: Optional[int] = None) -> np.ndarray:
+        """Decrypt + decode one response (raises on server-side failure)."""
+        resp = self.response(request_id)
+        if not resp.ok:
+            raise RuntimeError(
+                f"request {request_id} failed server-side: {resp.error}"
+            )
+        decoded = self.encoder.decode(self.decryptor.decrypt(resp.result))
+        return decoded if slots is None else decoded[:slots]

@@ -1,0 +1,145 @@
+"""Serving telemetry: latency, throughput, queue depth, cache hits.
+
+Everything is measured on the *simulated* clock (microseconds), so the
+numbers are deterministic and the tests can assert on them.  The record
+layout mirrors what a production HE service would export: per-request
+(arrival, dispatch, complete, device) plus batch shapes and artifact /
+device-memory cache counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["RequestRecord", "ServerMetrics"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """The lifecycle of one served request (all times simulated us)."""
+
+    request_id: str
+    op: str
+    device: str
+    arrival_us: float
+    dispatch_us: float
+    complete_us: float
+    batch_size: int
+
+    @property
+    def latency_us(self) -> float:
+        return self.complete_us - self.arrival_us
+
+    @property
+    def queue_wait_us(self) -> float:
+        return self.dispatch_us - self.arrival_us
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    """Nearest-rank percentile on a pre-sorted list."""
+    if not sorted_vals:
+        return 0.0
+    k = max(0, min(len(sorted_vals) - 1,
+                   int(round(q / 100.0 * (len(sorted_vals) - 1)))))
+    return sorted_vals[k]
+
+
+@dataclass
+class ServerMetrics:
+    """Aggregated counters the server exposes after (or during) a drain."""
+
+    records: List[RequestRecord] = field(default_factory=list)
+    batch_sizes: List[int] = field(default_factory=list)
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    memcache_hits: int = 0
+    memcache_requests: int = 0
+
+    def observe(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    def observe_batch(self, size: int) -> None:
+        self.batch_sizes.append(size)
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def span_us(self) -> float:
+        """First arrival to last completion."""
+        if not self.records:
+            return 0.0
+        return (max(r.complete_us for r in self.records)
+                - min(r.arrival_us for r in self.records))
+
+    @property
+    def throughput_rps(self) -> float:
+        span_s = self.span_us * 1e-6
+        return self.count / span_s if span_s > 0 else 0.0
+
+    @property
+    def mean_latency_us(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.latency_us for r in self.records) / self.count
+
+    def latency_percentile_us(self, q: float) -> float:
+        return _percentile(sorted(r.latency_us for r in self.records), q)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    def max_queue_depth(self) -> int:
+        """Peak number of requests arrived but not yet dispatched."""
+        events = []
+        for r in self.records:
+            events.append((r.arrival_us, 0, 1))
+            events.append((r.dispatch_us, 1, -1))
+        depth = peak = 0
+        # Dispatches sort after arrivals at the same instant: a request
+        # that arrives exactly at dispatch time counts as queued once.
+        for _, _, delta in sorted(events):
+            depth += delta
+            peak = max(peak, depth)
+        return peak
+
+    def per_device_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.device] = out.get(r.device, 0) + 1
+        return out
+
+    @property
+    def artifact_hit_rate(self) -> float:
+        total = self.artifact_hits + self.artifact_misses
+        return self.artifact_hits / total if total else 0.0
+
+    # -- reporting -------------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [
+            f"requests served      : {self.count}",
+            f"simulated span       : {self.span_us / 1e3:.3f} ms",
+            f"throughput           : {self.throughput_rps:,.0f} req/s",
+            f"latency mean/p50/p95 : {self.mean_latency_us:.1f} / "
+            f"{self.latency_percentile_us(50):.1f} / "
+            f"{self.latency_percentile_us(95):.1f} us",
+            f"batches (mean size)  : {len(self.batch_sizes)} "
+            f"({self.mean_batch_size:.1f})",
+            f"peak queue depth     : {self.max_queue_depth()}",
+            f"artifact cache       : {self.artifact_hits} hits / "
+            f"{self.artifact_misses} misses "
+            f"({100 * self.artifact_hit_rate:.0f}%)",
+            f"device memcache      : {self.memcache_hits}/"
+            f"{self.memcache_requests} hits",
+        ]
+        for name, n in sorted(self.per_device_counts().items()):
+            lines.append(f"  {name:<19}: {n} requests")
+        return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Wire format for batched HE serving requests and responses.
+
+A request frames one HE operation over serialized ciphertexts (the
+``core.serialize`` ``.npz`` blobs) with a JSON header:
+
+.. code-block:: text
+
+    b"RPRQ" | u32 header_len | header JSON | (u64 blob_len | blob)*
+
+The header carries the request id, the operation name and its metadata
+(rotation steps, the server-side weight-artifact name, ...); each blob is
+one ``save_ciphertext`` payload.  Responses use the same framing with
+magic ``RPRS``, a status/timing header and at most one result blob.
+Everything is byte-exact and version-checked through the underlying
+``core.serialize`` format (``FORMAT_VERSION``).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.ciphertext import Ciphertext
+from ..core.serialize import from_bytes, load_ciphertext, save_ciphertext, to_bytes
+
+__all__ = [
+    "SUPPORTED_OPS",
+    "ServeRequest",
+    "ServeResponse",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+]
+
+REQUEST_MAGIC = b"RPRQ"
+RESPONSE_MAGIC = b"RPRS"
+
+#: Operations the dispatcher executes.  All of them need only public
+#: material server-side (evaluation keys and plaintext weights).
+SUPPORTED_OPS = frozenset(
+    {"square", "multiply", "add", "rotate", "multiply_plain", "dot_plain"}
+)
+
+
+@dataclass
+class ServeRequest:
+    """One client operation: ``op`` applied to ``cts`` under ``meta``.
+
+    ``meta`` keys by op: ``rotate`` needs ``steps``; ``multiply_plain``
+    and ``dot_plain`` need ``weights`` (a server-side artifact name).
+    ``arrival_us`` is stamped by the server on submission (simulated
+    clock) — it travels outside the wire bytes.
+    """
+
+    request_id: str
+    op: str
+    cts: List[Ciphertext]
+    meta: Dict = field(default_factory=dict)
+    arrival_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in SUPPORTED_OPS:
+            raise ValueError(
+                f"unsupported op {self.op!r}; known: {sorted(SUPPORTED_OPS)}"
+            )
+        expected = 2 if self.op in ("multiply", "add") else 1
+        if len(self.cts) != expected:
+            raise ValueError(
+                f"op {self.op!r} takes {expected} ciphertext(s), "
+                f"got {len(self.cts)}"
+            )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Payload volume for upload-cost modelling."""
+        return sum(ct.data.nbytes for ct in self.cts)
+
+
+@dataclass
+class ServeResponse:
+    """Per-request outcome with the server-side simulated timeline."""
+
+    request_id: str
+    ok: bool
+    result: Optional[Ciphertext] = None
+    error: str = ""
+    arrival_us: float = 0.0
+    dispatch_us: float = 0.0
+    complete_us: float = 0.0
+    device: str = ""
+    batch_size: int = 0
+
+    @property
+    def latency_us(self) -> float:
+        return self.complete_us - self.arrival_us
+
+
+def _frame(magic: bytes, header: dict, blobs: List[bytes]) -> bytes:
+    head = json.dumps(header, sort_keys=True).encode()
+    out = [magic, struct.pack("<I", len(head)), head]
+    for blob in blobs:
+        out.append(struct.pack("<Q", len(blob)))
+        out.append(blob)
+    return b"".join(out)
+
+
+def _unframe(magic: bytes, data: bytes) -> tuple:
+    if data[:4] != magic:
+        raise ValueError(
+            f"bad magic {data[:4]!r} (expected {magic!r}): not a serving frame"
+        )
+    (head_len,) = struct.unpack_from("<I", data, 4)
+    off = 8
+    header = json.loads(data[off:off + head_len].decode())
+    off += head_len
+    blobs = []
+    while off < len(data):
+        (blob_len,) = struct.unpack_from("<Q", data, off)
+        off += 8
+        blob = data[off:off + blob_len]
+        if len(blob) != blob_len:
+            raise ValueError("truncated serving frame")
+        blobs.append(blob)
+        off += blob_len
+    return header, blobs
+
+
+def encode_request(req: ServeRequest) -> bytes:
+    header = {
+        "id": req.request_id,
+        "op": req.op,
+        "meta": req.meta,
+        "n_cts": len(req.cts),
+    }
+    return _frame(REQUEST_MAGIC, header,
+                  [to_bytes(save_ciphertext, ct) for ct in req.cts])
+
+
+def decode_request(data: bytes) -> ServeRequest:
+    header, blobs = _unframe(REQUEST_MAGIC, data)
+    if header.get("n_cts") != len(blobs):
+        raise ValueError(
+            f"header promises {header.get('n_cts')} ciphertexts, "
+            f"frame carries {len(blobs)}"
+        )
+    return ServeRequest(
+        request_id=header["id"],
+        op=header["op"],
+        cts=[from_bytes(load_ciphertext, b) for b in blobs],
+        meta=header.get("meta", {}),
+    )
+
+
+def encode_response(resp: ServeResponse) -> bytes:
+    header = {
+        "id": resp.request_id,
+        "ok": resp.ok,
+        "error": resp.error,
+        "arrival_us": resp.arrival_us,
+        "dispatch_us": resp.dispatch_us,
+        "complete_us": resp.complete_us,
+        "device": resp.device,
+        "batch_size": resp.batch_size,
+    }
+    blobs = []
+    if resp.result is not None:
+        blobs.append(to_bytes(save_ciphertext, resp.result))
+    return _frame(RESPONSE_MAGIC, header, blobs)
+
+
+def decode_response(data: bytes) -> ServeResponse:
+    header, blobs = _unframe(RESPONSE_MAGIC, data)
+    return ServeResponse(
+        request_id=header["id"],
+        ok=header["ok"],
+        result=from_bytes(load_ciphertext, blobs[0]) if blobs else None,
+        error=header.get("error", ""),
+        arrival_us=header.get("arrival_us", 0.0),
+        dispatch_us=header.get("dispatch_us", 0.0),
+        complete_us=header.get("complete_us", 0.0),
+        device=header.get("device", ""),
+        batch_size=header.get("batch_size", 0),
+    )

@@ -160,8 +160,19 @@ class TestScheduler:
         assert split_batch(10, 2) == [5, 5]
         assert split_batch(11, 2) == [6, 5]
         assert split_batch(1, 4) == [1]
+
+    def test_split_batch_empty_is_noop(self):
+        """Regression: an empty batch splits to [] instead of raising —
+        the serving layer dispatches whatever the batcher formed, which
+        may be nothing."""
+        assert split_batch(0, 2) == []
+        assert split_batch(0, 1) == []
+
+    def test_split_batch_invalid(self):
         with pytest.raises(ValueError):
-            split_batch(0, 2)
+            split_batch(-1, 2)
+        with pytest.raises(ValueError):
+            split_batch(4, 0)
 
     def test_two_tiles_beat_one(self):
         def profiles(batch):
@@ -184,6 +195,27 @@ class TestScheduler:
     def test_use_tiles_validation(self):
         with pytest.raises(ValueError):
             MultiTileScheduler(device=DEVICE2, use_tiles=2)
+
+    def test_use_tiles_clamped_when_not_strict(self):
+        """Regression: a shared tile request larger than a device's tile
+        count degrades to all tiles instead of aborting the dispatch."""
+        sched = MultiTileScheduler(device=DEVICE2, use_tiles=4, strict=False)
+        assert sched.use_tiles == DEVICE2.tiles == 1
+        sched = MultiTileScheduler(device=DEVICE1, use_tiles=0, strict=False)
+        assert sched.use_tiles == 1
+
+    def test_submit_empty_batch_is_noop(self):
+        """Regression: dispatching an empty batch leaves the scheduler idle."""
+        sched = MultiTileScheduler(device=DEVICE1, use_tiles=2)
+        sched.submit_batched(lambda b: [profile(items=10**5 * b)], 0)
+        assert sched.makespan == 0.0
+        assert sched.wait_all() == sched.clock.now
+        assert sched.load_imbalance() == 1.0
+
+    def test_least_loaded(self):
+        sched = MultiTileScheduler(device=DEVICE1, use_tiles=2)
+        sched.queues[0].submit(profile(items=10**6))
+        assert sched.least_loaded() is sched.queues[1]
 
 
 class TestAsyncPipeline:
@@ -223,3 +255,70 @@ class TestAsyncPipeline:
     def test_unknown_mode(self):
         with pytest.raises(ValueError):
             self.build().run("turbo")
+
+
+class TestPipelineOnScheduler:
+    """AsyncPipeline executing over per-tile queues (the serving path)."""
+
+    def build(self, tiles=2, lanes=2, ops_per_lane=6):
+        sched = MultiTileScheduler(device=DEVICE1, use_tiles=tiles)
+        pipe = AsyncPipeline(DEVICE1, scheduler=sched)
+        for lane in range(lanes):
+            pipe.add_upload(1024, lane=lane)
+            for _ in range(ops_per_lane):
+                pipe.add_op(profile(cycles=500.0), lane=lane)
+            pipe.add_download(1024, lane=lane, name=f"lane{lane}")
+        return sched, pipe
+
+    def test_lanes_overlap_across_tiles(self):
+        _, two = self.build(tiles=2)
+        res_two = two.run()
+        _, one = self.build(tiles=1)
+        res_one = one.run()
+        assert res_two.total_time_s < res_one.total_time_s
+
+    def test_lane_chain_stays_in_order(self):
+        sched, pipe = self.build(tiles=2, lanes=1)
+        pipe.run()
+        events = sched.queues[0].events
+        assert len(events) >= 8  # upload + 6 ops + download, all on lane 0
+        for prev, cur in zip(events, events[1:]):
+            assert cur.device_start >= prev.device_end - 1e-12
+
+    def test_device_busy_matches_scheduler(self):
+        sched, pipe = self.build()
+        res = pipe.run()
+        assert res.device_busy_s == pytest.approx(sched.total_busy)
+
+    def test_sync_mode_counts_per_submission(self):
+        _, pipe = self.build(lanes=2, ops_per_lane=3)
+        res = pipe.run("synchronous")
+        # 2 uploads + 6 ops + the final drain.
+        assert res.sync_count == 2 + 6 + 1
+
+    def test_payload_executes(self):
+        sched = MultiTileScheduler(device=DEVICE1, use_tiles=2)
+        pipe = AsyncPipeline(DEVICE1, scheduler=sched)
+        ran = []
+        pipe.add_op(profile(), payload=lambda: ran.append(1), lane=0)
+        pipe.run()
+        assert ran == [1]
+
+    def test_lane_none_uses_least_loaded(self):
+        sched = MultiTileScheduler(device=DEVICE1, use_tiles=2)
+        pipe = AsyncPipeline(DEVICE1, scheduler=sched)
+        for _ in range(4):
+            pipe.add_op(profile(cycles=500.0))
+        pipe.run()
+        assert all(len(q.events) == 2 for q in sched.queues)
+
+    def test_wrong_device_rejected(self):
+        sched = MultiTileScheduler(device=DEVICE2, use_tiles=1)
+        with pytest.raises(ValueError):
+            AsyncPipeline(DEVICE1, scheduler=sched)
+
+    def test_speedup_helper_rejected_in_scheduler_mode(self):
+        sched = MultiTileScheduler(device=DEVICE1, use_tiles=2)
+        pipe = AsyncPipeline(DEVICE1, scheduler=sched)
+        with pytest.raises(ValueError):
+            pipe.speedup_async_over_sync()
