@@ -1,0 +1,100 @@
+"""Ablation: the kernel-fusion compiler on a multi-request server batch.
+
+The paper's fusion wins — mad_mod accumulation (Sec. III-A.1), the
+last-round correction folded into the final NTT pass (Sec. III-B.1) and
+one launch grid across polynomials (Fig. 8) — generalized by
+``repro.fusion`` into a planner the serving dispatcher runs per batch.
+This bench serves the *same* synthetic multi-request batch with fusion
+off and on and checks the contract: strictly fewer simulated kernel
+launches, strictly less end-to-end simulated time, bit-identical
+decrypted results.
+"""
+
+import numpy as np
+
+from repro.analysis import fusion_breakdown
+from repro.gpu import GpuConfig, GpuOpProfiler
+from repro.server import (
+    demo_deployment,
+    mixed_square_multiply_traffic,
+    serve_traffic,
+)
+from repro.xesim import DEVICE1
+
+
+def _deployment(quick):
+    # --quick (CI smoke): smaller ring, fewer requests, same structure.
+    degree, n_requests = (1024, 8) if quick else (2048, 24)
+    params, encoder, encryptor, decryptor, relin_wire = demo_deployment(
+        degree=degree)
+    frames = mixed_square_multiply_traffic(
+        encoder, encryptor, requests=n_requests,
+        rng=np.random.default_rng(2022),
+    )
+    return params, encoder, decryptor, relin_wire, frames
+
+
+def _serve(params, relin_wire, frames, kernel_fusion):
+    return serve_traffic(params, frames, kernel_fusion=kernel_fusion,
+                         relin_wire=relin_wire)
+
+
+def test_unfused_server_batch(benchmark, quick):
+    params, _enc, _dec, relin_wire, frames = _deployment(quick)
+    server = benchmark(lambda: _serve(params, relin_wire, frames, False))
+    assert server.metrics.count == len(frames)
+    assert server.metrics.fused_launches == server.metrics.raw_launches
+
+
+def test_fused_server_batch(benchmark, quick):
+    params, _enc, _dec, relin_wire, frames = _deployment(quick)
+    server = benchmark(lambda: _serve(params, relin_wire, frames, True))
+    assert server.metrics.count == len(frames)
+    assert server.metrics.fused_launches < server.metrics.raw_launches
+
+
+def test_fusion_gain(benchmark, quick):
+    """The acceptance contract: fewer launches, less time, same bits."""
+    params, encoder, decryptor, relin_wire, frames = _deployment(quick)
+
+    def ab():
+        return (_serve(params, relin_wire, frames, False),
+                _serve(params, relin_wire, frames, True))
+
+    off, on = benchmark(ab)
+
+    # Strictly fewer simulated kernel launches...
+    assert on.metrics.raw_launches == off.metrics.raw_launches
+    assert on.metrics.fused_launches < off.metrics.fused_launches
+    # ...strictly less end-to-end simulated time...
+    assert on.metrics.span_us < off.metrics.span_us
+    # ...and bit-identical results, which also decrypt correctly.
+    worst = 0.0
+    for rid, _, _, expected in frames:
+        r_off, r_on = off.response(rid), on.response(rid)
+        assert r_off.ok and r_on.ok
+        assert np.array_equal(r_off.result.data, r_on.result.data)
+        got = encoder.decode(decryptor.decrypt(r_on.result)).real
+        worst = max(worst, float(np.abs(got - expected).max()))
+    assert worst < 1e-3
+
+    print(f"\nkernel fusion on a {len(frames)}-request batch: "
+          f"{off.metrics.fused_launches} -> {on.metrics.fused_launches} "
+          f"launches ({100 * on.metrics.launch_reduction:.0f}% removed), "
+          f"span {off.metrics.span_us / 1e3:.3f} -> "
+          f"{on.metrics.span_us / 1e3:.3f} ms "
+          f"({off.metrics.span_us / on.metrics.span_us:.2f}x), "
+          f"worst decrypt error {worst:.2e}")
+
+
+def test_chain_breakdown(benchmark, quick):
+    """Launch-overhead share before/after fusing one routine chain."""
+    n, l = (8192, 4) if quick else (32768, 8)
+    profiler = GpuOpProfiler(n, DEVICE1,
+                             GpuConfig(ntt_variant="local-radix-8", asm=True))
+    bd = benchmark(lambda: fusion_breakdown(profiler.routine("MulLinRS", l),
+                                            DEVICE1))
+    assert bd.fused.launches < bd.raw.launches
+    assert bd.fused.total_s < bd.raw.total_s
+    assert bd.fused.launch_fraction < bd.raw.launch_fraction
+    print("\n" + bd.render())

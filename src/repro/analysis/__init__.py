@@ -1,7 +1,14 @@
 """Analysis: figure regeneration, profiling and report rendering."""
 
 from .figures import ALL_FIGURES, FigureResult, Series
-from .profiling import ProfileReport, profile_queue
+from .profiling import (
+    FusionBreakdown,
+    KernelCostReport,
+    ProfileReport,
+    fusion_breakdown,
+    kernel_cost_report,
+    profile_queue,
+)
 from .report import render_comparison, render_figure, render_table
 
 __all__ = [
@@ -10,6 +17,10 @@ __all__ = [
     "Series",
     "ProfileReport",
     "profile_queue",
+    "KernelCostReport",
+    "kernel_cost_report",
+    "FusionBreakdown",
+    "fusion_breakdown",
     "render_figure",
     "render_table",
     "render_comparison",

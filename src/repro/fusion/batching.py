@@ -1,0 +1,120 @@
+"""Cross-request launch batching: one widened grid for same-shape chains.
+
+The paper's Fig. 8 sweep shows the launch grid's ``poly_num`` axis is
+where the GPU's width pays off: N independent polynomials in one launch
+fill the machine, N separate launches idle it and pay the driver
+overhead N times.  The serving layer sees exactly this opportunity —
+a dispatched batch routinely carries several requests running the *same*
+operation at the *same* shape (same op, level, degree), whose kernel
+chains are kernel-for-kernel identical.
+
+:func:`batch_chains` groups per-request kernel chains by a structural
+signature and widens each group's chain across the request axis with
+:func:`~repro.xesim.kernel.scale_profile`: work-items and bytes scale
+with the group width, per-item costs and launch counts do not.  A group
+of k same-shape requests therefore submits one kernel chain instead of
+k — the cross-request analogue of the within-op batching the
+``batched=True`` NTT profiles model.
+
+Chains with no same-shape partner pass through unchanged (a group of
+width 1).  Grouping preserves first-seen order, so dispatch stays
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from ..xesim.kernel import KernelProfile, scale_profile
+from .planner import FusedKernelProfile
+
+__all__ = ["LaunchGroup", "chain_signature", "batch_chains", "widen_profile"]
+
+
+def chain_signature(profiles: Sequence[KernelProfile]) -> Tuple:
+    """A hashable shape key: equal signatures = mergeable launch grids.
+
+    Everything that determines a kernel's grid and cost participates;
+    two chains with equal signatures are the same kernel sequence over
+    different data.
+    """
+    return tuple(
+        (
+            p.name,
+            p.work_items,
+            p.lane_cycles_per_item,
+            p.nominal_ops_per_item,
+            p.global_bytes,
+            p.mem_pattern,
+            p.launches,
+            p.work_groups,
+            p.ntt_class,
+        )
+        for p in profiles
+    )
+
+
+def widen_profile(profile: KernelProfile, width: int) -> KernelProfile:
+    """:func:`~repro.xesim.kernel.scale_profile` that keeps fusion
+    bookkeeping consistent: a widened fused kernel's ``parts`` and
+    ``elided_bytes`` scale with it (per-chain ``collapsed_launches`` do
+    not — the same kernels collapsed, whatever the width)."""
+    wide = scale_profile(profile, width)
+    if isinstance(profile, FusedKernelProfile):
+        wide = replace(
+            wide,
+            parts=tuple(scale_profile(p, width) for p in profile.parts),
+            elided_bytes=profile.elided_bytes * width,
+        )
+    return wide
+
+
+@dataclass(frozen=True)
+class LaunchGroup:
+    """One widened kernel chain serving ``request_ids`` together."""
+
+    request_ids: Tuple[str, ...]
+    profiles: Tuple[KernelProfile, ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.request_ids)
+
+    @property
+    def launches(self) -> int:
+        return sum(p.launches for p in self.profiles)
+
+
+def batch_chains(
+    chains: Sequence[Tuple[str, Sequence[KernelProfile]]]
+) -> List[LaunchGroup]:
+    """Merge same-signature request chains into widened launch groups.
+
+    ``chains`` is ``[(request_id, kernel_chain), ...]`` in dispatch
+    order.  Returns one :class:`LaunchGroup` per distinct signature, in
+    first-seen order; members share every launch of the widened chain.
+    """
+    order: List[Tuple] = []
+    members: Dict[Tuple, List[str]] = {}
+    bodies: Dict[Tuple, Sequence[KernelProfile]] = {}
+    for rid, profs in chains:
+        sig = chain_signature(profs)
+        if sig not in members:
+            order.append(sig)
+            members[sig] = []
+            bodies[sig] = list(profs)
+        members[sig].append(rid)
+
+    groups: List[LaunchGroup] = []
+    for sig in order:
+        rids = members[sig]
+        width = len(rids)
+        profs = bodies[sig]
+        widened = (
+            tuple(profs)
+            if width == 1
+            else tuple(widen_profile(p, width) for p in profs)
+        )
+        groups.append(LaunchGroup(request_ids=tuple(rids), profiles=widened))
+    return groups

@@ -1,0 +1,142 @@
+"""Op-trace capture: kernel chains as producer/consumer op-graphs.
+
+The evaluator layers emit each HE operation as a flat, in-order
+:class:`~repro.xesim.kernel.KernelProfile` list (one entry per kernel
+launch).  The fusion planner needs slightly more structure than a list:
+*which kernel feeds which* — because only a producer/consumer pair whose
+intermediate lives entirely in registers may be fused, and only an
+adjacent pair can keep it there on an in-order queue.
+
+:func:`capture_chain` lifts a profile list into an :class:`OpTrace`
+whose nodes carry explicit producer/consumer edges.  The paper's queues
+are in-order (Fig. 2), so a recorded chain is linear: node ``i``
+consumes node ``i-1``'s output.  That is exactly the dependence
+structure the evaluator's per-op kernel sequences have (each pass reads
+what the previous pass wrote, or an independent RNS row of it — either
+way fusion across the edge is launch-legal).
+
+:class:`TraceRecorder` accumulates one trace per evaluator operation so
+a whole workload can be replayed through the planner after the fact
+(the ``GpuEvaluator`` records into one when kernel fusion is enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from ..xesim.kernel import KernelProfile
+
+__all__ = ["TraceNode", "OpTrace", "TraceRecorder", "capture_chain"]
+
+
+@dataclass(frozen=True)
+class TraceNode:
+    """One kernel launch in an op-graph.
+
+    ``producers``/``consumers`` are node indices within the owning
+    :class:`OpTrace` — empty tuples mark graph sources/sinks.
+    """
+
+    index: int
+    profile: KernelProfile
+    producers: Tuple[int, ...] = ()
+    consumers: Tuple[int, ...] = ()
+
+    @property
+    def is_source(self) -> bool:
+        return not self.producers
+
+    @property
+    def is_sink(self) -> bool:
+        return not self.consumers
+
+
+@dataclass(frozen=True)
+class OpTrace:
+    """The captured kernel graph of one evaluator operation."""
+
+    nodes: Tuple[TraceNode, ...]
+    op: str = ""
+    request_id: str = ""
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def profiles(self) -> List[KernelProfile]:
+        return [n.profile for n in self.nodes]
+
+    @property
+    def launches(self) -> int:
+        return sum(n.profile.launches for n in self.nodes)
+
+    @property
+    def global_bytes(self) -> float:
+        return sum(n.profile.global_bytes for n in self.nodes)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All (producer, consumer) pairs, in submission order."""
+        return [(p, n.index) for n in self.nodes for p in n.producers]
+
+
+def capture_chain(
+    profiles: Sequence[KernelProfile], *, op: str = "", request_id: str = ""
+) -> OpTrace:
+    """Record an in-order kernel chain as a linear op-graph.
+
+    Empty input yields an empty (but valid) trace — the serving layer
+    can hit momentarily empty batches and must not special-case them.
+    """
+    nodes = []
+    last = len(profiles) - 1
+    for i, prof in enumerate(profiles):
+        nodes.append(
+            TraceNode(
+                index=i,
+                profile=prof,
+                producers=(i - 1,) if i > 0 else (),
+                consumers=(i + 1,) if i < last else (),
+            )
+        )
+    return OpTrace(nodes=tuple(nodes), op=op, request_id=request_id)
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates per-operation traces for later fusion/replay.
+
+    Bounded by default: only the most recent ``max_traces`` are kept
+    (oldest dropped first), so a long-lived evaluator that records every
+    operation cannot grow memory without limit.  ``max_traces=None``
+    keeps everything.
+    """
+
+    traces: List[OpTrace] = field(default_factory=list)
+    max_traces: int | None = 4096
+
+    def record(
+        self,
+        op: str,
+        profiles: Sequence[KernelProfile],
+        *,
+        request_id: str = "",
+    ) -> OpTrace:
+        trace = capture_chain(profiles, op=op, request_id=request_id)
+        self.traces.append(trace)
+        if self.max_traces is not None and len(self.traces) > self.max_traces:
+            del self.traces[: len(self.traces) - self.max_traces]
+        return trace
+
+    def clear(self) -> None:
+        self.traces.clear()
+
+    @property
+    def launches(self) -> int:
+        return sum(t.launches for t in self.traces)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterable[OpTrace]:
+        return iter(self.traces)

@@ -39,7 +39,13 @@ class GpuConfig:
     * ``asm`` — inline-assembly int64 paths (Sec. III-A.2);
     * ``mad_fusion`` — fused mad_mod in accumulation kernels (Sec. III-A.1);
     * ``tiles`` — explicit multi-tile submission (Sec. III-C.2);
-    * ``memcache`` — the device memory cache (Sec. III-C.1).
+    * ``memcache`` — the device memory cache (Sec. III-C.1);
+    * ``kernel_fusion`` — run emitted kernel chains through the
+      :mod:`repro.fusion` planner before submission: adjacent compatible
+      elementwise kernels merge into one launch, NTT correction
+      epilogues fold into their transform, and the serving dispatcher
+      additionally widens same-shape chains across requests.  Timing
+      only — results stay bit-identical.
     """
 
     ntt_variant: str = "naive"
@@ -47,6 +53,7 @@ class GpuConfig:
     mad_fusion: bool = False
     tiles: int = 1
     memcache: bool = True
+    kernel_fusion: bool = False
 
     def variant(self) -> NTTVariant:
         v = get_variant(self.ntt_variant)

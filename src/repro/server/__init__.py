@@ -25,6 +25,7 @@ from .request import (
     encode_request,
     encode_response,
 )
+from .traffic import demo_deployment, mixed_square_multiply_traffic, serve_traffic
 
 __all__ = [
     "SUPPORTED_OPS",
@@ -44,4 +45,7 @@ __all__ = [
     "BatchDispatcher",
     "HEServer",
     "ServerClient",
+    "demo_deployment",
+    "mixed_square_multiply_traffic",
+    "serve_traffic",
 ]

@@ -20,6 +20,15 @@ plaintext weights — are held by an :class:`ArtifactCache` whose backing
 buffers come from the :class:`~repro.runtime.memcache.MemoryCache`
 (Sec. III-C.1), as are the per-request scratch buffers (freed after each
 batch, so later batches hit the free pool).
+
+With ``gpu_config.kernel_fusion`` the dispatcher additionally runs each
+request's kernel chain through the :mod:`repro.fusion` planner
+(elementwise-chain fusion + NTT epilogue folds) and then merges
+same-shape chains from different requests in the batch into one widened
+launch grid (:func:`repro.fusion.batch_chains` — the Fig. 8 ``poly_num``
+effect).  Fusion changes launches and timing only; every request's
+ciphertext result is computed by the same functional evaluator either
+way, so results are bit-identical with the flag on or off.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from ..core.serialize import (
     load_params,
     load_relin_key,
 )
+from ..fusion import LaunchGroup, batch_chains, plan_profiles
 from ..gpu.profiles import GpuConfig, GpuOpProfiler
 from ..runtime.memcache import MemoryCache
 from ..runtime.pipeline import AsyncPipeline
@@ -310,6 +320,12 @@ class BatchDispatcher:
                 seen[dev.name] = idx + 1
                 self.labels.append(f"{dev.name}#{idx}")
         base = gpu_config or GpuConfig(ntt_variant="local-radix-8", asm=True)
+        self.fusion_enabled = base.kernel_fusion
+        #: Cumulative launch accounting across dispatches: what the raw
+        #: per-request chains would have submitted vs. what actually hit
+        #: the queues after fusion + cross-request batching.
+        self.raw_launches = 0
+        self.submitted_launches = 0
         self._profilers = [
             GpuOpProfiler(session.context.degree, dev, replace(base, tiles=tiles))
             for dev, tiles in self.devices
@@ -364,6 +380,8 @@ class BatchDispatcher:
         alloc_cost_us = 0.0
         results: Dict[str, Ciphertext] = {}
         failures: Dict[str, str] = {}
+        lanes: Dict[str, int] = {}  # request id -> lane (fusion off)
+        chains: List[Tuple[ServeRequest, List[KernelProfile]]] = []
         for lane, req in enumerate(reqs):
             buf, cost_us = session.memcache.malloc(max(req.wire_bytes, 1))
             alloc_cost_us += cost_us
@@ -374,13 +392,42 @@ class BatchDispatcher:
                 failures[req.request_id] = str(exc)
                 continue
             results[req.request_id] = result
-            pipe.add_upload(req.wire_bytes, lane=lane,
-                            name=f"req:{req.request_id}:inputs")
-            for p in profs:
-                pipe.add_op(replace(p, name=f"req:{req.request_id}:{p.name}"),
-                            lane=lane)
-            pipe.add_download(result.data.nbytes, lane=lane,
-                              name=f"req:{req.request_id}:result")
+            lanes[req.request_id] = lane
+            chains.append((req, profs))
+
+        self.raw_launches += sum(p.launches for _, c in chains for p in c)
+        by_id = {req.request_id: req for req, _ in chains}
+        if self.fusion_enabled:
+            # Widen same-shape chains from different requests into one
+            # launch group (Fig. 8), then fuse each group's chain once —
+            # the planner is linear in the batch width, so widen-then-plan
+            # equals plan-then-widen but plans each distinct shape once.
+            groups = [
+                LaunchGroup(g.request_ids, plan_profiles(g.profiles).profiles)
+                for g in batch_chains(
+                    [(req.request_id, profs) for req, profs in chains]
+                )
+            ]
+            laned = list(enumerate(groups))
+        else:
+            laned = [
+                (lanes[req.request_id],
+                 LaunchGroup((req.request_id,), tuple(profs)))
+                for req, profs in chains
+            ]
+        self.submitted_launches += sum(g.launches for _, g in laned)
+
+        for lane, group in laned:
+            for rid in group.request_ids:
+                pipe.add_upload(by_id[rid].wire_bytes, lane=lane,
+                                name=f"req:{rid}:inputs")
+            tag = (group.request_ids[0] if group.width == 1
+                   else f"{group.request_ids[0]}x{group.width}")
+            for p in group.profiles:
+                pipe.add_op(replace(p, name=f"req:{tag}:{p.name}"), lane=lane)
+            for rid in group.request_ids:
+                pipe.add_download(results[rid].data.nbytes, lane=lane,
+                                  name=f"req:{rid}:result")
 
         # Host-side allocation costs (scratch + artifact misses) delay the
         # epoch's submissions — with the cache warm they shrink to the
@@ -537,6 +584,8 @@ class HEServer:
         self.metrics.artifact_misses = art.misses
         self.metrics.memcache_hits = mc.hits
         self.metrics.memcache_requests = mc.requests
+        self.metrics.raw_launches = self.dispatcher.raw_launches
+        self.metrics.fused_launches = self.dispatcher.submitted_launches
 
     # -- baseline -----------------------------------------------------------------
 

@@ -55,6 +55,12 @@ class ServerMetrics:
     artifact_misses: int = 0
     memcache_hits: int = 0
     memcache_requests: int = 0
+    #: Launch accounting from the dispatcher: ``raw_launches`` is what the
+    #: per-request kernel chains would submit one-by-one; ``fused_launches``
+    #: is what actually hit the queues after kernel fusion + cross-request
+    #: batching.  Equal when fusion is disabled.
+    raw_launches: int = 0
+    fused_launches: int = 0
 
     def observe(self, record: RequestRecord) -> None:
         self.records.append(record)
@@ -121,6 +127,13 @@ class ServerMetrics:
         total = self.artifact_hits + self.artifact_misses
         return self.artifact_hits / total if total else 0.0
 
+    @property
+    def launch_reduction(self) -> float:
+        """Fraction of raw kernel launches removed by fusion (0 = none)."""
+        if not self.raw_launches:
+            return 0.0
+        return 1.0 - self.fused_launches / self.raw_launches
+
     # -- reporting -------------------------------------------------------------
 
     def render(self) -> str:
@@ -128,12 +141,16 @@ class ServerMetrics:
             f"requests served      : {self.count}",
             f"simulated span       : {self.span_us / 1e3:.3f} ms",
             f"throughput           : {self.throughput_rps:,.0f} req/s",
-            f"latency mean/p50/p95 : {self.mean_latency_us:.1f} / "
-            f"{self.latency_percentile_us(50):.1f} / "
-            f"{self.latency_percentile_us(95):.1f} us",
+            f"latency mean         : {self.mean_latency_us:.1f} us",
+            f"latency p50/p95/p99  : {self.latency_percentile_us(50):.1f} / "
+            f"{self.latency_percentile_us(95):.1f} / "
+            f"{self.latency_percentile_us(99):.1f} us",
             f"batches (mean size)  : {len(self.batch_sizes)} "
             f"({self.mean_batch_size:.1f})",
             f"peak queue depth     : {self.max_queue_depth()}",
+            f"kernel launches      : {self.fused_launches} submitted / "
+            f"{self.raw_launches} raw "
+            f"({100 * self.launch_reduction:.0f}% fused away)",
             f"artifact cache       : {self.artifact_hits} hits / "
             f"{self.artifact_misses} misses "
             f"({100 * self.artifact_hit_rate:.0f}%)",

@@ -1,0 +1,135 @@
+"""Synthetic serving traffic, shared by self-tests, benchmarks and tests.
+
+One canonical workload recipe — a Poisson-ish arrival process of square
+and multiply requests over fresh encryptions — used by the
+``python -m repro fuse`` CLI, ``benchmarks/bench_ablation_fusion.py``
+and the fusion test suite, so all three exercise the *same* request mix
+and a change to the recipe lands everywhere at once.
+
+Requests are returned as encoded wire frames: submitting the same bytes
+to two servers (e.g. fusion off vs on) guarantees bit-identical inputs
+for A/B comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gpu.profiles import GpuConfig
+from ..xesim.devices import DEVICE1
+from .batcher import BatchPolicy
+from .dispatcher import HEServer
+from .request import ServeRequest, encode_request
+
+__all__ = [
+    "TrafficItem",
+    "demo_deployment",
+    "mixed_square_multiply_traffic",
+    "serve_traffic",
+]
+
+
+def demo_deployment(*, degree: int = 1024, seed: int = 2022):
+    """A small CKKS deployment for self-tests and benchmarks.
+
+    NOT secure parameters — test scale only.  One recipe (levels,
+    scale/first/special bits, seed convention) shared by the CLI and the
+    CI benchmark so their A/B runs compare the same deployment.
+
+    Returns ``(params, encoder, encryptor, decryptor, relin_wire)``.
+    """
+    from ..core import (
+        CkksContext,
+        CkksEncoder,
+        CkksParameters,
+        Decryptor,
+        Encryptor,
+        KeyGenerator,
+    )
+    from ..core.serialize import save_relin_key, to_bytes
+
+    params = CkksParameters.default(degree=degree, levels=3, scale_bits=30,
+                                    first_bits=50, special_bits=50)
+    context = CkksContext(params)
+    keygen = KeyGenerator(context, seed=seed)
+    encoder = CkksEncoder(context)
+    encryptor = Encryptor(context, keygen.public_key(), seed=seed + 1)
+    decryptor = Decryptor(context, keygen.secret_key())
+    relin_wire = to_bytes(save_relin_key, keygen.relin_key())
+    return params, encoder, encryptor, decryptor, relin_wire
+
+#: (request id, encoded request frame, arrival us, expected plaintext).
+TrafficItem = Tuple[str, bytes, float, np.ndarray]
+
+
+def mixed_square_multiply_traffic(
+    encoder,
+    encryptor,
+    *,
+    requests: int,
+    rng: np.random.Generator,
+    mean_gap_us: float = 25.0,
+) -> List[TrafficItem]:
+    """Frame ``requests`` operations: every third a multiply, rest squares.
+
+    Same-op requests at the same level make the batch groupable by the
+    cross-request launch batcher; the multiply minority keeps more than
+    one chain shape in flight.  Arrival gaps are exponential with mean
+    ``mean_gap_us`` (bursty enough to batch under a ~200 us window).
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    frames: List[TrafficItem] = []
+    t_us = 0.0
+    for i in range(requests):
+        t_us += float(rng.exponential(mean_gap_us))
+        if i % 3 == 2:
+            a = rng.normal(size=encoder.slots)
+            b = rng.normal(size=encoder.slots)
+            req = ServeRequest(f"r{i}", "multiply",
+                               [encryptor.encrypt(encoder.encode(a)),
+                                encryptor.encrypt(encoder.encode(b))])
+            expected = a * b
+        else:
+            v = rng.normal(size=encoder.slots)
+            req = ServeRequest(f"r{i}", "square",
+                               [encryptor.encrypt(encoder.encode(v))])
+            expected = v * v
+        frames.append((req.request_id, encode_request(req), t_us, expected))
+    return frames
+
+
+def serve_traffic(
+    params,
+    frames: Sequence[TrafficItem],
+    *,
+    kernel_fusion: bool,
+    relin_wire: Optional[bytes] = None,
+    devices: Sequence[tuple] = ((DEVICE1, 2),),
+    max_batch: int = 8,
+    window_us: float = 200.0,
+) -> HEServer:
+    """Serve pre-framed traffic on a fresh server; returns it drained.
+
+    The fusion A/B harness shared by ``python -m repro fuse``,
+    ``benchmarks/bench_ablation_fusion.py`` and the fusion tests: one
+    place defines the device pool, batching policy and GPU config, so
+    the CLI self-test and the CI benchmark cannot silently diverge.
+    Call twice on the same ``frames`` with ``kernel_fusion`` off/on for
+    a bit-exact comparison.
+    """
+    server = HEServer(
+        params,
+        devices=list(devices),
+        policy=BatchPolicy(max_batch=max_batch, window_us=window_us),
+        gpu_config=GpuConfig(ntt_variant="local-radix-8", asm=True,
+                             kernel_fusion=kernel_fusion),
+    )
+    if relin_wire is not None:
+        server.install_relin_key(relin_wire)
+    for _rid, wire, arrival_us, _expected in frames:
+        server.submit(wire, arrival_us=arrival_us)
+    server.drain()
+    return server

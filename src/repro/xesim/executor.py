@@ -40,6 +40,15 @@ class KernelTiming:
     def bound(self) -> str:
         return "compute" if self.compute_s >= self.mem_s else "memory"
 
+    @property
+    def launch_fraction(self) -> float:
+        """Share of this kernel's time spent in driver launch overhead.
+
+        The quantity kernel fusion attacks: a fused chain pays one
+        launch where the raw chain paid one per kernel.
+        """
+        return self.launch_s / self.time_s if self.time_s else 0.0
+
 
 @dataclass(frozen=True)
 class AggregateTiming:
@@ -50,10 +59,20 @@ class AggregateTiming:
     ntt_time_s: float
     other_time_s: float
     nominal_ops: float
+    launch_time_s: float = 0.0
 
     @property
     def ntt_fraction(self) -> float:
         return self.ntt_time_s / self.time_s if self.time_s else 0.0
+
+    @property
+    def launches(self) -> int:
+        return sum(t.profile.launches for t in self.kernels)
+
+    @property
+    def launch_fraction(self) -> float:
+        """Aggregate launch-overhead share of the sequence's total time."""
+        return self.launch_time_s / self.time_s if self.time_s else 0.0
 
     def achieved_gops(self) -> float:
         return self.nominal_ops / self.time_s / 1e9 if self.time_s else 0.0
@@ -116,4 +135,5 @@ def simulate_kernels(
         ntt_time_s=ntt_time,
         other_time_s=total - ntt_time,
         nominal_ops=sum(t.profile.total_nominal_ops for t in timings),
+        launch_time_s=sum(t.launch_s for t in timings),
     )

@@ -76,8 +76,12 @@ class KernelProfile:
 def scale_profile(profile: KernelProfile, batch: int) -> KernelProfile:
     """Replicate a single-instance profile across a batch dimension.
 
-    Work-items, bytes and launches scale; per-item costs do not (batched
-    instances share each launch in the paper's kernels, so launches stay).
+    Work-items, bytes and work-groups scale; per-item costs and launches
+    do not (batched instances share each launch in the paper's kernels).
+    Work-group scaling matches the batched-NTT convention in
+    :mod:`repro.xesim.nttmodel` (``work_groups = batch * ...``): each
+    instance brings its own groups, so a widened SLM-phase launch fills
+    sub-slices ``batch`` times better than a single instance.
     """
     if batch < 1:
         raise ValueError("batch must be >= 1")
@@ -85,4 +89,6 @@ def scale_profile(profile: KernelProfile, batch: int) -> KernelProfile:
         profile,
         work_items=profile.work_items * batch,
         global_bytes=profile.global_bytes * batch,
+        work_groups=(None if profile.work_groups is None
+                     else profile.work_groups * batch),
     )
