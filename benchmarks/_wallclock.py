@@ -1,0 +1,64 @@
+"""Shared timing helpers for the BENCH_wallclock.json emitters."""
+
+import time
+
+import numpy as np
+
+
+def interleaved_median_ops(pairs, reps):
+    """Median seconds-per-call for each (name, packed_fn, serial_fn).
+
+    Packed and serial calls interleave so cache/allocator state is fair
+    to both; returns ``{name: (packed_s, serial_s)}``.
+    """
+    out = {}
+    for name, packed_fn, serial_fn in pairs:
+        packed_fn()
+        serial_fn()
+        tp, ts = [], []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            packed_fn()
+            tp.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            serial_fn()
+            ts.append(time.perf_counter() - t0)
+        out[name] = (float(np.median(tp)), float(np.median(ts)))
+    return out
+
+
+def wallclock_payload(medians):
+    """Format interleaved medians as the BENCH_wallclock.json op table."""
+    payload = {}
+    for name, (packed_s, serial_s) in medians.items():
+        payload[name] = {
+            "packed_ms": round(packed_s * 1e3, 4),
+            "serial_ms": round(serial_s * 1e3, 4),
+            "packed_ops_per_s": round(1.0 / packed_s, 2),
+            "serial_ops_per_s": round(1.0 / serial_s, 2),
+            "speedup": round(serial_s / packed_s, 3),
+        }
+    return payload
+
+
+def paper_shape_context():
+    """The acceptance-criteria deployment: N = 4096, 8 ciphertext primes."""
+    from repro.core import CkksContext, CkksParameters
+
+    params = CkksParameters.default(
+        degree=4096, levels=7, scale_bits=23, first_bits=30, special_bits=30
+    )
+    context = CkksContext(params)
+    assert context.max_level == 8
+    return params, context
+
+
+def random_ciphertext(rng, context, size, level, scale):
+    from repro.core.ciphertext import Ciphertext
+
+    data = np.empty((size, level, context.degree), dtype=np.uint64)
+    for i in range(level):
+        data[:, i] = rng.integers(
+            0, context.modulus(i).value, (size, context.degree), dtype=np.uint64
+        )
+    return Ciphertext(data, scale)

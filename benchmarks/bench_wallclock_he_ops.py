@@ -1,6 +1,20 @@
-"""Wall-clock benchmarks of the functional CKKS operations (N = 4096)."""
+"""Wall-clock benchmarks of the functional CKKS operations (N = 4096).
+
+``test_wallclock_json`` additionally times the packed-RNS path against
+the per-limb reference at the paper shape (N = 4096, level 8) and
+records ops/sec for add / multiply / rescale into
+``benchmarks/results/BENCH_wallclock.json`` (fewer reps under
+``--quick`` for CI smoke runs).
+"""
 
 import numpy as np
+
+from _wallclock import (
+    interleaved_median_ops,
+    paper_shape_context,
+    random_ciphertext,
+    wallclock_payload,
+)
 
 
 def fresh_pair(ckks_bench):
@@ -78,3 +92,47 @@ def test_rescale(benchmark, ckks_bench):
     benchmark.pedantic(
         lambda: ev.rescale(prod), rounds=20, iterations=1, warmup_rounds=2
     )
+
+
+def test_wallclock_json(quick, wallclock_record):
+    """Record packed-vs-per-limb ops/sec at N = 4096, level 8.
+
+    The "serial" column is the per-limb reference path
+    (``Evaluator(packed=False)``) — the before; "packed" is the default
+    stacked path — the after.  Both compute bit-identical results (see
+    tests/test_packed_ab.py), so this is a pure execution-strategy
+    comparison.
+    """
+    from repro.core import Evaluator
+    from repro.core.ciphertext import Ciphertext
+
+    params, context = paper_shape_context()
+    packed = Evaluator(context)
+    serial = Evaluator(context, packed=False)
+    rng = np.random.default_rng(99)
+    scale = float(params.scale)
+    level = context.max_level
+    a = random_ciphertext(rng, context, 2, level, scale)
+    b = random_ciphertext(rng, context, 2, level, scale)
+    rs_in = Ciphertext(
+        random_ciphertext(rng, context, 2, level, scale).data, scale * scale
+    )
+
+    reps = 5 if quick else 25
+    medians = interleaved_median_ops(
+        [
+            ("add", lambda: packed.add(a, b), lambda: serial.add(a, b)),
+            ("multiply", lambda: packed.multiply(a, b),
+             lambda: serial.multiply(a, b)),
+            ("rescale", lambda: packed.rescale(rs_in),
+             lambda: serial.rescale(rs_in)),
+        ],
+        reps,
+    )
+    payload = wallclock_payload(medians)
+    wallclock_record(
+        "he_ops", payload,
+        {"degree": 4096, "level": 8, "reps": reps, "quick": bool(quick)},
+    )
+    for name, row in payload.items():
+        assert row["packed_ops_per_s"] > 0 and row["serial_ops_per_s"] > 0, name

@@ -2,12 +2,15 @@
 
 Unlike the figure benchmarks (which evaluate the device model), these
 time the vectorized NumPy transforms themselves — the numbers a user of
-this library experiences.
+this library experiences.  ``test_wallclock_json`` times the stacked
+(packed-RNS) engine against the per-row reference at N = 4096, level 8
+and records ops/sec into ``benchmarks/results/BENCH_wallclock.json``.
 """
 
 import numpy as np
 import pytest
 
+from _wallclock import interleaved_median_ops, wallclock_payload
 from repro.modmath import Modulus, gen_ntt_prime
 from repro.ntt import get_tables, ntt_forward, ntt_forward_high_radix, ntt_inverse
 
@@ -56,3 +59,45 @@ def test_ntt_batched_rns8(benchmark, tables):
     x = data(tables.degree, tables, batch=8)
     out = benchmark(ntt_forward, x, tables)
     assert out.shape == x.shape
+
+
+def test_wallclock_json(quick, wallclock_record):
+    """Record stacked-vs-per-row NTT ops/sec at N = 4096, level 8.
+
+    One "op" is a full 8-limb RNS stack transform (the unit the CKKS
+    layer issues); "serial" is the per-row loop (the before), "packed"
+    the stacked engine (the after).  Outputs are bit-identical.
+    """
+    from repro.modmath import gen_ntt_primes
+    from repro.ntt import NTTEngine
+    from repro.rns import RNSBase
+
+    n, k = 4096, 8
+    base = RNSBase.from_values(gen_ntt_primes([30] + [23] * (k - 1), n))
+    packed = NTTEngine(n, base)
+    serial = NTTEngine(n, base, packed=False)
+    rng = np.random.default_rng(13)
+    x = np.stack(
+        [rng.integers(0, m.value, n, dtype=np.uint64) for m in base]
+    )
+    fwd = serial.forward(x, lazy=True)
+
+    reps = 5 if quick else 25
+    medians = interleaved_median_ops(
+        [
+            ("ntt_forward", lambda: packed.forward(x),
+             lambda: serial.forward(x)),
+            ("ntt_forward_lazy", lambda: packed.forward(x, lazy=True),
+             lambda: serial.forward(x, lazy=True)),
+            ("ntt_inverse", lambda: packed.inverse(fwd),
+             lambda: serial.inverse(fwd)),
+        ],
+        reps,
+    )
+    payload = wallclock_payload(medians)
+    wallclock_record(
+        "ntt", payload,
+        {"degree": 4096, "level": 8, "reps": reps, "quick": bool(quick)},
+    )
+    for name, row in payload.items():
+        assert row["packed_ops_per_s"] > 0 and row["serial_ops_per_s"] > 0, name

@@ -47,6 +47,29 @@ def record_figure(results_dir):
 
 
 @pytest.fixture(scope="session")
+def wallclock_record(results_dir):
+    """Merge one section into ``benchmarks/results/BENCH_wallclock.json``.
+
+    The wall-clock benches (he_ops, ntt) each contribute their ops/sec
+    table for the packed (after) and per-limb (before) paths, so the
+    perf trajectory of the hot numeric path is recorded per run.
+    """
+    import json
+
+    path = results_dir / "BENCH_wallclock.json"
+
+    def _record(section, payload, meta):
+        data = json.loads(path.read_text()) if path.exists() else {}
+        data.setdefault("meta", {}).update(meta)
+        data[section] = payload
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"\n[wallclock] {section} -> {path}")
+        return path
+
+    return _record
+
+
+@pytest.fixture(scope="session")
 def ckks_bench():
     """A mid-size CKKS deployment for wall-clock benchmarks (N = 4096)."""
     from repro.core import (

@@ -4,6 +4,12 @@ Holds the RNS bases, per-prime NTT tables, and the divide-and-round
 helpers used by rescaling (drop ``q_{l-1}``) and key-switch mod-down
 (drop the special prime ``P``).  Mirrors SEAL's ``SEALContext`` chain of
 per-level data.
+
+All hot methods run the packed-RNS path by default: whole ``(..., k, N)``
+stacks move through stacked NTTs and column-broadcast modular kernels
+(see :mod:`repro.modmath.stacked`) instead of one small NumPy call per
+prime.  Passing ``packed=False`` selects the per-limb reference loops,
+kept as the bit-identical oracle for the A/B property suite.
 """
 
 from __future__ import annotations
@@ -14,11 +20,16 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..modmath import Modulus, inv_mod
+from ..modmath import Modulus, StackedModulus, inv_mod, packedops
 from ..modmath.barrett import barrett_reduce_64
 from ..modmath.ops import mul_mod, sub_mod
-from ..ntt.radix2 import ntt_forward, ntt_inverse
-from ..ntt.tables import NTTTables, get_tables
+from ..ntt.radix2 import (
+    ntt_forward,
+    ntt_forward_stacked,
+    ntt_inverse,
+    ntt_inverse_stacked,
+)
+from ..ntt.tables import NTTTables, StackedNTTTables, get_stacked_tables, get_tables
 from ..rns import RNSBase
 from .params import CkksParameters
 
@@ -38,12 +49,23 @@ class CkksContext:
         self.tables: List[NTTTables] = [
             get_tables(self.degree, m) for m in self.key_base
         ]
+        #: Stacked twiddle tables over the full key base; level prefixes
+        #: and row subsets are cheap memoized views/lookups.
+        self.stacked_tables: StackedNTTTables = get_stacked_tables(
+            self.degree, self.key_base
+        )
         for m in self.key_base:
             if not m.supports_ntt(self.degree):
                 raise ValueError(f"modulus {m.value} is not NTT-friendly")
         # Precomputed scalars for divide-and-round operations.
         self._inv_dropped: Dict[Tuple[int, int], np.uint64] = {}
         self._dropped_mod: Dict[Tuple[int, int], np.uint64] = {}
+        self._scalar_cols: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        # Per-instance memos (plain dicts, not lru_cache, so discarded
+        # contexts release their stacked tables with them).
+        self._stacked_rows_cache: Dict[Tuple[int, ...], StackedModulus] = {}
+        self._stacked_tables_cache: Dict[Tuple[int, ...], StackedNTTTables] = {}
+        self._signed_col_cache: Dict[int, np.ndarray] = {}
 
     # -- level helpers ---------------------------------------------------------
 
@@ -59,21 +81,74 @@ class CkksContext:
             raise ValueError(f"level must be in [1, {self.max_level}]")
         return self.ct_base.prefix(level)
 
+    # -- packed-RNS views ------------------------------------------------------
+
+    def stacked_modulus(self, level: int) -> StackedModulus:
+        """Stacked ``(k, 1)`` columns of the first ``level`` key-base primes."""
+        return self.key_base.stacked.prefix(level)
+
+    def stacked_rows(self, rows: Tuple[int, ...]) -> StackedModulus:
+        """Stacked columns over an arbitrary ordered key-base row subset."""
+        cached = self._stacked_rows_cache.get(rows)
+        if cached is None:
+            cached = StackedModulus(self.key_base[i] for i in rows)
+            self._stacked_rows_cache[rows] = cached
+        return cached
+
+    def stacked_tables_rows(self, rows: Tuple[int, ...]) -> StackedNTTTables:
+        """Stacked NTT tables over an arbitrary ordered key-base row subset."""
+        cached = self._stacked_tables_cache.get(rows)
+        if cached is None:
+            cached = get_stacked_tables(
+                self.degree, tuple(self.key_base[i] for i in rows)
+            )
+            self._stacked_tables_cache[rows] = cached
+        return cached
+
+    def signed_to_rows(self, signed_coeffs: np.ndarray, level: int) -> np.ndarray:
+        """Signed int64 coefficients to per-prime residue rows in one pass.
+
+        The shared broadcast used by the encoder and encryptor: reduce
+        a ``(N,)`` signed vector against the first ``level`` primes as a
+        single ``(level, N)`` modulo.
+        """
+        p_col = self._signed_col_cache.get(level)
+        if p_col is None:
+            p_col = np.array(
+                [self.modulus(i).value for i in range(level)], dtype=np.int64
+            )[:, None]
+            p_col.setflags(write=False)
+            self._signed_col_cache[level] = p_col
+        return (signed_coeffs[None, :] % p_col).astype(np.uint64)
+
     # -- domain transforms -------------------------------------------------------
 
     def to_ntt(self, matrix: np.ndarray, *, rows: int | None = None,
-               special_last: bool = False) -> np.ndarray:
+               special_last: bool = False, packed: bool = True) -> np.ndarray:
         """Forward-NTT each row of an RNS matrix (rows = level count)."""
-        return self._transform(matrix, forward=True, special_last=special_last)
+        return self._transform(
+            matrix, forward=True, special_last=special_last, packed=packed
+        )
 
-    def from_ntt(self, matrix: np.ndarray, *, special_last: bool = False) -> np.ndarray:
+    def from_ntt(self, matrix: np.ndarray, *, special_last: bool = False,
+                 packed: bool = True) -> np.ndarray:
         """Inverse-NTT each row back to coefficient form."""
-        return self._transform(matrix, forward=False, special_last=special_last)
+        return self._transform(
+            matrix, forward=False, special_last=special_last, packed=packed
+        )
 
     def _transform(self, matrix: np.ndarray, *, forward: bool,
-                   special_last: bool) -> np.ndarray:
+                   special_last: bool, packed: bool = True) -> np.ndarray:
         matrix = np.asarray(matrix, dtype=np.uint64)
         k = matrix.shape[-2]
+        if packed:
+            if special_last:
+                rows = tuple(range(k - 1)) + (len(self.key_base) - 1,)
+                st = self.stacked_tables_rows(rows)
+            else:
+                st = self.stacked_tables.prefix(k)
+            fn = ntt_forward_stacked if forward else ntt_inverse_stacked
+            return fn(matrix, st)
         out = np.empty_like(matrix)
         for i in range(k):
             if special_last and i == k - 1:
@@ -96,8 +171,34 @@ class CkksContext:
             self._dropped_mod[key] = np.uint64(d % t.value)
         return self._inv_dropped[key], self._dropped_mod[key]
 
+    def _scalar_columns(self, dropped_idx: int, kept: int):
+        """Divide-round constants as ``(kept, 1)`` columns, cached.
+
+        Returns ``(inv_d, inv_d_q_hi, inv_d_q_lo, d_mod)`` — the per-limb
+        ``d^{-1}`` with its split Harvey quotient (for the one-``mulhi``
+        constant multiply) and ``d mod q_j``.
+        """
+        key = (dropped_idx, kept)
+        cached = self._scalar_cols.get(key)
+        if cached is None:
+            pairs = [self._scalars(dropped_idx, j) for j in range(kept)]
+            inv_d = np.array([p[0] for p in pairs], dtype=np.uint64)[:, None]
+            d_mod = np.array([p[1] for p in pairs], dtype=np.uint64)[:, None]
+            quots = [
+                (int(p[0]) << 64) // self.key_base[j].value
+                for j, p in enumerate(pairs)
+            ]
+            q_hi = np.array([q >> 32 for q in quots], dtype=np.uint64)[:, None]
+            q_lo = np.array(
+                [q & 0xFFFFFFFF for q in quots], dtype=np.uint64
+            )[:, None]
+            for arr in (inv_d, q_hi, q_lo, d_mod):
+                arr.setflags(write=False)
+            cached = self._scalar_cols[key] = (inv_d, q_hi, q_lo, d_mod)
+        return cached
+
     def divide_round_drop_ntt(
-        self, matrix: np.ndarray, dropped_idx: int
+        self, matrix: np.ndarray, dropped_idx: int, *, packed: bool = True
     ) -> np.ndarray:
         """Drop the last row and divide-and-round by its modulus, in NTT form.
 
@@ -107,18 +208,44 @@ class CkksContext:
 
         Implements SEAL's sequence: iNTT the dropped row, center it, then
         per kept prime subtract its (re-NTT-ed) reduction and multiply by
-        the dropped modulus' inverse — all element-wise in NTT form.
+        the dropped modulus' inverse — all element-wise in NTT form.  The
+        packed path performs the per-prime half as four stacked calls over
+        the whole kept stack (bit-identical to the reference loop).
         """
         matrix = np.asarray(matrix, dtype=np.uint64)
         k = matrix.shape[-2]
         if k < 2:
             raise ValueError("need at least two rows to drop one")
         dropped = self.key_base[dropped_idx]
-        d_tables = self.tables[dropped_idx]
-        last_coeff = ntt_inverse(matrix[..., k - 1, :], d_tables)
         half = np.uint64(dropped.value >> 1)
-        is_high = last_coeff > half
 
+        if packed:
+            # The dropped row transforms as a one-limb stack so the
+            # batched (component) axis rides the fast buffered kernel.
+            last_coeff = ntt_inverse_stacked(
+                matrix[..., k - 1 : k, :],
+                self.stacked_tables_rows((dropped_idx,)),
+            )[..., 0, :]
+            is_high = last_coeff > half
+            st = self.stacked_modulus(k - 1)
+            inv_d, q_hi, q_lo, d_mod = self._scalar_columns(dropped_idx, k - 1)
+            r = barrett_reduce_64(last_coeff[..., None, :], st)
+            # Centered representative: r - d when the residue is
+            # "negative" (subtracting 0 elsewhere is a value-exact no-op
+            # since r < q_j, same result as the reference np.where).
+            r = sub_mod(r, d_mod * is_high[..., None, :], st)
+            # Lazy forward transform + lazy difference: the [0, 4p)
+            # window folds into the final Harvey multiply by d^{-1},
+            # skipping the NTT's correction pass (values unchanged).
+            r_ntt = ntt_forward_stacked(
+                r, self.stacked_tables.prefix(k - 1), lazy=True
+            )
+            return packedops.lazy_diff_mul_operand_stacked(
+                matrix[..., : k - 1, :], r_ntt, inv_d, q_hi, q_lo, st
+            )
+
+        last_coeff = ntt_inverse(matrix[..., k - 1, :], self.tables[dropped_idx])
+        is_high = last_coeff > half
         out = np.empty(matrix.shape[:-2] + (k - 1, self.degree), dtype=np.uint64)
         for j in range(k - 1):
             qj = self.key_base[j]
@@ -131,11 +258,12 @@ class CkksContext:
             out[..., j, :] = mul_mod(diff, inv_d, qj)
         return out
 
-    def rescale_ntt(self, matrix: np.ndarray, level: int) -> np.ndarray:
+    def rescale_ntt(self, matrix: np.ndarray, level: int, *,
+                    packed: bool = True) -> np.ndarray:
         """Rescale: drop ``q_{level-1}`` from a level-``level`` matrix."""
         if matrix.shape[-2] != level:
             raise ValueError("matrix does not match level")
-        return self.divide_round_drop_ntt(matrix, level - 1)
+        return self.divide_round_drop_ntt(matrix, level - 1, packed=packed)
 
     # -- lazy caches ------------------------------------------------------------------
 

@@ -14,17 +14,33 @@ __all__ = ["Decryptor"]
 
 
 class Decryptor:
-    """Secret-key decryptor; accepts any ciphertext size (Horner in s)."""
+    """Secret-key decryptor; accepts any ciphertext size (Horner in s).
 
-    def __init__(self, context: CkksContext, secret_key: SecretKey):
+    The packed path (default) runs each Horner step as one stacked
+    multiply-add over all level primes; ``packed=False`` keeps the
+    per-limb loop as the bit-identical reference.
+    """
+
+    def __init__(self, context: CkksContext, secret_key: SecretKey,
+                 *, packed: bool = True):
         self.context = context
         self.sk = secret_key
+        self.packed = packed
 
     def decrypt(self, ct: Ciphertext) -> Plaintext:
         if not ct.is_ntt:
             raise ValueError("ciphertext must be in NTT form")
         level = ct.level
         n = self.context.degree
+        if self.packed:
+            st = self.context.stacked_modulus(level)
+            s = self.sk.ntt_rows[:level]
+            # Horner: acc = ((c_k s + c_{k-1}) s + ...) + c_0, all primes at
+            # once (size >= 2, so the loop always rebinds acc: no copy needed).
+            acc = ct.data[ct.size - 1]
+            for comp in range(ct.size - 2, -1, -1):
+                acc = add_mod(mul_mod(acc, s, st), ct.data[comp], st)
+            return Plaintext(acc, ct.scale, is_ntt=True)
         acc = np.zeros((level, n), dtype=np.uint64)
         # Horner: acc = ((c_k s + c_{k-1}) s + ...) + c_0, done per prime.
         for i in range(level):

@@ -150,8 +150,5 @@ class CkksEncoder:
         return self._fft_special_inv(np.asarray(vals, dtype=np.complex128))
 
     def _reduce_rows(self, signed_coeffs: np.ndarray, level: int) -> np.ndarray:
-        out = np.empty((level, self.degree), dtype=np.uint64)
-        for i in range(level):
-            p = np.int64(self.context.modulus(i).value)
-            out[i] = (signed_coeffs % p).astype(np.uint64)
-        return out
+        """Signed coefficients to per-prime residues, all limbs at once."""
+        return self.context.signed_to_rows(signed_coeffs, level)

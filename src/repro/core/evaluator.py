@@ -10,6 +10,14 @@ All operations act on double-CRT (RNS + NTT) ciphertexts:
   stable after Mul);
 * ``mod_switch_to_next`` — drop a prime without scaling;
 * ``rotate``/``conjugate`` — Galois automorphism + key switch.
+
+The evaluator runs the packed-RNS path by default: every dyadic kernel
+is a handful of whole-tensor NumPy calls over the full ``(size, level,
+N)`` stack (per-limb constants broadcast from stacked columns, Fig. 10's
+RNS-axis parallelism), and the key-switch decomposition batches all
+``level * (level + 1)`` NTTs into stacked transforms.  ``packed=False``
+keeps the historical per-limb loops; both paths are bit-identical and
+the A/B property suite (``tests/test_packed_ab.py``) holds them to it.
 """
 
 from __future__ import annotations
@@ -19,9 +27,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..modmath import packedops
 from ..modmath.barrett import barrett_reduce_64
-from ..modmath.ops import add_mod, mul_mod, sub_mod
-from ..ntt.radix2 import ntt_forward, ntt_inverse
+from ..modmath.ops import add_mod, mad_mod, mul_mod, neg_mod, sub_mod
+from ..ntt.radix2 import (
+    ntt_forward,
+    ntt_forward_stacked,
+    ntt_inverse,
+    ntt_inverse_stacked,
+)
 from .ciphertext import Ciphertext
 from .context import CkksContext
 from .galois import apply_galois_coeff, conjugation_galois_elt, rotation_galois_elt
@@ -35,10 +49,15 @@ SCALE_RTOL = 1e-9
 
 
 class Evaluator:
-    """Stateless evaluator bound to a context."""
+    """Stateless evaluator bound to a context.
 
-    def __init__(self, context: CkksContext):
+    ``packed`` selects the whole-tensor packed-RNS kernels (default) or
+    the per-limb reference loops (the bit-identical oracle).
+    """
+
+    def __init__(self, context: CkksContext, *, packed: bool = True):
         self.context = context
+        self.packed = packed
 
     # -- shape checks ------------------------------------------------------------
 
@@ -52,6 +71,9 @@ class Evaluator:
         if not math.isclose(sa, sb, rel_tol=SCALE_RTOL):
             raise ValueError(f"scale mismatch: {sa} vs {sb}")
 
+    def _stacked(self, level: int):
+        return self.context.stacked_modulus(level)
+
     # -- additive ops ---------------------------------------------------------------
 
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
@@ -59,6 +81,24 @@ class Evaluator:
         self._check_pair(a, b)
         self._check_scales(a.scale, b.scale)
         size = max(a.size, b.size)
+        if not self.packed:
+            return self._add_serial(a, b, size)
+        common = min(a.size, b.size)
+        if common == size:
+            return Ciphertext(
+                add_mod(a.data, b.data, self._stacked(a.level)), a.scale
+            )
+        out = np.empty((size, a.level, a.degree), dtype=np.uint64)
+        out[:common] = add_mod(
+            a.data[:common], b.data[:common], self._stacked(a.level)
+        )
+        if a.size > common:
+            out[common:] = a.data[common:]
+        else:
+            out[common:] = b.data[common:]
+        return Ciphertext(out, a.scale)
+
+    def _add_serial(self, a: Ciphertext, b: Ciphertext, size: int) -> Ciphertext:
         out = np.zeros((size, a.level, a.degree), dtype=np.uint64)
         for i in range(a.level):
             m = self.context.modulus(i)
@@ -76,6 +116,22 @@ class Evaluator:
         self._check_pair(a, b)
         self._check_scales(a.scale, b.scale)
         size = max(a.size, b.size)
+        if not self.packed:
+            return self._sub_serial(a, b, size)
+        st = self._stacked(a.level)
+        common = min(a.size, b.size)
+        if common == size:
+            return Ciphertext(sub_mod(a.data, b.data, st), a.scale)
+        out = np.empty((size, a.level, a.degree), dtype=np.uint64)
+        out[:common] = sub_mod(a.data[:common], b.data[:common], st)
+        if a.size > common:
+            # sub_mod(x, 0) == x for canonical x: plain copy, bit-identical.
+            out[common:] = a.data[common:]
+        else:
+            out[common:] = sub_mod(np.uint64(0), b.data[common:], st)
+        return Ciphertext(out, a.scale)
+
+    def _sub_serial(self, a: Ciphertext, b: Ciphertext, size: int) -> Ciphertext:
         out = np.zeros((size, a.level, a.degree), dtype=np.uint64)
         for i in range(a.level):
             m = self.context.modulus(i)
@@ -89,11 +145,18 @@ class Evaluator:
         if ct.level != pt.level:
             raise ValueError("level mismatch with plaintext")
         self._check_scales(ct.scale, pt.scale)
-        out = ct.copy()
-        for i in range(ct.level):
-            m = self.context.modulus(i)
-            out.data[0, i] = add_mod(ct.data[0, i], pt.data[i], m)
-        return out
+        if not self.packed:
+            out = ct.copy()
+            for i in range(ct.level):
+                m = self.context.modulus(i)
+                out.data[0, i] = add_mod(ct.data[0, i], pt.data[i], m)
+            return out
+        # Only component 0 changes: fill the rest instead of copying the
+        # whole ciphertext first and overwriting component 0 again.
+        out = np.empty_like(ct.data)
+        out[0] = add_mod(ct.data[0], pt.data, self._stacked(ct.level))
+        out[1:] = ct.data[1:]
+        return Ciphertext(out, ct.scale, ct.is_ntt)
 
     # -- multiplicative ops -------------------------------------------------------------
 
@@ -102,6 +165,14 @@ class Evaluator:
         self._check_pair(a, b)
         if a.size != 2 or b.size != 2:
             raise ValueError("multiply expects size-2 ciphertexts (relinearize first)")
+        if not self.packed:
+            return self._multiply_serial(a, b)
+        out = packedops.dyadic_product_stacked(
+            a.data[0], a.data[1], b.data[0], b.data[1], self._stacked(a.level)
+        )
+        return Ciphertext(out, a.scale * b.scale)
+
+    def _multiply_serial(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         out = np.zeros((3, a.level, a.degree), dtype=np.uint64)
         for i in range(a.level):
             m = self.context.modulus(i)
@@ -117,6 +188,14 @@ class Evaluator:
         """Ciphertext squaring (one fewer dyadic multiply than Mul)."""
         if a.size != 2:
             raise ValueError("square expects a size-2 ciphertext")
+        if not self.packed:
+            return self._square_serial(a)
+        out = packedops.dyadic_square_stacked(
+            a.data[0], a.data[1], self._stacked(a.level)
+        )
+        return Ciphertext(out, a.scale * a.scale)
+
+    def _square_serial(self, a: Ciphertext) -> Ciphertext:
         out = np.zeros((3, a.level, a.degree), dtype=np.uint64)
         for i in range(a.level):
             m = self.context.modulus(i)
@@ -129,14 +208,23 @@ class Evaluator:
 
     def negate(self, ct: Ciphertext) -> Ciphertext:
         """Element-wise negation (free in CKKS: negate every component)."""
-        from ..modmath.ops import neg_mod
+        if not self.packed:
+            out = ct.copy()
+            for i in range(ct.level):
+                m = self.context.modulus(i)
+                for c in range(ct.size):
+                    out.data[c, i] = neg_mod(ct.data[c, i], m)
+            return out
+        data = neg_mod(ct.data, self._stacked(ct.level))
+        return Ciphertext(data, ct.scale, ct.is_ntt)
 
-        out = ct.copy()
-        for i in range(ct.level):
-            m = self.context.modulus(i)
-            for c in range(ct.size):
-                out.data[c, i] = neg_mod(ct.data[c, i], m)
-        return out
+    def _scalar_residues(self, scaled: int, level: int) -> np.ndarray:
+        """``scaled mod q_i`` for each level prime, as a ``(level, 1)`` column."""
+        col = np.array(
+            [scaled % self.context.modulus(i).value for i in range(level)],
+            dtype=np.uint64,
+        )
+        return col[:, None]
 
     def add_scalar(self, ct: Ciphertext, value: float) -> Ciphertext:
         """Add a public scalar to every slot.
@@ -145,13 +233,21 @@ class Evaluator:
         ``round(value * scale)``, whose NTT form is that same constant in
         every position — one broadcast modular addition per prime.
         """
-        out = ct.copy()
         scaled = round(value * ct.scale)
-        for i in range(ct.level):
-            m = self.context.modulus(i)
-            c = np.uint64(scaled % m.value)
-            out.data[0, i] = add_mod(ct.data[0, i], c, m)
-        return out
+        if not self.packed:
+            out = ct.copy()
+            for i in range(ct.level):
+                m = self.context.modulus(i)
+                c = np.uint64(scaled % m.value)
+                out.data[0, i] = add_mod(ct.data[0, i], c, m)
+            return out
+        out = np.empty_like(ct.data)
+        out[0] = add_mod(
+            ct.data[0], self._scalar_residues(scaled, ct.level),
+            self._stacked(ct.level),
+        )
+        out[1:] = ct.data[1:]
+        return Ciphertext(out, ct.scale, ct.is_ntt)
 
     def multiply_scalar(self, ct: Ciphertext, value: float,
                         *, scale: float | None = None) -> Ciphertext:
@@ -163,14 +259,20 @@ class Evaluator:
         """
         scale = float(self.context.params.scale if scale is None else scale)
         scaled = round(value * scale)
-        out = ct.copy()
-        for i in range(ct.level):
-            m = self.context.modulus(i)
-            c = np.uint64(scaled % m.value)
-            for comp in range(ct.size):
-                out.data[comp, i] = mul_mod(ct.data[comp, i], c, m)
-        out.scale = ct.scale * scale
-        return out
+        if not self.packed:
+            out = ct.copy()
+            for i in range(ct.level):
+                m = self.context.modulus(i)
+                c = np.uint64(scaled % m.value)
+                for comp in range(ct.size):
+                    out.data[comp, i] = mul_mod(ct.data[comp, i], c, m)
+            out.scale = ct.scale * scale
+            return out
+        data = mul_mod(
+            ct.data, self._scalar_residues(scaled, ct.level),
+            self._stacked(ct.level),
+        )
+        return Ciphertext(data, ct.scale * scale, ct.is_ntt)
 
     def evaluate_polynomial(self, ct: Ciphertext, coeffs: list,
                             relin_key: RelinKey) -> Ciphertext:
@@ -197,9 +299,7 @@ class Evaluator:
         acc = self.rescale(self.multiply_scalar(ct, float(coeffs[-1])))
         for k in range(degree - 1, 0, -1):
             acc = self.add_scalar(acc, float(coeffs[k]))
-            x_down = ct
-            while x_down.level > acc.level:
-                x_down = self.mod_switch_to_next(x_down)
+            x_down = self.mod_switch_to(ct, acc.level)
             prod = self.multiply(acc, x_down)
             prod = self.relinearize(prod, relin_key)
             acc = self.rescale(prod)
@@ -208,15 +308,22 @@ class Evaluator:
     def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         if ct.level != pt.level:
             raise ValueError("level mismatch with plaintext")
-        out = ct.copy()
-        for i in range(ct.level):
-            m = self.context.modulus(i)
-            for c in range(ct.size):
-                out.data[c, i] = mul_mod(ct.data[c, i], pt.data[i], m)
-        out.scale = ct.scale * pt.scale
-        return out
+        if not self.packed:
+            out = ct.copy()
+            for i in range(ct.level):
+                m = self.context.modulus(i)
+                for c in range(ct.size):
+                    out.data[c, i] = mul_mod(ct.data[c, i], pt.data[i], m)
+            out.scale = ct.scale * pt.scale
+            return out
+        data = mul_mod(ct.data, pt.data, self._stacked(ct.level))
+        return Ciphertext(data, ct.scale * pt.scale, ct.is_ntt)
 
     # -- key switching ------------------------------------------------------------------
+
+    def _target_rows(self, level: int) -> Tuple[int, ...]:
+        special_idx = len(self.context.key_base) - 1
+        return tuple(range(level)) + (special_idx,)
 
     def _decompose_for_switch(self, poly_ntt: np.ndarray,
                               level: int) -> np.ndarray:
@@ -226,7 +333,22 @@ class Evaluator:
         ``D[i, r] = NTT_r([poly]_{q_i} mod modulus_r)`` for target row
         ``r`` over the current primes plus the special prime.  This is
         the part *hoisting* shares across rotations of one ciphertext.
+
+        Packed: one stacked inverse NTT over all source primes, one
+        broadcast Barrett reduction onto the ``(level, level+1, N)``
+        grid, and one stacked forward NTT over the whole grid — versus
+        ``level * (level + 2)`` single-row transforms.
         """
+        ctx = self.context
+        if not self.packed:
+            return self._decompose_serial(poly_ntt, level)
+        target_rows = self._target_rows(level)
+        d = ntt_inverse_stacked(poly_ntt, ctx.stacked_tables.prefix(level))
+        st_t = ctx.stacked_rows(target_rows)
+        reduced = barrett_reduce_64(d[:, None, :], st_t)
+        return ntt_forward_stacked(reduced, ctx.stacked_tables_rows(target_rows))
+
+    def _decompose_serial(self, poly_ntt: np.ndarray, level: int) -> np.ndarray:
         ctx = self.context
         n = ctx.degree
         special_idx = len(ctx.key_base) - 1
@@ -242,10 +364,28 @@ class Evaluator:
 
     def _accumulate_switch(self, decomposed: np.ndarray, level: int,
                            ksk: KSwitchKey) -> Tuple[np.ndarray, np.ndarray]:
-        """Dyadic half of the key switch: key products + mod-down by P."""
+        """Dyadic half of the key switch: key products + mod-down by P.
+
+        Packed: each source prime contributes one fused ``mad_mod`` over
+        all ``level + 1`` target rows (the paper's one-reduction
+        multiply-accumulate), instead of two calls per ``(i, r)`` pair.
+        """
         ctx = self.context
         n = ctx.degree
         special_idx = len(ctx.key_base) - 1
+        if self.packed:
+            target_rows = list(self._target_rows(level))
+            st_t = ctx.stacked_rows(tuple(target_rows))
+            acc0 = np.zeros((level + 1, n), dtype=np.uint64)
+            acc1 = np.zeros((level + 1, n), dtype=np.uint64)
+            for i in range(level):
+                key = ksk.data[i]
+                dn = decomposed[i]
+                acc0 = mad_mod(dn, key[0][target_rows], acc0, st_t)
+                acc1 = mad_mod(dn, key[1][target_rows], acc1, st_t)
+            d0 = ctx.divide_round_drop_ntt(acc0, special_idx)
+            d1 = ctx.divide_round_drop_ntt(acc1, special_idx)
+            return d0, d1
         target_rows = list(range(level)) + [special_idx]
         acc0 = np.zeros((level + 1, n), dtype=np.uint64)
         acc1 = np.zeros((level + 1, n), dtype=np.uint64)
@@ -256,8 +396,8 @@ class Evaluator:
                 dn = decomposed[i, r]
                 acc0[r] = add_mod(acc0[r], mul_mod(dn, key[0, j], mj), mj)
                 acc1[r] = add_mod(acc1[r], mul_mod(dn, key[1, j], mj), mj)
-        d0 = ctx.divide_round_drop_ntt(acc0, special_idx)
-        d1 = ctx.divide_round_drop_ntt(acc1, special_idx)
+        d0 = ctx.divide_round_drop_ntt(acc0, special_idx, packed=False)
+        d1 = ctx.divide_round_drop_ntt(acc1, special_idx, packed=False)
         return d0, d1
 
     def _switch_key(
@@ -279,10 +419,15 @@ class Evaluator:
             raise ValueError("relinearize expects a size-3 ciphertext")
         d0, d1 = self._switch_key(ct.data[2], ct.level, rlk.key)
         out = np.empty((2, ct.level, ct.degree), dtype=np.uint64)
-        for i in range(ct.level):
-            m = self.context.modulus(i)
-            out[0, i] = add_mod(ct.data[0, i], d0[i], m)
-            out[1, i] = add_mod(ct.data[1, i], d1[i], m)
+        if self.packed:
+            st = self._stacked(ct.level)
+            out[0] = add_mod(ct.data[0], d0, st)
+            out[1] = add_mod(ct.data[1], d1, st)
+        else:
+            for i in range(ct.level):
+                m = self.context.modulus(i)
+                out[0, i] = add_mod(ct.data[0, i], d0[i], m)
+                out[1, i] = add_mod(ct.data[1, i], d1[i], m)
         return Ciphertext(out, ct.scale)
 
     # -- modulus management --------------------------------------------------------------
@@ -291,7 +436,7 @@ class Evaluator:
         """Divide by ``q_{l-1}`` and drop it (paper RS)."""
         if ct.level < 2:
             raise ValueError("cannot rescale below one remaining prime")
-        new = self.context.rescale_ntt(ct.data, ct.level)
+        new = self.context.rescale_ntt(ct.data, ct.level, packed=self.packed)
         dropped = self.context.modulus(ct.level - 1).value
         return Ciphertext(new, ct.scale / dropped)
 
@@ -301,6 +446,14 @@ class Evaluator:
             raise ValueError("cannot switch below one remaining prime")
         return Ciphertext(ct.data[:, : ct.level - 1, :].copy(), ct.scale)
 
+    def mod_switch_to(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Drop primes down to ``level`` in one slice (no per-step copies)."""
+        if ct.level == level:
+            return ct
+        if not 1 <= level < ct.level:
+            raise ValueError(f"cannot switch from level {ct.level} to {level}")
+        return Ciphertext(ct.data[:, :level, :].copy(), ct.scale)
+
     # -- automorphisms -------------------------------------------------------------------
 
     def _apply_galois(self, ct: Ciphertext, elt: int,
@@ -308,20 +461,31 @@ class Evaluator:
         ctx = self.context
         level = ct.level
         base = ctx.level_base(level)
-        rotated = np.empty_like(ct.data[:2])
-        for c in range(2):
-            coeff = np.stack(
-                [ntt_inverse(ct.data[c, i], ctx.tables[i]) for i in range(level)]
+        if self.packed:
+            coeff = ntt_inverse_stacked(
+                ct.data[:2], ctx.stacked_tables.prefix(level)
             )
             perm = apply_galois_coeff(coeff, elt, base)
-            for i in range(level):
-                rotated[c, i] = ntt_forward(perm[i], ctx.tables[i])
+            rotated = ntt_forward_stacked(perm, ctx.stacked_tables.prefix(level))
+        else:
+            rotated = np.empty_like(ct.data[:2])
+            for c in range(2):
+                coeff = np.stack(
+                    [ntt_inverse(ct.data[c, i], ctx.tables[i]) for i in range(level)]
+                )
+                perm = apply_galois_coeff(coeff, elt, base)
+                for i in range(level):
+                    rotated[c, i] = ntt_forward(perm[i], ctx.tables[i])
         d0, d1 = self._switch_key(rotated[1], level, ksk)
         out = np.empty((2, level, ct.degree), dtype=np.uint64)
-        for i in range(level):
-            m = ctx.modulus(i)
-            out[0, i] = add_mod(rotated[0, i], d0[i], m)
-            out[1, i] = d1[i]
+        if self.packed:
+            out[0] = add_mod(rotated[0], d0, self._stacked(level))
+            out[1] = d1
+        else:
+            for i in range(level):
+                m = ctx.modulus(i)
+                out[0, i] = add_mod(rotated[0, i], d0[i], m)
+                out[1, i] = d1[i]
         return Ciphertext(out, ct.scale)
 
     def rotate(self, ct: Ciphertext, steps: int, galois_keys: GaloisKeys) -> Ciphertext:
@@ -368,9 +532,13 @@ class Evaluator:
             d0, d1 = self._accumulate_switch(rotated_decomp, level, ksk)
             c0_rot = apply_galois_ntt(ct.data[0], elt)
             data = np.empty((2, level, ct.degree), dtype=np.uint64)
-            for i in range(level):
-                m = ctx.modulus(i)
-                data[0, i] = add_mod(c0_rot[i], d0[i], m)
-                data[1, i] = d1[i]
+            if self.packed:
+                data[0] = add_mod(c0_rot, d0, self._stacked(level))
+                data[1] = d1
+            else:
+                for i in range(level):
+                    m = ctx.modulus(i)
+                    data[0, i] = add_mod(c0_rot[i], d0[i], m)
+                    data[1, i] = d1[i]
             out.append(Ciphertext(data, ct.scale))
         return out

@@ -54,16 +54,20 @@ def galois_permutation(degree: int, elt: int) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def apply_galois_coeff(matrix: np.ndarray, elt: int, base: RNSBase) -> np.ndarray:
-    """Apply ``kappa_elt`` to a coefficient-form RNS matrix ``(k, N)``."""
+    """Apply ``kappa_elt`` to a coefficient-form RNS stack ``(..., k, N)``.
+
+    Packed over the limb axis: the sign flips run as one whole-tensor
+    pass with the per-limb modulus broadcast from a ``(k, 1)`` column.
+    """
     matrix = np.asarray(matrix, dtype=np.uint64)
-    k, n = matrix.shape
+    k, n = matrix.shape[-2], matrix.shape[-1]
+    if k != len(base):
+        raise ValueError(f"matrix has {k} limb rows but base has {len(base)}")
     tgt, flip = galois_permutation(n, elt)
+    p = base.stacked.u64
+    vals = np.where(flip, np.where(matrix == 0, matrix, p - matrix), matrix)
     out = np.empty_like(matrix)
-    for i in range(k):
-        p = base[i].u64
-        row = matrix[i]
-        vals = np.where(flip, np.where(row == 0, row, p - row), row)
-        out[i, tgt] = vals
+    out[..., tgt] = vals
     return out
 
 

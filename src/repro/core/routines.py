@@ -57,9 +57,7 @@ class HERoutines:
         one level below ``c``, so ``c`` is switched down before Add.
         """
         prod = self.mul_lin_rs(a, b)
-        lowered = c
-        while lowered.level > prod.level:
-            lowered = self.ev.mod_switch_to_next(lowered)
+        lowered = self.ev.mod_switch_to(c, prod.level)
         # CKKS addition needs matching scales; the caller encodes c at the
         # post-rescale scale (paper: "scale down the message accordingly").
         lowered = Ciphertext(lowered.data, prod.scale, lowered.is_ntt)

@@ -33,11 +33,13 @@ from .instcount import (
 from .modulus import Modulus
 from .ops import add_mod, dot_mod, inv_mod, mad_mod, mul_mod, neg_mod, pow_mod, sub_mod
 from .primes import default_coeff_modulus, gen_ntt_prime, gen_ntt_primes, is_prime
+from .stacked import StackedModulus
 from .uint128 import mul_high, mul_low, mul_wide
 
 __all__ = [
     "Modulus",
     "MultiplyOperand",
+    "StackedModulus",
     "add_mod",
     "sub_mod",
     "neg_mod",

@@ -13,26 +13,35 @@ from __future__ import annotations
 import numpy as np
 
 from .modulus import Modulus
+from .stacked import StackedModulus
 from .uint128 import add_carry, mul_high, mul_low, mul_wide, wrapping
 
 __all__ = ["barrett_reduce_64", "barrett_reduce_128", "conditional_sub"]
 
 
 @wrapping
-def conditional_sub(x, modulus: Modulus):
+def conditional_sub(x, modulus):
     """Reduce ``x`` from ``[0, 2p)`` to ``[0, p)`` with one compare+select."""
+    if isinstance(modulus, StackedModulus):
+        from . import packedops
+
+        return packedops.conditional_sub_stacked(x, modulus)
     x = np.asarray(x, dtype=np.uint64)
     p = modulus.u64
     return np.where(x >= p, x - p, x)
 
 
 @wrapping
-def barrett_reduce_64(x, modulus: Modulus):
+def barrett_reduce_64(x, modulus):
     """Reduce ``x < 2**64`` modulo ``p``.
 
     Uses the single-word Barrett variant: ``q = mulhi(x, ratio_hi)`` is
     within 1 of the true quotient, so one conditional subtract finishes.
     """
+    if isinstance(modulus, StackedModulus):
+        from . import packedops
+
+        return packedops.barrett_reduce_64_stacked(x, modulus)
     x = np.asarray(x, dtype=np.uint64)
     q = mul_high(x, modulus.ratio_hi)
     r = x - q * modulus.u64
@@ -40,13 +49,17 @@ def barrett_reduce_64(x, modulus: Modulus):
 
 
 @wrapping
-def barrett_reduce_128(hi, lo, modulus: Modulus):
+def barrett_reduce_128(hi, lo, modulus):
     """Reduce a 128-bit value ``hi:lo`` modulo ``p`` (SEAL's sequence).
 
     Parameters are uint64 arrays (broadcastable).  Requires ``hi < p`` is
     *not* necessary — any 128-bit input is handled, as long as ``p`` has at
     most 61 bits so the quotient estimate is off by at most one.
     """
+    if isinstance(modulus, StackedModulus):
+        from . import packedops
+
+        return packedops.barrett_reduce_128_stacked(hi, lo, modulus)
     hi = np.asarray(hi, dtype=np.uint64)
     lo = np.asarray(lo, dtype=np.uint64)
     r0 = modulus.ratio_hi

@@ -111,14 +111,17 @@ def gs_butterfly_lazy(x, y, op: MultiplyOperand, modulus: Modulus):
 
 
 @wrapping
-def reduce_from_lazy(x, modulus: Modulus):
+def reduce_from_lazy(x, modulus):
     """Final correction pass: map values from ``[0, 4p)`` into ``[0, p)``.
 
     This is the "last round processing" the paper fuses into its final
-    SIMD / SLM kernels (Sec. III-B.1).
+    SIMD / SLM kernels (Sec. III-B.1).  ``modulus`` may be a scalar
+    :class:`Modulus` or a :class:`~repro.modmath.stacked.StackedModulus`,
+    whose ``(k, 1)`` columns correct every limb of a ``(..., k, n)``
+    stack in one call (``p + p`` never wraps: ``p < 2**61``).
     """
     x = np.asarray(x, dtype=np.uint64)
-    p2 = np.uint64(2 * modulus.value)
     p = modulus.u64
+    p2 = p + p
     x = np.where(x >= p2, x - p2, x)
     return np.where(x >= p, x - p, x)

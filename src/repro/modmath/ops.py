@@ -11,14 +11,22 @@ These are the Python counterparts of the paper's GPU device functions:
 
 All functions operate element-wise on uint64 arrays and return uint64.
 Inputs are expected in ``[0, p)`` unless stated otherwise.
+
+Each function accepts either a scalar :class:`Modulus` or a
+:class:`~repro.modmath.stacked.StackedModulus`: the stacked variant's
+``(k, 1)`` constant columns broadcast per-limb constants across every
+residue row of a ``(..., k, n)`` stack in a single call (the packed-RNS
+hot path), running the exact same ufunc sequence as the scalar path.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import packedops
 from .barrett import barrett_reduce_128, conditional_sub
 from .modulus import Modulus
+from .stacked import StackedModulus
 from .uint128 import add_carry, mul_wide, wrapping
 
 __all__ = [
@@ -33,11 +41,13 @@ __all__ = [
 ]
 
 
-def add_mod(a, b, modulus: Modulus):
+def add_mod(a, b, modulus):
     """``(a + b) mod p`` for ``a, b`` in ``[0, p)`` with ``p < 2**63``.
 
     Matches Fig. 3(b): add, compare, predicated subtract — three ops.
     """
+    if isinstance(modulus, StackedModulus):
+        return packedops.add_mod_stacked(a, b, modulus)
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)
     s = a + b  # p < 2^63 so no wraparound for in-range inputs
@@ -45,8 +55,10 @@ def add_mod(a, b, modulus: Modulus):
 
 
 @wrapping
-def sub_mod(a, b, modulus: Modulus):
+def sub_mod(a, b, modulus):
     """``(a - b) mod p`` for ``a, b`` in ``[0, p)``."""
+    if isinstance(modulus, StackedModulus):
+        return packedops.sub_mod_stacked(a, b, modulus)
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)
     p = modulus.u64
@@ -55,21 +67,25 @@ def sub_mod(a, b, modulus: Modulus):
 
 
 @wrapping
-def neg_mod(a, modulus: Modulus):
+def neg_mod(a, modulus):
     """``(-a) mod p`` for ``a`` in ``[0, p)``."""
+    if isinstance(modulus, StackedModulus):
+        return packedops.neg_mod_stacked(a, modulus)
     a = np.asarray(a, dtype=np.uint64)
     p = modulus.u64
     return np.where(a == 0, np.uint64(0), p - a)
 
 
-def mul_mod(a, b, modulus: Modulus):
+def mul_mod(a, b, modulus):
     """``(a * b) mod p`` via wide multiply + 128-bit Barrett reduction."""
+    if isinstance(modulus, StackedModulus):
+        return packedops.mul_mod_stacked(a, b, modulus)
     hi, lo = mul_wide(a, b)
     return barrett_reduce_128(hi, lo, modulus)
 
 
 @wrapping
-def mad_mod(a, b, c, modulus: Modulus):
+def mad_mod(a, b, c, modulus):
     """Fused ``(a * b + c) mod p`` with a single reduction.
 
     The paper's ``mad_mod`` (Sec. III-A.1): the 128-bit product is extended
@@ -77,6 +93,8 @@ def mad_mod(a, b, c, modulus: Modulus):
     reductions on the multiply-accumulate chains that dominate HE dyadic
     kernels.  Correct whenever ``a, b < 2**61`` and ``c < 2**63``.
     """
+    if isinstance(modulus, StackedModulus):
+        return packedops.mad_mod_stacked(a, b, c, modulus)
     hi, lo = mul_wide(a, b)
     lo, carry = add_carry(lo, np.asarray(c, dtype=np.uint64))
     hi = hi + carry
@@ -100,7 +118,7 @@ def inv_mod(a: int, modulus: Modulus) -> int:
 
 
 @wrapping
-def dot_mod(a, b, modulus: Modulus):
+def dot_mod(a, b, modulus):
     """Modular inner product ``sum_i a_i * b_i mod p`` with lazy accumulation.
 
     The vector form of the paper's mad_mod argument: instead of reducing
@@ -110,8 +128,15 @@ def dot_mod(a, b, modulus: Modulus):
     after ~2**6 terms of 61-bit operands, so we fold with one reduction
     every 32 terms.
 
-    ``a`` and ``b`` are 1-D uint64 arrays with entries in ``[0, p)``.
+    With a scalar :class:`Modulus`, ``a`` and ``b`` are 1-D uint64 arrays
+    with entries in ``[0, p)``.  With a :class:`StackedModulus`, ``a``
+    and ``b`` are ``(k, n)`` residue matrices and the result is the
+    ``(k,)`` vector of per-limb inner products — every limb's 128-bit
+    accumulation advances in the same NumPy call (the packed-RNS fast
+    path), bit-identical to calling the 1-D form row by row.
     """
+    if isinstance(modulus, StackedModulus):
+        return _dot_mod_stacked(a, b, modulus)
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)
     if a.shape != b.shape or a.ndim != 1:
@@ -129,4 +154,34 @@ def dot_mod(a, b, modulus: Modulus):
             hi_acc = hi_acc + hi[i] + carry
         partial = barrett_reduce_128(hi_acc, lo_acc, modulus)
         acc = add_mod(acc, partial, modulus)
+    return acc
+
+
+@wrapping
+def _dot_mod_stacked(a, b, modulus: StackedModulus):
+    """Per-limb inner products over a ``(k, n)`` stack in ``O(n)`` NumPy calls.
+
+    Accumulation order within each limb matches the scalar path exactly
+    (and 128-bit accumulation modulo 2**128 is order-exact anyway), so
+    the result is bit-identical to the per-limb loop.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError("stacked dot_mod expects equal-shape (k, n) matrices")
+    k, n = a.shape
+    if k != len(modulus):
+        raise ValueError(f"matrix has {k} rows but stack has {len(modulus)} limbs")
+    flat = modulus.with_trailing(0)
+    acc = np.zeros(k, dtype=np.uint64)
+    chunk = 32  # same safety window as the scalar path
+    for start in range(0, n, chunk):
+        hi, lo = mul_wide(a[:, start : start + chunk], b[:, start : start + chunk])
+        hi_acc = np.zeros(k, dtype=np.uint64)
+        lo_acc = np.zeros(k, dtype=np.uint64)
+        for i in range(hi.shape[1]):
+            lo_acc, carry = add_carry(lo_acc, lo[:, i])
+            hi_acc = hi_acc + hi[:, i] + carry
+        partial = barrett_reduce_128(hi_acc, lo_acc, flat)
+        acc = add_mod(acc, partial, flat)
     return acc

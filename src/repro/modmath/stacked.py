@@ -1,0 +1,214 @@
+"""Packed-RNS modulus stack: per-limb constants as broadcastable columns.
+
+The paper treats the RNS dimension as a first-class axis of parallelism
+(Fig. 10): every prime's residue polynomial is independent work fed to
+the same kernel grid.  :class:`StackedModulus` realizes that on the NumPy
+backend.  It holds the per-limb modulus ``p``, the two Barrett ratio
+words, and the Harvey lazy bound ``2p`` as ``(k, 1)`` uint64 columns, so
+the elementwise kernels in :mod:`repro.modmath.ops` and
+:mod:`repro.modmath.barrett` — which only ever read ``modulus.u64`` /
+``modulus.ratio_hi`` / ``modulus.ratio_lo`` — broadcast the right
+constant onto the right residue row of a whole ``(..., k, n)`` stack in
+a single call.  One ``add_mod`` covers every limb of every ciphertext
+component instead of one small NumPy call per prime.
+
+The convention throughout the packed path is that the **limb axis is the
+second-to-last axis** of every operand, matching the ``(size, level, N)``
+ciphertext layout; the column constants then broadcast row-wise with no
+reshaping at the call site.
+
+Because the stacked path runs the *same* ufunc sequences as the scalar
+:class:`~repro.modmath.modulus.Modulus` path (only the shape of the
+constant changes), results are bit-identical to looping the per-limb
+kernels row by row; ``tests/test_packed_ab.py`` enforces this property.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .modulus import Modulus
+
+__all__ = ["StackedModulus"]
+
+
+class StackedModulus:
+    """A stack of :class:`Modulus` values exposed as broadcast columns.
+
+    Attributes
+    ----------
+    moduli:
+        The underlying per-limb :class:`Modulus` objects, in row order.
+    u64, ratio_hi, ratio_lo, two_p:
+        ``(k,) + (1,) * trailing`` uint64 views of the per-limb modulus,
+        Barrett ratio words, and ``2p``.  With the default ``trailing=1``
+        they are ``(k, 1)`` columns that broadcast across ``(..., k, n)``
+        stacks whose limb axis is second-to-last.
+    """
+
+    __slots__ = (
+        "moduli",
+        "_flat_p",
+        "_flat_rhi",
+        "_flat_rlo",
+        "trailing",
+        "u64",
+        "ratio_hi",
+        "ratio_lo",
+        "ratio_hi_hi",
+        "ratio_hi_lo",
+        "ratio_lo_hi",
+        "ratio_lo_lo",
+        "two_p",
+        "c64",
+        "c64q_hi",
+        "c64q_lo",
+        "_prefixes",
+        "_trailing_variants",
+        "_mat_cache",
+    )
+
+    def __init__(self, moduli: Iterable[Modulus], *, trailing: int = 1):
+        moduli = tuple(moduli)
+        if not moduli:
+            raise ValueError("StackedModulus needs at least one modulus")
+        if trailing < 0:
+            raise ValueError("trailing axis count must be >= 0")
+        self.moduli: Tuple[Modulus, ...] = moduli
+        flat_p = np.array([m.value for m in moduli], dtype=np.uint64)
+        flat_rhi = np.array([m.const_ratio[0] for m in moduli], dtype=np.uint64)
+        flat_rlo = np.array([m.const_ratio[1] for m in moduli], dtype=np.uint64)
+        for arr in (flat_p, flat_rhi, flat_rlo):
+            arr.setflags(write=False)
+        self._flat_p = flat_p
+        self._flat_rhi = flat_rhi
+        self._flat_rlo = flat_rlo
+        self.trailing = trailing
+        shape = (len(moduli),) + (1,) * trailing
+        self.u64 = flat_p.reshape(shape)
+        self.ratio_hi = flat_rhi.reshape(shape)
+        self.ratio_lo = flat_rlo.reshape(shape)
+        # 32-bit halves of the ratio words (still uint64): the buffered
+        # packed kernels emulate 64x64 mulhi from these without spending
+        # two whole-array passes splitting a constant per call.
+        mask32 = np.uint64(0xFFFFFFFF)
+        shift32 = np.uint64(32)
+        for name, flat in (("ratio_hi", flat_rhi), ("ratio_lo", flat_rlo)):
+            hi = (flat >> shift32).reshape(shape)
+            lo = (flat & mask32).reshape(shape)
+            hi.setflags(write=False)
+            lo.setflags(write=False)
+            setattr(self, f"{name}_hi", hi)
+            setattr(self, f"{name}_lo", lo)
+        # p < 2**61, so 2p never wraps uint64.
+        two_p = (flat_p + flat_p).reshape(shape)
+        two_p.setflags(write=False)
+        self.two_p = two_p
+        # 2**64 mod p with its Harvey quotient halves: the buffered
+        # kernels reduce a 128-bit value as Harvey(hi; W=2**64 mod p)
+        # plus a 64-bit Barrett of lo — fewer passes than the two-round
+        # 128-bit Barrett, same exact canonical result.
+        c64 = np.array(
+            [(1 << 64) % m.value for m in moduli], dtype=np.uint64
+        )
+        c64q = [
+            ((int(c) << 64) // m.value) for c, m in zip(c64, moduli)
+        ]
+        c64 = c64.reshape(shape)
+        c64q_hi = np.array([q >> 32 for q in c64q], dtype=np.uint64).reshape(shape)
+        c64q_lo = np.array(
+            [q & 0xFFFFFFFF for q in c64q], dtype=np.uint64
+        ).reshape(shape)
+        for arr in (c64, c64q_hi, c64q_lo):
+            arr.setflags(write=False)
+        self.c64 = c64
+        self.c64q_hi = c64q_hi
+        self.c64q_lo = c64q_lo
+        self._prefixes: dict = {}
+        self._trailing_variants: dict = {}
+        self._mat_cache: dict = {}
+
+    def materialized(self, n: int):
+        """Constants broadcast to full ``(k, n)`` arrays (memoized, tiny LRU).
+
+        A ``(k, 1)`` column operand defeats NumPy's inner-loop coalescing
+        (~2x per pass); the hot kernels grab these full-width copies
+        instead when the trailing axis is long enough to amortize them.
+        Returns a dict keyed by constant name.
+        """
+        cached = self._mat_cache.get(n)
+        if cached is None:
+            if len(self._mat_cache) >= 2:
+                self._mat_cache.clear()
+            k = len(self.moduli)
+            cols = {
+                "p": self.u64, "two_p": self.two_p,
+                "rhi": self.ratio_hi,
+                "rhi_hi": self.ratio_hi_hi, "rhi_lo": self.ratio_hi_lo,
+                "c64": self.c64,
+                "c64q_hi": self.c64q_hi, "c64q_lo": self.c64q_lo,
+            }
+            cached = {}
+            for name, col in cols.items():
+                full = np.ascontiguousarray(
+                    np.broadcast_to(col.reshape(k, 1), (k, n))
+                )
+                full.setflags(write=False)
+                cached[name] = full
+            self._mat_cache[n] = cached
+        return cached
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Iterable[int], *, trailing: int = 1) -> "StackedModulus":
+        return cls((Modulus(int(v)) for v in values), trailing=trailing)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    def __getitem__(self, i: int) -> Modulus:
+        return self.moduli[i]
+
+    @property
+    def values(self) -> list:
+        return [m.value for m in self.moduli]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StackedModulus({len(self.moduli)} limbs, trailing={self.trailing})"
+
+    # -- derived stacks -------------------------------------------------------
+
+    def prefix(self, rows: int) -> "StackedModulus":
+        """The first ``rows`` limbs as a stack (memoized; arrays are views)."""
+        if not 1 <= rows <= len(self.moduli):
+            raise ValueError(f"invalid prefix size {rows}")
+        if rows == len(self.moduli):
+            return self
+        cached = self._prefixes.get(rows)
+        if cached is None:
+            cached = StackedModulus(self.moduli[:rows], trailing=self.trailing)
+            self._prefixes[rows] = cached
+        return cached
+
+    def with_trailing(self, trailing: int) -> "StackedModulus":
+        """The same limb stack with a different broadcast shape (memoized).
+
+        ``trailing=0`` gives flat ``(k,)`` constants for elementwise use on
+        ``(k,)`` data (e.g. the stacked ``dot_mod`` accumulator);
+        ``trailing=2`` gives ``(k, 1, 1)`` for limb-major 3-D stacks.
+        """
+        if trailing == self.trailing:
+            return self
+        cached = self._trailing_variants.get(trailing)
+        if cached is None:
+            cached = StackedModulus(self.moduli, trailing=trailing)
+            self._trailing_variants[trailing] = cached
+        return cached

@@ -1,11 +1,18 @@
 """RNS-batched NTT engine: the facade the CKKS layer uses.
 
-A polynomial in RNS form is a ``(k, n)`` uint64 matrix (one residue row per
-prime); ciphertext stacks add leading axes.  The engine holds one
-:class:`~repro.ntt.tables.NTTTables` per prime and transforms whole stacks
-row-by-row — each row is a fully vectorized transform.  In the paper's
-terms, both the RNS dimension and the batch dimension are sources of
-embarrassing parallelism (Fig. 10); here they are NumPy leading axes.
+A polynomial in RNS form is a ``(k, n)`` uint64 matrix (one residue row
+per prime); ciphertext stacks add leading axes.  In the paper's terms,
+both the RNS dimension and the batch dimension are sources of
+embarrassing parallelism (Fig. 10); here they are NumPy axes of one
+stacked transform: by default the engine runs each butterfly stage once
+across *all* primes and components via
+:func:`~repro.ntt.radix2.ntt_forward_stacked` /
+:func:`~repro.ntt.radix2.ntt_inverse_stacked`.
+
+``packed=False`` keeps the historical row-by-row execution (one
+fully-vectorized transform per prime).  Both paths are bit-identical —
+the per-limb path is retained as the oracle reference for the A/B
+property suite.
 """
 
 from __future__ import annotations
@@ -16,8 +23,8 @@ import numpy as np
 
 from ..modmath import Modulus, mul_mod
 from ..rns import RNSBase
-from .radix2 import ntt_forward, ntt_inverse
-from .tables import NTTTables, get_tables
+from .radix2 import ntt_forward, ntt_forward_stacked, ntt_inverse, ntt_inverse_stacked
+from .tables import NTTTables, StackedNTTTables, get_stacked_tables, get_tables
 
 __all__ = ["NTTEngine"]
 
@@ -25,7 +32,7 @@ __all__ = ["NTTEngine"]
 class NTTEngine:
     """Forward/inverse negacyclic NTT over all primes of an RNS base."""
 
-    def __init__(self, degree: int, base: RNSBase):
+    def __init__(self, degree: int, base: RNSBase, *, packed: bool = True):
         for m in base:
             if not m.supports_ntt(degree):
                 raise ValueError(
@@ -33,7 +40,9 @@ class NTTEngine:
                 )
         self.degree = degree
         self.base = base
+        self.packed = packed
         self.tables: list[NTTTables] = [get_tables(degree, m) for m in base]
+        self.stacked: StackedNTTTables = get_stacked_tables(degree, base)
 
     def _check(self, matrix: np.ndarray, rows: int | None = None) -> None:
         if matrix.shape[-1] != self.degree:
@@ -51,8 +60,10 @@ class NTTEngine:
         prefix of the base (lower ciphertext level).
         """
         self._check(matrix)
-        out = np.empty_like(matrix)
         k = matrix.shape[-2]
+        if self.packed:
+            return ntt_forward_stacked(matrix, self.stacked.prefix(k), lazy=lazy)
+        out = np.empty_like(matrix)
         for i in range(k):
             out[..., i, :] = ntt_forward(matrix[..., i, :], self.tables[i], lazy=lazy)
         return out
@@ -60,8 +71,10 @@ class NTTEngine:
     def inverse(self, matrix: np.ndarray, *, lazy: bool = False) -> np.ndarray:
         """Inverse-NTT each residue row back to coefficient form."""
         self._check(matrix)
-        out = np.empty_like(matrix)
         k = matrix.shape[-2]
+        if self.packed:
+            return ntt_inverse_stacked(matrix, self.stacked.prefix(k), lazy=lazy)
+        out = np.empty_like(matrix)
         for i in range(k):
             out[..., i, :] = ntt_inverse(matrix[..., i, :], self.tables[i], lazy=lazy)
         return out
@@ -71,8 +84,10 @@ class NTTEngine:
         if a.shape != b.shape:
             raise ValueError("operand shapes differ")
         self._check(a)
-        out = np.empty_like(a)
         k = a.shape[-2]
+        if self.packed:
+            return mul_mod(a, b, self.stacked.modulus.prefix(k))
+        out = np.empty_like(a)
         for i in range(k):
             out[..., i, :] = mul_mod(a[..., i, :], b[..., i, :], self.base[i])
         return out
@@ -91,4 +106,4 @@ class NTTEngine:
 
     def subengine(self, rows: int) -> "NTTEngine":
         """Engine over the first ``rows`` primes (a lower level)."""
-        return NTTEngine(self.degree, self.base.prefix(rows))
+        return NTTEngine(self.degree, self.base.prefix(rows), packed=self.packed)

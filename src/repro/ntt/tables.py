@@ -14,13 +14,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
-from ..modmath import Modulus, MultiplyOperand, inv_mod
+from ..modmath import Modulus, MultiplyOperand, StackedModulus, inv_mod
 
-__all__ = ["NTTTables", "bit_reverse", "bit_reverse_vector", "find_primitive_root"]
+__all__ = [
+    "NTTTables",
+    "StackedNTTTables",
+    "bit_reverse",
+    "bit_reverse_vector",
+    "find_primitive_root",
+    "get_tables",
+    "get_stacked_tables",
+    "tables_cache_info",
+    "clear_tables_cache",
+    "TABLES_CACHE_SIZE",
+]
 
 
 def bit_reverse(x: int, bits: int) -> int:
@@ -129,12 +140,192 @@ class NTTTables:
         return self.degree.bit_length() - 1
 
 
-@lru_cache(maxsize=128)
+class StackedNTTTables:
+    """Twiddle tables for a whole RNS base, stacked along a leading limb axis.
+
+    The per-prime ``(n,)`` tables of :class:`NTTTables` become ``(k, n)``
+    matrices and the per-prime scalars become ``(k, 1)`` columns, so each
+    butterfly stage of the transform runs once across *all* primes (and
+    any ciphertext-component axes in front) instead of once per prime —
+    the paper's Fig. 10 RNS-axis parallelism on the NumPy backend.
+
+    Attributes
+    ----------
+    w, wq, iw, iwq:
+        ``(k, n)`` forward/inverse twiddles and Harvey quotients.
+    wq_hi, wq_lo, iwq_hi, iwq_lo:
+        The Harvey quotients pre-split into 32-bit halves (kept in
+        uint64), so the stacked butterfly's emulated ``mulhi`` skips two
+        full-array passes per stage.
+    modulus:
+        The limbs as a :class:`StackedModulus` (``(k, 1)`` columns).
+    p3, two_p3:
+        ``(k, 1, 1)`` views of ``p`` / ``2p`` for the per-stage
+        ``(..., k, m, t)`` butterfly layout.
+    ninv_w, ninv_q_hi, ninv_q_lo:
+        ``(k, 1)`` columns of the ``n^{-1}`` Harvey operand and split
+        quotient for the inverse transform's final scaling.
+    """
+
+    #: Materialize per-stage twiddle grids only while the whole residue
+    #: stack stays this small (elements): broadcasting a ``(k, m, 1)``
+    #: twiddle slice across a small trailing axis defeats NumPy's loop
+    #: coalescing (2-5x slower passes), but the materialized grids cost
+    #: ``3 * k * n/2`` words per stage, so huge stacks keep the views.
+    STAGE_CACHE_MAX_ELEMS = 65536
+
+    __slots__ = (
+        "degree", "tables", "modulus", "w", "wq", "iw", "iwq",
+        "wq_hi", "wq_lo", "iwq_hi", "iwq_lo",
+        "p3", "two_p3", "ninv_w", "ninv_q_hi", "ninv_q_lo",
+        "_prefixes", "_stage_cache",
+    )
+
+    def __init__(self, tables: Sequence[NTTTables]):
+        tables = tuple(tables)
+        if not tables:
+            raise ValueError("StackedNTTTables needs at least one limb")
+        degree = tables[0].degree
+        if any(t.degree != degree for t in tables):
+            raise ValueError("all limbs must share one degree")
+        self.degree = degree
+        self.tables = tables
+        self.modulus = StackedModulus(t.modulus for t in tables)
+        self.w = np.stack([t.w for t in tables])
+        self.wq = np.stack([t.wq for t in tables])
+        self.iw = np.stack([t.iw for t in tables])
+        self.iwq = np.stack([t.iwq for t in tables])
+        mask32 = np.uint64(0xFFFFFFFF)
+        shift32 = np.uint64(32)
+        self.wq_hi = self.wq >> shift32
+        self.wq_lo = self.wq & mask32
+        self.iwq_hi = self.iwq >> shift32
+        self.iwq_lo = self.iwq & mask32
+        k = len(tables)
+        self.p3 = self.modulus.u64.reshape(k, 1, 1)
+        self.two_p3 = self.modulus.two_p.reshape(k, 1, 1)
+        self.ninv_w = np.array(
+            [t.n_inv.operand for t in tables], dtype=np.uint64
+        ).reshape(k, 1)
+        ninv_q = np.array([t.n_inv.quotient for t in tables], dtype=np.uint64)
+        self.ninv_q_hi = (ninv_q >> shift32).reshape(k, 1)
+        self.ninv_q_lo = (ninv_q & mask32).reshape(k, 1)
+        for arr in (
+            self.w, self.wq, self.iw, self.iwq,
+            self.wq_hi, self.wq_lo, self.iwq_hi, self.iwq_lo,
+            self.ninv_w, self.ninv_q_hi, self.ninv_q_lo,
+        ):
+            arr.setflags(write=False)
+        self._prefixes: dict = {}
+        self._stage_cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def stage_twiddles(self, m: int, *, forward: bool):
+        """``(w, wq_hi, wq_lo)`` for butterfly stage ``m``, shaped ``(k, m, t)``.
+
+        Small stacks get fully materialized contiguous grids (cached on
+        first use, see :data:`STAGE_CACHE_MAX_ELEMS`); large stacks get
+        broadcastable ``(k, m, 1)`` views of the same values.
+        """
+        key = (forward, m)
+        cached = self._stage_cache.get(key)
+        if cached is not None:
+            return cached
+        if forward:
+            srcs = (self.w, self.wq_hi, self.wq_lo)
+        else:
+            srcs = (self.iw, self.iwq_hi, self.iwq_lo)
+        views = tuple(a[:, m : 2 * m, None] for a in srcs)
+        k = len(self.tables)
+        if k * self.degree > self.STAGE_CACHE_MAX_ELEMS:
+            return views
+        t = self.degree // (2 * m)
+        grids = tuple(
+            np.ascontiguousarray(np.broadcast_to(v, (k, m, t))) for v in views
+        )
+        for g in grids:
+            g.setflags(write=False)
+        self._stage_cache[key] = grids
+        return grids
+
+    _VIEW_ATTRS = (
+        "w", "wq", "iw", "iwq", "wq_hi", "wq_lo", "iwq_hi", "iwq_lo",
+        "p3", "two_p3", "ninv_w", "ninv_q_hi", "ninv_q_lo",
+    )
+
+    def prefix(self, rows: int) -> "StackedNTTTables":
+        """Tables for the first ``rows`` limbs (memoized leading-axis views).
+
+        Every stacked attribute is a slice view of this instance's
+        arrays — no twiddle memory is duplicated per level.
+        """
+        if not 1 <= rows <= len(self.tables):
+            raise ValueError(f"invalid prefix size {rows}")
+        if rows == len(self.tables):
+            return self
+        cached = self._prefixes.get(rows)
+        if cached is None:
+            cached = object.__new__(StackedNTTTables)
+            cached.degree = self.degree
+            cached.tables = self.tables[:rows]
+            cached.modulus = self.modulus.prefix(rows)
+            for name in self._VIEW_ATTRS:
+                setattr(cached, name, getattr(self, name)[:rows])
+            cached._prefixes = {}
+            cached._stage_cache = {}
+            self._prefixes[rows] = cached
+        return cached
+
+
+#: Bound on both process-global table memos.  Tables are immutable but
+#: *large* (four uint64 arrays of ``degree`` words per prime: ~1 MiB at
+#: N = 32768), so a long-lived server cycling through many contexts must
+#: not accumulate them without bound; anything a live context needs is
+#: also referenced by that context, so eviction is always safe.
+TABLES_CACHE_SIZE = 32
+
+
+@lru_cache(maxsize=TABLES_CACHE_SIZE)
 def _cached_tables(degree: int, modulus_value: int) -> NTTTables:
     return NTTTables.create(degree, Modulus(modulus_value))
 
 
 def get_tables(degree: int, modulus: Modulus | int) -> NTTTables:
-    """Memoized table lookup (tables are expensive and immutable)."""
+    """Memoized table lookup (tables are expensive and immutable).
+
+    The memo is a bounded LRU keyed by ``(degree, modulus)`` — see
+    :data:`TABLES_CACHE_SIZE`.
+    """
     value = modulus.value if isinstance(modulus, Modulus) else int(modulus)
     return _cached_tables(degree, value)
+
+
+@lru_cache(maxsize=TABLES_CACHE_SIZE)
+def _cached_stacked_tables(degree: int, values: Tuple[int, ...]) -> StackedNTTTables:
+    return StackedNTTTables([get_tables(degree, v) for v in values])
+
+
+def get_stacked_tables(degree: int, moduli) -> StackedNTTTables:
+    """Memoized stacked tables for an ordered modulus collection.
+
+    ``moduli`` may be an iterable of :class:`Modulus` or plain ints (an
+    ``RNSBase`` works directly).  Rebuilding a stack from already-cached
+    per-prime tables is cheap, so the same small LRU bound applies.
+    """
+    values = tuple(
+        m.value if isinstance(m, Modulus) else int(m) for m in moduli
+    )
+    return _cached_stacked_tables(degree, values)
+
+
+def tables_cache_info():
+    """(per-prime, stacked) ``lru_cache`` statistics — for tests and ops."""
+    return _cached_tables.cache_info(), _cached_stacked_tables.cache_info()
+
+
+def clear_tables_cache() -> None:
+    """Drop both table memos (frees memory; safe at any time)."""
+    _cached_stacked_tables.cache_clear()
+    _cached_tables.cache_clear()

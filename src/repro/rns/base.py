@@ -18,7 +18,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from ..modmath import Modulus, inv_mod
+from ..modmath import Modulus, StackedModulus, inv_mod
 
 __all__ = ["RNSBase"]
 
@@ -69,6 +69,20 @@ class RNSBase:
     @property
     def values(self) -> List[int]:
         return [m.value for m in self.moduli]
+
+    @property
+    def stacked(self) -> StackedModulus:
+        """The base as ``(k, 1)`` broadcast columns (built once, memoized).
+
+        This is the packed-RNS view: one ``add_mod``/``mul_mod`` call
+        over a ``(..., k, n)`` residue stack applies every limb's
+        constant to its own row (see :mod:`repro.modmath.stacked`).
+        """
+        cached = self.__dict__.get("_stacked")
+        if cached is None:
+            cached = StackedModulus(self.moduli)
+            object.__setattr__(self, "_stacked", cached)
+        return cached
 
     # -- derived bases --------------------------------------------------------
 

@@ -1,0 +1,103 @@
+"""Regression tests: the NTT table memos are bounded LRUs, not leaks.
+
+Long-lived servers create many contexts over their lifetime; before this
+suite the process-global table memo could only grow.  Both the per-prime
+and the stacked-table caches must stay within ``TABLES_CACHE_SIZE``
+entries while still deduplicating repeated lookups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.modmath import Modulus, gen_ntt_prime
+from repro.ntt import get_stacked_tables, get_tables
+from repro.ntt.tables import (
+    TABLES_CACHE_SIZE,
+    clear_tables_cache,
+    tables_cache_info,
+)
+
+DEGREE = 16
+
+
+def _primes(count):
+    out = []
+    bits = 21
+    below = None
+    while len(out) < count:
+        try:
+            p = gen_ntt_prime(bits, DEGREE, below=below)
+        except ValueError:
+            bits += 1
+            below = None
+            continue
+        out.append(p)
+        below = p
+    return out
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_tables_cache()
+    yield
+    clear_tables_cache()
+
+
+def test_caches_are_bounded():
+    assert TABLES_CACHE_SIZE is not None and TABLES_CACHE_SIZE > 0
+    per_prime, stacked = tables_cache_info()
+    assert per_prime.maxsize == TABLES_CACHE_SIZE
+    assert stacked.maxsize == TABLES_CACHE_SIZE
+
+
+def test_per_prime_cache_evicts_beyond_bound():
+    primes = _primes(TABLES_CACHE_SIZE + 8)
+    for p in primes:
+        get_tables(DEGREE, p)
+    per_prime, _ = tables_cache_info()
+    assert per_prime.currsize <= TABLES_CACHE_SIZE
+    # The most recent entry is still cached (hit, same object)...
+    t_last = get_tables(DEGREE, primes[-1])
+    assert get_tables(DEGREE, primes[-1]) is t_last
+    # ...while the oldest was evicted and is rebuilt on demand (still
+    # correct, just a fresh object).
+    rebuilt = get_tables(DEGREE, primes[0])
+    assert rebuilt.modulus.value == primes[0]
+    per_prime, _ = tables_cache_info()
+    assert per_prime.currsize <= TABLES_CACHE_SIZE
+
+
+def test_repeated_lookup_is_a_hit():
+    p = _primes(1)[0]
+    a = get_tables(DEGREE, p)
+    before = tables_cache_info()[0].hits
+    b = get_tables(DEGREE, p)
+    assert a is b
+    assert tables_cache_info()[0].hits == before + 1
+
+
+def test_stacked_cache_bounded_and_keyed_by_value_tuple():
+    primes = _primes(TABLES_CACHE_SIZE + 4)
+    st1 = get_stacked_tables(DEGREE, primes[:3])
+    st2 = get_stacked_tables(DEGREE, [Modulus(v) for v in primes[:3]])
+    assert st1 is st2  # Modulus list and int list hash to the same key
+    # Many distinct bases: entries evict instead of accumulating.
+    for p in primes:
+        get_stacked_tables(DEGREE, (p,))
+    _, stacked = tables_cache_info()
+    assert stacked.currsize <= TABLES_CACHE_SIZE
+
+
+def test_eviction_keeps_live_contexts_working():
+    """Eviction must never invalidate tables a caller already holds."""
+    primes = _primes(TABLES_CACHE_SIZE + 2)
+    held = get_tables(DEGREE, primes[0])
+    for p in primes[1:]:
+        get_tables(DEGREE, p)  # evicts the first entry
+    # The held reference still transforms correctly.
+    from repro.ntt import ntt_forward, ntt_inverse
+
+    x = np.random.default_rng(0).integers(
+        0, held.modulus.value, DEGREE, dtype=np.uint64
+    )
+    assert np.array_equal(ntt_inverse(ntt_forward(x, held), held), x)
