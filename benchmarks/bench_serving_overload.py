@@ -1,0 +1,81 @@
+"""Overload A/B bench: shed rate and tail latency with admission on/off.
+
+Drives the canonical ``mixed_square_multiply_traffic`` recipe at 2x the
+pool's modelled capacity on identical frames, once unguarded and once
+behind the token-bucket + backlog admission gate, and records the
+shed/latency counters into ``benchmarks/results/BENCH_wallclock.json``
+(section ``serving_overload``) so CI tracks the serving subsystem's
+overload behaviour per run alongside the packed-path wall clocks.
+"""
+
+import numpy as np
+
+
+def test_serving_overload_wallclock_json(quick, wallclock_record):
+    from repro.server import (
+        AdmissionPolicy,
+        demo_deployment,
+        mixed_square_multiply_traffic,
+        modelled_capacity_rps,
+        serve_traffic,
+    )
+
+    requests = 24 if quick else 60
+    max_batch, window_us = 8, 200.0
+    params, encoder, encryptor, _decryptor, relin_wire = demo_deployment()
+
+    probe = mixed_square_multiply_traffic(
+        encoder, encryptor, requests=12,
+        rng=np.random.default_rng(2022))
+    capacity_rps = modelled_capacity_rps(
+        params, probe, relin_wire=relin_wire,
+        max_batch=max_batch, window_us=window_us)
+
+    frames = mixed_square_multiply_traffic(
+        encoder, encryptor, requests=requests,
+        rng=np.random.default_rng(2023),
+        mean_gap_us=1e6 / (2.0 * capacity_rps))
+    policy = AdmissionPolicy(rate_rps=capacity_rps, burst=max_batch,
+                             max_backlog=2 * max_batch)
+    common = dict(relin_wire=relin_wire, max_batch=max_batch,
+                  window_us=window_us)
+    unguarded = serve_traffic(params, frames, **common)
+    guarded = serve_traffic(params, frames, admission=policy,
+                            stream=True, **common)
+
+    def row(server):
+        m = server.metrics
+        return {
+            "served": m.count,
+            "shed": m.shed_total,
+            "shed_rate": round(m.shed_rate, 4),
+            "max_inflight": m.max_inflight(),
+            "p50_us": round(m.latency_percentile_us(50, status="ok"), 1),
+            "p95_us": round(m.latency_percentile_us(95, status="ok"), 1),
+            "p99_us": round(m.latency_percentile_us(99, status="ok"), 1),
+            "throughput_rps": round(m.throughput_rps, 1),
+        }
+
+    payload = {
+        "capacity_rps": round(capacity_rps, 1),
+        "offered_x_capacity": 2.0,
+        "requests": requests,
+        "no_admission": row(unguarded),
+        "admission": row(guarded),
+    }
+    # Namespaced meta keys: the wallclock JSON's meta block is shared
+    # with the he_ops/ntt benches, so this bench must not clobber their
+    # provenance (e.g. the top-level "quick" flag).
+    wallclock_record(
+        "serving_overload", payload,
+        {"serving_requests": requests, "serving_quick": bool(quick)},
+    )
+
+    # The gate must shed under 2x offered load and protect accepted p99.
+    assert payload["admission"]["shed"] > 0
+    assert payload["no_admission"]["shed"] == 0
+    assert payload["admission"]["p99_us"] < payload["no_admission"]["p99_us"]
+    # Exactly one terminal response per request either way.
+    assert payload["admission"]["served"] + payload["admission"]["shed"] \
+        == requests
+    assert payload["no_admission"]["served"] == requests

@@ -14,7 +14,11 @@ Commands
     latency/throughput vs. the unbatched synchronous baseline.
     ``--self-test`` additionally verifies every decrypted result and
     exits non-zero unless batched-async beats the baseline.
-    ``--fusion`` enables the kernel-fusion compiler in the dispatcher.
+    ``--fusion`` enables the kernel-fusion compiler in the dispatcher;
+    ``--stream`` releases responses per-request as tiles finish;
+    ``--admission`` arms the token-bucket + backlog overload gate
+    (``--admission-rate/-burst/-backlog``), under which the self-test
+    checks exactly-one-terminal-response accounting instead of speedup.
 ``fuse``
     Exercise the kernel-fusion compiler (``repro.fusion``): print the
     fused-vs-raw launch/time breakdown of a routine chain, then serve
@@ -92,7 +96,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         Encryptor,
         KeyGenerator,
     )
-    from .server import BatchPolicy, HEServer, ServerClient
+    from .server import AdmissionPolicy, BatchPolicy, HEServer, ServerClient
     from .xesim import DEVICE1, DEVICE2
 
     if args.requests < 1:
@@ -121,6 +125,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     context = CkksContext(params)
     keygen = KeyGenerator(context, seed=args.seed)
     encoder = CkksEncoder(context)
+    admission = (AdmissionPolicy(rate_rps=args.admission_rate,
+                                 burst=args.admission_burst,
+                                 max_backlog=args.admission_backlog)
+                 if args.admission else None)
     server = HEServer(
         ServerClient.params_wire(params),
         devices=devices,
@@ -128,12 +136,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
                            window_us=args.window_us),
         gpu_config=GpuConfig(ntt_variant="local-radix-8", asm=True,
                              kernel_fusion=args.fusion),
+        admission=admission,
     )
     client = ServerClient(
         server,
         encoder=encoder,
         encryptor=Encryptor(context, keygen.public_key(), seed=args.seed + 1),
         decryptor=Decryptor(context, keygen.secret_key()),
+    )
+    # Per-client session keys through the wire handshake (RPRH/RPRA).
+    client.open_session(
         relin_key=keygen.relin_key(),
         galois_keys=keygen.galois_keys([1, 2], include_conjugate=False),
     )
@@ -147,26 +159,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
     t_us = 0.0
     for i in range(args.requests):
         t_us += rng.exponential(mean_gap_us)
+        # Every fourth request is urgent (priority 1): the batcher
+        # front-runs it inside its window.
+        priority = 1 if i % 4 == 0 else 0
         if i % 3 == 2:
             a = rng.normal(size=encoder.slots)
             b = rng.normal(size=encoder.slots)
-            rid = client.submit_multiply(a, b, arrival_us=t_us)
+            rid = client.submit_multiply(a, b, arrival_us=t_us,
+                                         priority=priority)
             inputs[rid] = a * b
         else:
             v = rng.normal(size=encoder.slots)
-            rid = client.submit_square(v, arrival_us=t_us)
+            rid = client.submit_square(v, arrival_us=t_us,
+                                       priority=priority)
             inputs[rid] = v * v
 
     replay = server.request_log
-    client.serve()
+    first_yield_us = None
+    if args.stream:
+        for resp in client.stream():
+            if first_yield_us is None:
+                first_yield_us = resp.yielded_at_us
+    else:
+        client.serve()
     baseline_s = server.serial_baseline_time_s(replay)
     batched_s = server.metrics.span_us * 1e-6
     speedup = baseline_s / batched_s if batched_s > 0 else float("inf")
 
     worst = 0.0
     failures = 0
+    shed = 0
+    terminal = 0
     for rid, expected in inputs.items():
-        if not client.response(rid).ok:
+        resp = client.response(rid)
+        terminal += 1
+        if resp.status == "overloaded":
+            shed += 1
+            continue
+        if not resp.ok:
             failures += 1
             continue
         worst = max(worst, float(np.abs(client.result(rid).real
@@ -177,10 +207,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"serial sync baseline : {baseline_s * 1e3:.3f} ms "
           f"-> batched async {batched_s * 1e3:.3f} ms "
           f"({speedup:.2f}x)")
-    print(f"worst decrypt error  : {worst:.2e} ({failures} failures)")
+    if args.stream and first_yield_us is not None:
+        barrier_us = max(
+            (r.complete_us for r in (client.response(rid)
+                                     for rid in inputs)
+             if r.ok), default=first_yield_us,
+        )
+        print(f"streaming            : first response at "
+              f"{first_yield_us / 1e3:.3f} ms vs barrier release "
+              f"{barrier_us / 1e3:.3f} ms")
+    print(f"worst decrypt error  : {worst:.2e} "
+          f"({failures} failures, {shed} shed)")
 
     if args.self_test:
-        ok = failures == 0 and worst < 1e-3 and speedup > 1.0
+        ok = (failures == 0 and worst < 1e-3
+              and terminal == args.requests)
+        if admission is not None:
+            # Overload semantics: every request gets exactly one terminal
+            # response; accepted ones decrypt correctly.
+            ok = ok and shed + server.metrics.count == args.requests
+        else:
+            ok = ok and shed == 0 and speedup > 1.0
+        if args.stream and first_yield_us is not None:
+            served = [client.response(rid) for rid in inputs]
+            completes = sorted({r.complete_us for r in served if r.ok})
+            if len(completes) > 1:
+                ok = ok and first_yield_us < completes[-1]
         print(f"self-test: {'PASS' if ok else 'FAIL'}")
         return 0 if ok else 1
     return 0
@@ -311,6 +363,19 @@ def main(argv: list | None = None) -> int:
     p_srv.add_argument("--fusion", action="store_true",
                        help="enable the kernel-fusion compiler in the "
                             "dispatcher (repro.fusion)")
+    p_srv.add_argument("--stream", action="store_true",
+                       help="release responses per-request as tiles finish "
+                            "instead of at the drain barrier")
+    p_srv.add_argument("--admission", action="store_true",
+                       help="enable token-bucket + backlog admission "
+                            "control (typed 'overloaded' responses)")
+    p_srv.add_argument("--admission-rate", type=float, default=20_000.0,
+                       help="admission token refill rate in req/s "
+                            "(default 20000; size to modelled capacity)")
+    p_srv.add_argument("--admission-burst", type=int, default=8,
+                       help="admission token-bucket depth (default 8)")
+    p_srv.add_argument("--admission-backlog", type=int, default=16,
+                       help="modelled backlog bound in requests (default 16)")
     p_srv.add_argument("--self-test", action="store_true",
                        help="verify results + speedup; nonzero exit on failure")
     p_srv.set_defaults(fn=cmd_serve)

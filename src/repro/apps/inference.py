@@ -164,15 +164,24 @@ def served_inference(
     galois_keys: GaloisKeys,
     devices=None,
     policy=None,
+    priority: int = 0,
+    deadline_ms=None,
+    stream: bool = False,
 ) -> ServedInferenceResult:
     """``W x + b`` through the batched HE serving subsystem.
 
-    Private-inference-as-a-service: the model's weight rows are installed
-    server-side as cached plaintext artifacts, then one ``dot_plain``
-    request per output class ships the encrypted features; the server
-    batches the per-class requests across its device pool.  Requires
-    Galois keys for the power-of-two steps of the rotate-and-add tree
-    (``rotation_steps_needed(model.dim)``).
+    Private-inference-as-a-service: the client opens a serving *session*
+    (wire handshake) carrying its evaluation keys, the model's weight
+    rows are installed server-side as cached plaintext artifacts in the
+    session's keyspace, then one ``dot_plain`` request per output class
+    ships the encrypted features; the server batches the per-class
+    requests across its device pool.  Requires Galois keys for the
+    power-of-two steps of the rotate-and-add tree
+    (``rotation_steps_needed(model.dim)``).  ``priority`` /
+    ``deadline_ms`` stamp the serving QoS fields on every per-class
+    request; ``stream=True`` consumes responses through the streaming
+    path (per-class results release as tiles finish) instead of the
+    drain barrier — scores are identical either way.
     """
     from ..server import BatchPolicy, HEServer, ServerClient
 
@@ -190,14 +199,21 @@ def served_inference(
     )
     client = ServerClient(
         server, encoder=encoder, encryptor=encryptor, decryptor=decryptor,
-        relin_key=relin_key, galois_keys=galois_keys, client_id="inference",
+        client_id="inference",
     )
+    client.open_session(relin_key=relin_key, galois_keys=galois_keys)
     for c in range(model.classes):
-        server.install_weights(f"class{c}", model.weights[c])
+        server.install_weights(f"class{c}", model.weights[c],
+                               client_id=client.client_id)
 
-    ids = [client.submit_dot(x, f"class{c}", arrival_us=float(c))
+    ids = [client.submit_dot(x, f"class{c}", arrival_us=float(c),
+                             priority=priority, deadline_ms=deadline_ms)
            for c in range(model.classes)]
-    client.serve()
+    if stream:
+        for _resp in client.stream():
+            pass
+    else:
+        client.serve()
     scores = np.array(
         [client.result(rid)[0].real + model.bias[c]
          for c, rid in enumerate(ids)]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import io
 import json
+from dataclasses import dataclass
 from typing import BinaryIO, Union
 
 import numpy as np
@@ -30,6 +31,7 @@ __all__ = [
     "save_secret_key_insecure", "load_secret_key",
     "save_relin_key", "load_relin_key",
     "save_galois_keys", "load_galois_keys",
+    "SessionTicket", "save_session_ticket", "load_session_ticket",
 ]
 
 FORMAT_VERSION = 1
@@ -178,6 +180,50 @@ def load_galois_keys(fp: PathOrFile) -> GaloisKeys:
                 data=[npz[f"g{elt}_k{i}"] for i in range(count)]
             )
     return out
+
+
+# --- serving sessions -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionTicket:
+    """Opaque resumable handle for a serving session (no key material).
+
+    Issued by the server's session handshake (``repro.server.sessions``)
+    and echoed back by the client to resume: holds only public
+    identifiers, so a leaked ticket grants nothing beyond what the
+    client id already names.
+    """
+
+    client_id: str
+    session_id: str
+    issued_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.client_id or not self.session_id:
+            raise ValueError("session ticket needs client_id and session_id")
+
+
+def save_session_ticket(ticket: SessionTicket, fp: PathOrFile) -> None:
+    np.savez(
+        fp,
+        __meta__=_meta(
+            "session_ticket",
+            client_id=ticket.client_id,
+            session_id=ticket.session_id,
+            issued_us=ticket.issued_us,
+        ),
+    )
+
+
+def load_session_ticket(fp: PathOrFile) -> SessionTicket:
+    with np.load(fp) as npz:
+        meta = _read_meta(npz, "session_ticket")
+    return SessionTicket(
+        client_id=meta["client_id"],
+        session_id=meta["session_id"],
+        issued_us=meta.get("issued_us", 0.0),
+    )
 
 
 def to_bytes(saver, obj) -> bytes:

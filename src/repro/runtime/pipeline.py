@@ -145,11 +145,13 @@ class AsyncPipeline:
             sync_count=syncs,
         )
 
-    def _run_on_scheduler(self, mode: str) -> PipelineResult:
+    def _submit_on_scheduler(self, mode: str) -> int:
+        """Submit the recorded graph onto the scheduler's tile queues.
+
+        Returns the number of host synchronizations the submission phase
+        itself performed (zero in asynchronous mode).
+        """
         sched = self.scheduler
-        clock = sched.clock
-        start = clock.now
-        busy_before = sched.total_busy
         syncs = 0
 
         def pick(lane: Optional[int]) -> Queue:
@@ -174,6 +176,14 @@ class AsyncPipeline:
 
         for name, bytes_, lane in self._downloads:
             pick(lane).memcpy(name, bytes_, to_device=False)
+        return syncs
+
+    def _run_on_scheduler(self, mode: str) -> PipelineResult:
+        sched = self.scheduler
+        clock = sched.clock
+        start = clock.now
+        busy_before = sched.total_busy
+        syncs = self._submit_on_scheduler(mode)
         sched.wait_all()  # one drain across all tile queues
         syncs += 1
         return PipelineResult(
@@ -182,6 +192,25 @@ class AsyncPipeline:
             device_busy_s=sched.total_busy - busy_before,
             sync_count=syncs,
         )
+
+    def run_stream(self):
+        """Asynchronous run that yields completion events incrementally.
+
+        The whole graph is submitted without blocking (asynchronous
+        mode), then the scheduler's tile queues drain in completion
+        order: each yielded :class:`~repro.runtime.event.Event` has the
+        shared clock advanced to its completion instant, so a consumer
+        can hand results downstream as tiles finish instead of waiting
+        at the :meth:`run` barrier.  Scheduler mode only — a single
+        private queue has no per-tile lanes to stream from.
+        """
+        if self.scheduler is None:
+            raise ValueError(
+                "streaming execution needs a MultiTileScheduler "
+                "(pass scheduler= at construction)"
+            )
+        self._submit_on_scheduler("asynchronous")
+        yield from self.scheduler.drain()
 
     def speedup_async_over_sync(self) -> float:
         """Convenience: run both modes and compare (single-queue mode only)."""

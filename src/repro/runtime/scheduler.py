@@ -15,7 +15,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..xesim.device import DeviceSpec
 from ..xesim.kernel import KernelProfile, scale_profile
-from .event import HostClock
+from .event import Event, EventStatus, HostClock
 from .queue import Queue
 
 __all__ = ["MultiTileScheduler", "split_batch"]
@@ -91,6 +91,27 @@ class MultiTileScheduler:
         for q in self.queues:
             q.wait()
         return self.clock.now
+
+    def drain(self):
+        """Incrementally drain all tile queues in completion order.
+
+        Yields every not-yet-complete event across the per-tile queues
+        ordered by device completion time, marking each complete and
+        advancing the shared host clock to its completion instant — the
+        streaming alternative to the :meth:`wait_all` barrier.  Once the
+        generator is exhausted the clock sits exactly where
+        ``wait_all()`` would have left it, so barrier and streaming
+        callers observe identical end states.
+        """
+        ready: List[Event] = sorted(
+            (ev for q in self.queues for ev in q.events
+             if ev.status is not EventStatus.COMPLETE),
+            key=lambda ev: (ev.device_end, ev.device_start, ev.name),
+        )
+        for ev in ready:
+            ev.status = EventStatus.COMPLETE
+            self.clock.advance_to(ev.device_end)
+            yield ev
 
     @property
     def makespan(self) -> float:

@@ -2,42 +2,74 @@
 
 Composes the reproduced components into the client/server system the
 paper's end-to-end design (Fig. 1/2) actually serves: wire-format
-requests are coalesced by a :class:`RequestBatcher` under a latency/size
-budget, dispatched through an :class:`~repro.runtime.pipeline.AsyncPipeline`
-onto one :class:`~repro.runtime.scheduler.MultiTileScheduler` per
-simulated device (sharded by modelled throughput), with hot artifacts
-held in the :class:`~repro.runtime.memcache.MemoryCache`.
+requests are coalesced by a priority/deadline-aware
+:class:`RequestBatcher` under a latency/size budget, gated by an
+optional token-bucket + backlog :class:`AdmissionController`, dispatched
+through an :class:`~repro.runtime.pipeline.AsyncPipeline` onto one
+:class:`~repro.runtime.scheduler.MultiTileScheduler` per simulated
+device (sharded by modelled throughput) with results released either at
+the drain barrier or streamed per-request as tiles finish, with hot
+artifacts — including each session client's evaluation keys and encoded
+weights — held in the :class:`~repro.runtime.memcache.MemoryCache`.
 
 Entry points: :class:`HEServer` (in-process server), :class:`ServerClient`
-(synchronous client), and ``python -m repro serve`` (CLI).
+(synchronous or streaming client), and ``python -m repro serve`` (CLI,
+``--stream`` / ``--admission``).
 """
 
+from .admission import AdmissionController, AdmissionPolicy
 from .batcher import Batch, BatchPolicy, RequestBatcher
 from .client import ServerClient
 from .dispatcher import ArtifactCache, BatchDispatcher, HEServer, ServerSession
 from .metrics import RequestRecord, ServerMetrics
 from .request import (
+    RESPONSE_STATUSES,
     SUPPORTED_OPS,
     ServeRequest,
     ServeResponse,
+    SessionAck,
+    SessionHello,
     decode_request,
     decode_response,
+    decode_session_ack,
+    decode_session_hello,
     encode_request,
     encode_response,
+    encode_session_ack,
+    encode_session_hello,
+    overloaded_response,
 )
-from .traffic import demo_deployment, mixed_square_multiply_traffic, serve_traffic
+from .sessions import ClientSession, SessionManager
+from .traffic import (
+    demo_deployment,
+    mixed_square_multiply_traffic,
+    modelled_capacity_rps,
+    serve_traffic,
+)
 
 __all__ = [
     "SUPPORTED_OPS",
+    "RESPONSE_STATUSES",
     "ServeRequest",
     "ServeResponse",
+    "SessionHello",
+    "SessionAck",
     "encode_request",
     "decode_request",
     "encode_response",
     "decode_response",
+    "encode_session_hello",
+    "decode_session_hello",
+    "encode_session_ack",
+    "decode_session_ack",
+    "overloaded_response",
     "BatchPolicy",
     "Batch",
     "RequestBatcher",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "ClientSession",
+    "SessionManager",
     "ServerMetrics",
     "RequestRecord",
     "ArtifactCache",
@@ -47,5 +79,6 @@ __all__ = [
     "ServerClient",
     "demo_deployment",
     "mixed_square_multiply_traffic",
+    "modelled_capacity_rps",
     "serve_traffic",
 ]

@@ -1,0 +1,88 @@
+"""Admission control: shed load *before* it queues, on the simulated clock.
+
+Under offered load beyond device throughput an unguarded queue grows
+without bound and every request's latency diverges — the classic serving
+failure mode.  The gate here is the standard token-bucket + modelled
+backlog pair, evaluated at submission time on deterministic simulated
+arrivals:
+
+* **token bucket** — tokens refill at ``rate_rps`` (the modelled service
+  capacity) up to ``burst``; a request with no token is shed.  This
+  bounds the *sustained* admission rate while letting short bursts
+  through to be batched (bursts are where the paper's batching wins
+  live).
+* **modelled backlog** — a fluid-model queue depth: admissions add one
+  request, the backlog leaks at ``rate_rps`` (the server draining at
+  capacity).  When the modelled depth would exceed ``max_backlog`` the
+  request is shed even if a token is available — tokens bound rate,
+  the backlog bound protects tail latency after a long burst.
+
+Shed requests receive exactly one typed ``overloaded`` response
+(:func:`~repro.server.request.overloaded_response`) and are never
+queued, so accepted-request latency stays bounded by
+``max_backlog / rate_rps`` plus service time instead of growing with
+offered load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The overload budget of one server.
+
+    ``rate_rps`` is the modelled sustainable throughput (requests/sec on
+    the simulated clock) — measure it with
+    :func:`repro.server.traffic.modelled_capacity_rps` or size it from
+    the device pool.  ``burst`` is the token-bucket depth (how many
+    back-to-back arrivals are admitted before rate limiting engages);
+    ``max_backlog`` bounds the modelled queue depth in requests.
+    """
+
+    rate_rps: float
+    burst: int = 16
+    max_backlog: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1")
+
+
+class AdmissionController:
+    """Deterministic token-bucket + leaky-backlog admission gate.
+
+    Holds only the gate state (tokens, modelled backlog); the
+    admitted/shed *counters* live in :class:`~.metrics.ServerMetrics`,
+    the single exporter of serving telemetry.
+    """
+
+    def __init__(self, policy: AdmissionPolicy):
+        self.policy = policy
+        self.tokens = float(policy.burst)
+        self.backlog = 0.0
+        self.last_us = 0.0
+
+    def admit(self, arrival_us: float) -> bool:
+        """Admit or shed one request arriving at ``arrival_us``.
+
+        Arrivals must be fed in non-decreasing simulated order (the
+        server clock already enforces monotone arrivals).
+        """
+        pol = self.policy
+        dt_s = max(0.0, arrival_us - self.last_us) * 1e-6
+        self.last_us = max(self.last_us, arrival_us)
+        self.tokens = min(float(pol.burst), self.tokens + dt_s * pol.rate_rps)
+        self.backlog = max(0.0, self.backlog - dt_s * pol.rate_rps)
+        if self.tokens < 1.0 or self.backlog + 1.0 > pol.max_backlog:
+            return False
+        self.tokens -= 1.0
+        self.backlog += 1.0
+        return True

@@ -1,4 +1,4 @@
-"""Request coalescing under a latency/size budget.
+"""Request coalescing under a latency/size budget, priority-aware.
 
 The paper's throughput numbers come from *batched* HE workloads (Fig. 8's
 ``poly_num`` grid axis, Fig. 10's batch scaling); a serving deployment
@@ -7,19 +7,28 @@ implements the classic serving trade-off on the simulated clock:
 
 * a batch *opens* when the first request arrives;
 * it *closes* (becomes dispatchable) when either ``max_batch`` requests
-  have accumulated (closed by size — dispatch at the closing request's
-  arrival) or ``window_us`` has elapsed since it opened (closed by time —
-  dispatch at ``open + window``);
+  have accumulated (closed by size — dispatch at the last chosen
+  request's arrival), ``window_us`` has elapsed since it opened (closed
+  by time — dispatch at ``open + window``), or the earliest absolute
+  deadline among its members would be breached by waiting the window out
+  (closed by deadline — dispatch at the deadline cut);
 * requests arriving after a batch's close time open the next batch.
 
-Batching is deterministic given arrival times, so tests can assert exact
-window semantics.
+When more requests are eligible than ``max_batch`` admits, membership is
+a priority queue: the highest-priority (then earliest-deadline, then
+oldest) requests *front-run* into the closing batch and the rest wait
+for the next one.  With uniform priorities and no deadlines this reduces
+exactly to FIFO windowing.  The latency budget timer resets per batch —
+a drain never stamps a batch later than its own ``open + window``, no
+matter how far the server-lifetime clock has advanced (empty-then-burst
+regression).  Batching stays deterministic given arrivals, priorities
+and deadlines, so tests can assert exact window semantics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from .request import ServeRequest
 
@@ -52,11 +61,22 @@ class Batch:
     requests: List[ServeRequest]
     open_us: float
     dispatch_us: float
-    closed_by: str  # "size" | "window" | "drain"
+    closed_by: str  # "size" | "window" | "deadline" | "drain" | "requeue"
 
     @property
     def size(self) -> int:
         return len(self.requests)
+
+
+def _selection_key(req: ServeRequest):
+    """Front-running order: priority desc, deadline asc, arrival asc."""
+    deadline = req.deadline_us
+    return (
+        -req.priority,
+        deadline if deadline is not None else float("inf"),
+        req.arrival_us,
+        req.request_id,
+    )
 
 
 class RequestBatcher:
@@ -74,47 +94,67 @@ class RequestBatcher:
         return len(self.pending)
 
     def form_batches(self, *, drain: bool = False,
-                     now_us: float | None = None) -> List[Batch]:
+                     now_us: Optional[float] = None) -> List[Batch]:
         """Close every batch implied by the pending arrivals.
 
-        With ``drain=True`` the final partial batch closes immediately
-        (server shutdown / explicit flush) at ``now_us`` — clamped to its
-        last arrival — without waiting out the window; otherwise a
-        partial batch younger than its window stays pending.
+        ``now_us`` lets the window timer fire without new arrivals: a
+        partial batch whose ``open + window`` (or deadline cut) lies at
+        or before ``now_us`` closes at that cut — the streaming pump
+        path.  With ``drain=True`` the final partial batch closes
+        immediately (server shutdown / explicit flush) without waiting
+        out the window; its dispatch stamp is clamped to the batch's own
+        latency budget (``min(now, open + window)``, never before its
+        last arrival), so an idle stretch before a burst cannot charge
+        the burst the server-lifetime clock.  Otherwise a partial batch
+        younger than its window stays pending.
         """
         if not self.pending:
             return []
         pol = self.policy
-        reqs = sorted(self.pending, key=lambda r: (r.arrival_us, r.request_id))
+        remaining = sorted(self.pending,
+                           key=lambda r: (r.arrival_us, r.request_id))
         batches: List[Batch] = []
-        i = 0
-        while i < len(reqs):
-            open_us = reqs[i].arrival_us
-            deadline = open_us + pol.window_us
-            take = [reqs[i]]
-            j = i + 1
-            while (j < len(reqs) and len(take) < pol.max_batch
-                   and reqs[j].arrival_us <= deadline):
-                take.append(reqs[j])
-                j += 1
-            if len(take) == pol.max_batch:
+        while remaining:
+            open_us = remaining[0].arrival_us
+            window_close = open_us + pol.window_us
+            # Deadline-aware cut: the earliest absolute deadline among
+            # the requests that would join this window pulls the close
+            # time forward so no member is dispatched past its budget.
+            joiner_deadlines = [
+                r.deadline_us for r in remaining
+                if r.arrival_us <= window_close and r.deadline_us is not None
+            ]
+            cut = max(open_us, min([window_close] + joiner_deadlines))
+            eligible = [r for r in remaining if r.arrival_us <= cut]
+            if len(eligible) >= pol.max_batch:
+                take = sorted(eligible, key=_selection_key)[:pol.max_batch]
                 closed_by = "size"
-                dispatch = take[-1].arrival_us
-            elif j < len(reqs):
-                # A later arrival fell outside the window: this batch
-                # closed at its deadline.
-                closed_by = "window"
-                dispatch = deadline
-            elif drain:
-                # Explicit flush: dispatch now (never before the last
-                # arrival), without waiting out the window.
-                closed_by = "drain"
-                last = take[-1].arrival_us
-                dispatch = max(last, now_us) if now_us is not None else last
+                dispatch = max(r.arrival_us for r in take)
             else:
-                break  # keep the young partial batch pending
+                take = eligible
+                last = max(r.arrival_us for r in take)
+                timer_fired = now_us is not None and now_us >= cut
+                if len(eligible) < len(remaining):
+                    # A later arrival fell outside the cut: this batch
+                    # closed at its deadline or window.
+                    closed_by = ("deadline" if cut < window_close
+                                 else "window")
+                    dispatch = cut
+                elif timer_fired:
+                    closed_by = ("deadline" if cut < window_close
+                                 else "window")
+                    dispatch = cut
+                elif drain:
+                    # Explicit flush: dispatch now (never before the
+                    # last arrival, never after the batch's own budget).
+                    closed_by = "drain"
+                    dispatch = (max(last, min(now_us, cut))
+                                if now_us is not None else last)
+                else:
+                    break  # keep the young partial batch pending
             batches.append(Batch(take, open_us, dispatch, closed_by))
-            i = j
+            taken = {id(r) for r in take}
+            remaining = [r for r in remaining if id(r) not in taken]
         consumed = {id(r) for b in batches for r in b.requests}
-        self.pending = [r for r in reqs if id(r) not in consumed]
+        self.pending = [r for r in self.pending if id(r) not in consumed]
         return batches

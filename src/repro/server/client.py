@@ -6,12 +6,25 @@ to the server once, then encodes + encrypts + frames requests and
 decrypts + decodes responses.  Every byte crossing the client/server
 boundary goes through the wire format — the server never touches secret
 material or raw values.
+
+Two key-installation modes:
+
+* constructor keys (``relin_key=`` / ``galois_keys=``) install into the
+  server's *shared* keyspace — the anonymous single-tenant deployment;
+* :meth:`ServerClient.open_session` performs the wire handshake
+  (``RPRH``/``RPRA``) installing keys into this client's *private*
+  keyspace; subsequent requests carry the client id so the server
+  executes them under this client's keys, isolated from other tenants.
+
+Results arrive either through the :meth:`serve` barrier or the
+:meth:`stream` generator (responses yielded in completion order as the
+server's tiles drain).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -28,7 +41,15 @@ from ..core.serialize import (
     to_bytes,
 )
 from .dispatcher import HEServer
-from .request import ServeRequest, ServeResponse, encode_request
+from .request import (
+    ServeRequest,
+    ServeResponse,
+    SessionAck,
+    SessionHello,
+    decode_session_ack,
+    encode_request,
+    encode_session_hello,
+)
 
 __all__ = ["ServerClient"]
 
@@ -50,6 +71,9 @@ class ServerClient:
         self.decryptor = decryptor
         self._ids = itertools.count()
         self.client_id = client_id
+        self.session_id = ""
+        self.ticket_wire: Optional[bytes] = None
+        self._in_session = False
         self._responses: Dict[str, ServeResponse] = {}
         if relin_key is not None:
             server.install_relin_key(to_bytes(save_relin_key, relin_key))
@@ -60,6 +84,41 @@ class ServerClient:
     def params_wire(cls, params: CkksParameters) -> bytes:
         """Serialized parameters for :class:`HEServer` construction."""
         return to_bytes(save_params, params)
+
+    # -- session handshake ---------------------------------------------------------
+
+    def open_session(self, *,
+                     relin_key: Optional[RelinKey] = None,
+                     galois_keys: Optional[GaloisKeys] = None) -> SessionAck:
+        """Handshake a private session; later submits carry the client id.
+
+        The supplied evaluation keys travel in the hello frame and land
+        in this client's server-side keyspace (never the shared one).
+        Raises on a refused handshake; returns the decoded ack (session
+        id + resumable ticket) otherwise.
+        """
+        hello = SessionHello(
+            client_id=self.client_id,
+            relin_wire=(to_bytes(save_relin_key, relin_key)
+                        if relin_key is not None else None),
+            galois_wire=(to_bytes(save_galois_keys, galois_keys)
+                         if galois_keys is not None else None),
+        )
+        ack = decode_session_ack(
+            self.server.handshake(encode_session_hello(hello)))
+        if not ack.ok:
+            raise RuntimeError(
+                f"session handshake refused for {self.client_id!r}: "
+                f"{ack.error}"
+            )
+        self.session_id = ack.session_id
+        self.ticket_wire = ack.ticket_wire
+        self._in_session = True
+        return ack
+
+    @property
+    def in_session(self) -> bool:
+        return self._in_session
 
     # -- encryption helpers --------------------------------------------------------
 
@@ -72,33 +131,50 @@ class ServerClient:
     # -- submission ----------------------------------------------------------------
 
     def submit(self, op: str, cts: List[Ciphertext], *,
-               arrival_us: Optional[float] = None, **meta) -> str:
+               arrival_us: Optional[float] = None,
+               priority: int = 0,
+               deadline_ms: Optional[float] = None,
+               **meta) -> str:
         """Frame and submit one operation; returns the request id."""
         rid = f"{self.client_id}-{next(self._ids)}"
-        req = ServeRequest(request_id=rid, op=op, cts=cts, meta=meta)
+        req = ServeRequest(
+            request_id=rid, op=op, cts=cts, meta=meta,
+            priority=priority, deadline_ms=deadline_ms,
+            client_id=self.client_id if self._in_session else "",
+        )
         self.server.submit(encode_request(req), arrival_us=arrival_us)
         return rid
 
-    def submit_square(self, values, *, arrival_us=None) -> str:
+    def submit_square(self, values, *, arrival_us=None, priority=0,
+                      deadline_ms=None) -> str:
         return self.submit("square", [self.encrypt(values)],
-                           arrival_us=arrival_us)
+                           arrival_us=arrival_us, priority=priority,
+                           deadline_ms=deadline_ms)
 
-    def submit_multiply(self, a, b, *, arrival_us=None) -> str:
+    def submit_multiply(self, a, b, *, arrival_us=None, priority=0,
+                        deadline_ms=None) -> str:
         return self.submit("multiply", [self.encrypt(a), self.encrypt(b)],
-                           arrival_us=arrival_us)
+                           arrival_us=arrival_us, priority=priority,
+                           deadline_ms=deadline_ms)
 
-    def submit_add(self, a, b, *, arrival_us=None) -> str:
+    def submit_add(self, a, b, *, arrival_us=None, priority=0,
+                   deadline_ms=None) -> str:
         return self.submit("add", [self.encrypt(a), self.encrypt(b)],
-                           arrival_us=arrival_us)
+                           arrival_us=arrival_us, priority=priority,
+                           deadline_ms=deadline_ms)
 
-    def submit_rotate(self, values, steps: int, *, arrival_us=None) -> str:
+    def submit_rotate(self, values, steps: int, *, arrival_us=None,
+                      priority=0, deadline_ms=None) -> str:
         return self.submit("rotate", [self.encrypt(values)],
-                           arrival_us=arrival_us, steps=steps)
+                           arrival_us=arrival_us, priority=priority,
+                           deadline_ms=deadline_ms, steps=steps)
 
-    def submit_dot(self, values, weights_name: str, *, arrival_us=None) -> str:
+    def submit_dot(self, values, weights_name: str, *, arrival_us=None,
+                   priority=0, deadline_ms=None) -> str:
         """Inner product with a server-side weight vector (slot 0)."""
         return self.submit("dot_plain", [self.encrypt(values)],
-                           arrival_us=arrival_us, weights=weights_name)
+                           arrival_us=arrival_us, priority=priority,
+                           deadline_ms=deadline_ms, weights=weights_name)
 
     # -- results -------------------------------------------------------------------
 
@@ -108,20 +184,42 @@ class ServerClient:
         self._responses.update(responses)
         return responses
 
+    def stream(self) -> Iterator[ServeResponse]:
+        """Serve pending requests, yielding responses as they complete.
+
+        The streaming counterpart of :meth:`serve`: each response is
+        released at its own simulated completion instant
+        (``yielded_at_us``) instead of the drain barrier; results are
+        bit-identical either way.  Responses are cached for
+        :meth:`response` / :meth:`result` as they arrive.
+        """
+        for resp in self.server.stream():
+            self._responses[resp.request_id] = resp
+            yield resp
+
     def response(self, request_id: str) -> ServeResponse:
         try:
             return self._responses[request_id]
         except KeyError:
+            pass
+        # Admission control answers at submit time; pick up any terminal
+        # response the server already holds (e.g. "overloaded").
+        try:
+            resp = self.server.response(request_id)
+        except KeyError:
             raise KeyError(
                 f"no response for {request_id!r}; call serve() first"
             ) from None
+        self._responses[request_id] = resp
+        return resp
 
     def result(self, request_id: str, *, slots: Optional[int] = None) -> np.ndarray:
         """Decrypt + decode one response (raises on server-side failure)."""
         resp = self.response(request_id)
         if not resp.ok:
             raise RuntimeError(
-                f"request {request_id} failed server-side: {resp.error}"
+                f"request {request_id} failed server-side "
+                f"({resp.status}): {resp.error}"
             )
         decoded = self.encoder.decode(self.decryptor.decrypt(resp.result))
         return decoded if slots is None else decoded[:slots]

@@ -2,24 +2,35 @@
 
 This is the server's data plane.  One closed :class:`~.batcher.Batch` is
 
-1. sharded across the configured devices proportionally to modelled
-   throughput (:func:`repro.xesim.multigpu.plan_split` — the paper's
-   stated multi-GPU future work, Sec. V);
+1. sharded across the *alive* configured devices proportionally to
+   modelled throughput (:func:`repro.xesim.multigpu.plan_split` — the
+   paper's stated multi-GPU future work, Sec. V);
 2. executed per device through an
    :class:`~repro.runtime.pipeline.AsyncPipeline` running on a
    :class:`~repro.runtime.scheduler.MultiTileScheduler`: each request's
    kernel chain occupies one *lane* (tile queue) so chains stay in-order
    while different requests overlap across tiles (explicit multi-tile
-   submission, Sec. III-C.2), with non-blocking host submission and one
-   wait at the end (Fig. 2);
+   submission, Sec. III-C.2), with non-blocking host submission and an
+   incremental completion drain (``run_stream``) instead of one final
+   barrier (Fig. 2);
 3. timed per request from the per-queue events, so completions are
-   naturally out-of-order across lanes and devices.
+   naturally out-of-order across lanes and devices and can be streamed
+   to clients as tiles finish.
 
 Hot artifacts — NTT twiddle tables, relinearization/Galois keys, encoded
 plaintext weights — are held by an :class:`ArtifactCache` whose backing
 buffers come from the :class:`~repro.runtime.memcache.MemoryCache`
 (Sec. III-C.1), as are the per-request scratch buffers (freed after each
-batch, so later batches hit the free pool).
+batch, so later batches hit the free pool).  Per-client session keys and
+weights live in namespaced keyspaces (``client:<id>:...`` artifact
+names) resolved with fallback to the server's shared keyspace.
+
+QoS: requests whose deadline has already passed when their device gets
+to them are *shed* with a typed ``expired`` response instead of burning
+device time on a late result.  A device failure injected mid-stream
+(:meth:`BatchDispatcher.fail_device`) invalidates completions after the
+failure instant: affected requests are requeued onto surviving devices,
+or typed-failed when none remain — never silently lost.
 
 With ``gpu_config.kernel_fusion`` the dispatcher additionally runs each
 request's kernel chain through the :mod:`repro.fusion` planner
@@ -33,8 +44,9 @@ way, so results are bit-identical with the flag on or off.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.ciphertext import Ciphertext
 from ..core.context import CkksContext
@@ -57,6 +69,7 @@ from ..xesim.device import DeviceSpec
 from ..xesim.devices import DEVICE1, DEVICE2
 from ..xesim.kernel import KernelProfile
 from ..xesim.multigpu import plan_split
+from .admission import AdmissionController, AdmissionPolicy
 from .batcher import Batch, BatchPolicy, RequestBatcher
 from .metrics import RequestRecord, ServerMetrics
 from .request import (
@@ -64,7 +77,9 @@ from .request import (
     ServeResponse,
     decode_request,
     encode_response,
+    overloaded_response,
 )
+from .sessions import SessionManager
 
 __all__ = ["ArtifactCache", "ServerSession", "BatchDispatcher", "HEServer"]
 
@@ -136,11 +151,26 @@ class ArtifactCache:
         return name in self._store
 
 
+class _Keyspace:
+    """One client's evaluation keys and installed weights."""
+
+    __slots__ = ("relin", "galois", "weights")
+
+    def __init__(self):
+        self.relin = None
+        self.galois = None
+        self.weights: Dict[str, tuple] = {}  # name -> (padded, dim)
+
+
 class ServerSession:
     """Server-side cryptographic state: context, eval keys, weights.
 
     Holds *no secret material* — only what the paper's server role sees
     (Fig. 1): parameters, evaluation keys, plaintext model weights.
+    Keys and weights live in per-client *keyspaces* (``client_id=""`` is
+    the shared one): lookups resolve the request's client keyspace first
+    and fall back to the shared keyspace, so anonymous single-tenant use
+    keeps working while session clients stay isolated from each other.
     """
 
     def __init__(self, params: CkksParameters, *, cache_enabled: bool = True):
@@ -150,25 +180,47 @@ class ServerSession:
         self.evaluator = Evaluator(self.context)
         self.memcache = MemoryCache(enabled=cache_enabled)
         self.artifacts = ArtifactCache(self.memcache)
-        self.relin = None
-        self.galois = None
-        self._weights: Dict[str, tuple] = {}  # name -> (values, dim)
+        self._keyspaces: Dict[str, _Keyspace] = {"": _Keyspace()}
+
+    # -- keyspace plumbing ---------------------------------------------------------
+
+    def _space(self, client_id: str = "") -> _Keyspace:
+        if ":" in client_id:
+            # ':' separates keyspace-name components in the shared
+            # artifact cache; a client id containing it could collide
+            # with (and evict or serve) another tenant's artifacts.
+            raise ValueError("client_id must not contain ':'")
+        return self._keyspaces.setdefault(client_id, _Keyspace())
+
+    @staticmethod
+    def _art(client_id: str, name: str) -> str:
+        return name if not client_id else f"client:{client_id}:{name}"
+
+    @property
+    def relin(self):
+        """The shared keyspace's relin key (anonymous-tenant view)."""
+        return self._keyspaces[""].relin
+
+    @property
+    def galois(self):
+        return self._keyspaces[""].galois
 
     # -- key / weight installation ------------------------------------------------
 
-    def install_relin_key(self, wire: bytes) -> None:
-        self.relin = from_bytes(load_relin_key, wire)
-        self.artifacts.invalidate("key:relin")
+    def install_relin_key(self, wire: bytes, *, client_id: str = "") -> None:
+        self._space(client_id).relin = from_bytes(load_relin_key, wire)
+        self.artifacts.invalidate(self._art(client_id, "key:relin"))
 
-    def install_galois_keys(self, wire: bytes) -> None:
-        self.galois = from_bytes(load_galois_keys, wire)
-        self.artifacts.invalidate("key:galois")
+    def install_galois_keys(self, wire: bytes, *, client_id: str = "") -> None:
+        self._space(client_id).galois = from_bytes(load_galois_keys, wire)
+        self.artifacts.invalidate(self._art(client_id, "key:galois"))
 
-    def install_weights(self, name: str, values) -> None:
+    def install_weights(self, name: str, values, *,
+                        client_id: str = "") -> None:
         """Register a plaintext weight vector (padded to full slots).
 
         Encoding is deferred to first use at a request's level, then
-        cached as a hot artifact.
+        cached as a hot artifact in the owner's keyspace.
         """
         import numpy as np
 
@@ -181,35 +233,57 @@ class ServerSession:
         dim = len(vals)
         padded = np.zeros(slots, dtype=np.float64)
         padded[:dim] = vals
-        self._weights[name] = (padded, dim)
+        self._space(client_id).weights[name] = (padded, dim)
         # Re-installation must not serve stale encodings.
-        self.artifacts.invalidate(f"weights:{name}:")
+        self.artifacts.invalidate(self._art(client_id, f"weights:{name}:"))
 
     # -- cached artifact accessors -------------------------------------------------
 
-    def _relin_artifact(self):
-        if self.relin is None:
-            raise ValueError("no relinearization key installed")
-        nbytes = sum(arr.nbytes for arr in self.relin.key.data)
-        return self.artifacts.get("key:relin", nbytes, lambda: self.relin)
+    def _resolve_space(self, client_id: str, attr: str):
+        """(owner_id, value) of the nearest keyspace holding ``attr``."""
+        for owner in ((client_id, "") if client_id else ("",)):
+            ks = self._keyspaces.get(owner)
+            if ks is not None:
+                value = getattr(ks, attr)
+                if value is not None:
+                    return owner, value
+        return None, None
 
-    def _galois_artifact(self):
-        if self.galois is None:
+    def _relin_artifact(self, client_id: str = ""):
+        owner, rlk = self._resolve_space(client_id, "relin")
+        if rlk is None:
+            raise ValueError("no relinearization key installed")
+        nbytes = sum(arr.nbytes for arr in rlk.key.data)
+        return self.artifacts.get(self._art(owner, "key:relin"), nbytes,
+                                  lambda: rlk)
+
+    def _galois_artifact(self, client_id: str = ""):
+        owner, gk = self._resolve_space(client_id, "galois")
+        if gk is None:
             raise ValueError("no Galois keys installed")
         nbytes = sum(
-            arr.nbytes for k in self.galois.keys.values() for arr in k.data
+            arr.nbytes for k in gk.keys.values() for arr in k.data
         )
-        return self.artifacts.get("key:galois", nbytes, lambda: self.galois)
+        return self.artifacts.get(self._art(owner, "key:galois"), nbytes,
+                                  lambda: gk)
 
-    def weight_plaintext(self, name: str, level: int) -> Tuple[Plaintext, int]:
-        try:
-            padded, dim = self._weights[name]
-        except KeyError:
-            raise KeyError(
-                f"no weights {name!r} installed; known: {sorted(self._weights)}"
-            ) from None
+    def _weights_entry(self, name: str, client_id: str = "") -> Tuple[str, tuple]:
+        for owner in ((client_id, "") if client_id else ("",)):
+            ks = self._keyspaces.get(owner)
+            if ks is not None and name in ks.weights:
+                return owner, ks.weights[name]
+        known = sorted({
+            n for ks in self._keyspaces.values() for n in ks.weights
+        })
+        raise KeyError(
+            f"no weights {name!r} installed; known: {known}"
+        )
+
+    def weight_plaintext(self, name: str, level: int, *,
+                         client_id: str = "") -> Tuple[Plaintext, int]:
+        owner, (padded, dim) = self._weights_entry(name, client_id)
         pt = self.artifacts.get(
-            f"weights:{name}:L{level}",
+            self._art(owner, f"weights:{name}:L{level}"),
             level * self.context.degree * 8,
             lambda: self.encoder.encode(padded, level=level),
         )
@@ -227,16 +301,9 @@ class ServerSession:
 
     # -- operation execution -------------------------------------------------------
 
-    def _weights_entry(self, name: str) -> tuple:
-        try:
-            return self._weights[name]
-        except KeyError:
-            raise KeyError(
-                f"no weights {name!r} installed; known: {sorted(self._weights)}"
-            ) from None
-
     def op_profiles(self, op: str, level: int, meta: Dict,
-                    profiler: GpuOpProfiler) -> List[KernelProfile]:
+                    profiler: GpuOpProfiler, *,
+                    client_id: str = "") -> List[KernelProfile]:
         """The kernel chain one op submits — timing only, no ciphertext
         math and no artifact-counter side effects (usable for baselines)."""
         if op == "square":
@@ -252,7 +319,8 @@ class ServerSession:
         if op == "multiply_plain":
             return profiler.multiply_plain(level)
         if op == "dot_plain":
-            _padded, dim = self._weights_entry(meta["weights"])
+            _owner, (_padded, dim) = self._weights_entry(
+                meta["weights"], client_id)
             profs = profiler.multiply_plain(level)
             for _step in _rotation_steps(dim):
                 profs = profs + profiler.rotate(level) + profiler.add(level)
@@ -268,26 +336,30 @@ class ServerSession:
                 profiler: GpuOpProfiler) -> Tuple[Ciphertext, List[KernelProfile]]:
         """Compute the true result and the kernel chain for one request."""
         ev = self.evaluator
+        cid = req.client_id
         ct = req.cts[0]
         lvl = ct.level
-        profs = self.op_profiles(req.op, lvl, req.meta, profiler)
+        profs = self.op_profiles(req.op, lvl, req.meta, profiler,
+                                 client_id=cid)
         if req.op == "square":
-            rlk = self._relin_artifact()
+            rlk = self._relin_artifact(cid)
             out = ev.rescale(ev.relinearize(ev.square(ct), rlk))
         elif req.op == "multiply":
-            rlk = self._relin_artifact()
+            rlk = self._relin_artifact(cid)
             out = ev.rescale(ev.relinearize(ev.multiply(ct, req.cts[1]), rlk))
         elif req.op == "add":
             out = ev.add(ct, req.cts[1])
         elif req.op == "rotate":
-            gk = self._galois_artifact()
+            gk = self._galois_artifact(cid)
             out = ev.rotate(ct, int(req.meta["steps"]), gk)
         elif req.op == "multiply_plain":
-            pt, _dim = self.weight_plaintext(req.meta["weights"], lvl)
+            pt, _dim = self.weight_plaintext(req.meta["weights"], lvl,
+                                             client_id=cid)
             out = ev.multiply_plain(ct, pt)
         else:  # dot_plain (op_profiles already rejected anything else)
-            gk = self._galois_artifact()
-            pt, dim = self.weight_plaintext(req.meta["weights"], lvl)
+            gk = self._galois_artifact(cid)
+            pt, dim = self.weight_plaintext(req.meta["weights"], lvl,
+                                            client_id=cid)
             acc = ev.multiply_plain(ct, pt)
             for step in _rotation_steps(dim):
                 acc = ev.add(acc, ev.rotate(acc, step, gk))
@@ -296,7 +368,7 @@ class ServerSession:
 
 
 class BatchDispatcher:
-    """Executes closed batches on the device pool."""
+    """Executes closed batches on the (possibly degrading) device pool."""
 
     def __init__(self, session: ServerSession,
                  devices: Sequence[Tuple[DeviceSpec, int]],
@@ -326,10 +398,35 @@ class BatchDispatcher:
         #: the queues after fusion + cross-request batching.
         self.raw_launches = 0
         self.submitted_launches = 0
+        #: Injected device failures: pool label -> failure instant (us).
+        #: A failed device takes no new batches dispatched at/after the
+        #: instant, and completions past it are invalidated.
+        self._failed: Dict[str, float] = {}
+        self.requeued = 0
+        self.expired = 0
         self._profilers = [
             GpuOpProfiler(session.context.degree, dev, replace(base, tiles=tiles))
             for dev, tiles in self.devices
         ]
+
+    # -- failure injection ---------------------------------------------------------
+
+    def fail_device(self, label: str, at_us: float) -> None:
+        """Mark one pool device as failing at ``at_us`` (simulated)."""
+        if label not in self.labels:
+            raise ValueError(
+                f"unknown device label {label!r}; pool: {self.labels}"
+            )
+        self._failed[label] = float(at_us)
+
+    def _alive(self, dispatch_us: float) -> List[int]:
+        """Pool indices of devices still alive at ``dispatch_us``."""
+        return [
+            i for i, lbl in enumerate(self.labels)
+            if self._failed.get(lbl, float("inf")) > dispatch_us
+        ]
+
+    # -- dispatch ------------------------------------------------------------------
 
     def dispatch(self, batch: Batch,
                  free_at_us: Dict[str, float]) -> List[ServeResponse]:
@@ -337,19 +434,39 @@ class BatchDispatcher:
 
         ``free_at_us`` tracks when each pool device drains (absolute us,
         keyed by pool label); a batch dispatched while a device is still
-        busy queues behind the previous epoch.
+        busy queues behind the previous epoch.  Requests lost to an
+        injected device failure are requeued (recursively) onto the
+        surviving pool, or typed-failed when no device remains — every
+        request in the batch gets exactly one terminal response.
         """
         reqs = batch.requests
         if not reqs:
             return []
-        plan = plan_split(len(reqs), self.devices)
+        alive = self._alive(batch.dispatch_us)
+        if not alive:
+            fail_us = max(self._failed.values(), default=batch.dispatch_us)
+            return [
+                ServeResponse(
+                    request_id=req.request_id, ok=False,
+                    status="device_failed",
+                    error="no device survives the injected failure(s)",
+                    arrival_us=req.arrival_us, dispatch_us=batch.dispatch_us,
+                    complete_us=max(batch.dispatch_us, fail_us),
+                    batch_size=batch.size, priority=req.priority,
+                )
+                for req in reqs
+            ]
+        pool = [self.devices[i] for i in alive]
+        plan = plan_split(len(reqs), pool)
         # plan_split drops zero-share devices but preserves pool order;
         # walk the pool and the assignments in lockstep to recover the
         # pool index (labels stay correct for duplicate device specs).
         responses: List[ServeResponse] = []
+        requeue: List[Tuple[ServeRequest, float]] = []
         offset = 0
         ai = 0
-        for pool_idx, (dev, tiles) in enumerate(self.devices):
+        for pool_idx in alive:
+            dev, tiles = self.devices[pool_idx]
             if ai >= len(plan.assignments):
                 break
             a_dev, a_tiles, share = plan.assignments[ai]
@@ -358,19 +475,46 @@ class BatchDispatcher:
             ai += 1
             chunk = reqs[offset:offset + share]
             offset += share
-            responses.extend(
-                self._dispatch_on_device(pool_idx, chunk, batch, free_at_us)
+            got, lost = self._dispatch_on_device(
+                pool_idx, chunk, batch, free_at_us)
+            responses.extend(got)
+            requeue.extend(lost)
+        if requeue:
+            self.requeued += len(requeue)
+            retry_us = max(
+                [batch.dispatch_us] + [fail_us for _, fail_us in requeue])
+            sub = Batch(
+                requests=[req for req, _ in requeue],
+                open_us=batch.open_us,
+                dispatch_us=retry_us,
+                closed_by="requeue",
             )
+            responses.extend(self.dispatch(sub, free_at_us))
         return responses
 
     def _dispatch_on_device(
         self, pool_idx: int, reqs: List[ServeRequest],
         batch: Batch, free_at_us: Dict[str, float],
-    ) -> List[ServeResponse]:
+    ) -> Tuple[List[ServeResponse], List[Tuple[ServeRequest, float]]]:
         dev, tiles = self.devices[pool_idx]
         label = self.labels[pool_idx]
         session = self.session
         epoch_start_us = max(batch.dispatch_us, free_at_us.get(label, 0.0))
+        fail_at_us = self._failed.get(label)
+
+        # Deadline shedding: a request whose deadline already passed when
+        # this device gets to it would complete late no matter what —
+        # shed it (typed "expired") instead of burning device time.
+        live: List[ServeRequest] = []
+        expired: List[ServeRequest] = []
+        for req in reqs:
+            deadline = req.deadline_us
+            if deadline is not None and deadline < epoch_start_us:
+                expired.append(req)
+            else:
+                live.append(req)
+        self.expired += len(expired)
+
         sched = MultiTileScheduler(device=dev, use_tiles=tiles, strict=False)
         pipe = AsyncPipeline(dev, scheduler=sched)
         profiler = self._profilers[pool_idx]
@@ -382,7 +526,7 @@ class BatchDispatcher:
         failures: Dict[str, str] = {}
         lanes: Dict[str, int] = {}  # request id -> lane (fusion off)
         chains: List[Tuple[ServeRequest, List[KernelProfile]]] = []
-        for lane, req in enumerate(reqs):
+        for lane, req in enumerate(live):
             buf, cost_us = session.memcache.malloc(max(req.wire_bytes, 1))
             alloc_cost_us += cost_us
             scratch.append(buf)
@@ -434,38 +578,54 @@ class BatchDispatcher:
         # hit cost, which is the Sec. III-C.1 win.
         alloc_cost_us += session.artifacts.drain_pending_cost_us()
         sched.clock.advance(alloc_cost_us * 1e-6)
-        pipe.run("asynchronous")
+
+        # Incremental drain (streaming dispatch): per-request completion
+        # is the d2h event that downloaded its result, observed as the
+        # tile queues drain in completion order rather than at a barrier.
+        complete: Dict[str, float] = {}
+        for ev in pipe.run_stream():
+            if ev.name.startswith("d2h:req:") and ev.name.endswith(":result"):
+                rid = ev.name[len("d2h:req:"):-len(":result")]
+                complete[rid] = epoch_start_us + ev.device_end * 1e6
         for buf in scratch:
             sched.clock.advance(session.memcache.free(buf) * 1e-6)
-
-        # Per-request completion: the d2h event that downloaded its result.
-        complete: Dict[str, float] = {}
-        for q in sched.queues:
-            for ev in q.events:
-                if ev.name.startswith("d2h:req:") and ev.name.endswith(":result"):
-                    rid = ev.name[len("d2h:req:"):-len(":result")]
-                    complete[rid] = epoch_start_us + ev.device_end * 1e6
         free_at_us[label] = epoch_start_us + sched.clock.now * 1e6
 
-        responses = []
-        for req in reqs:
-            if req.request_id in failures:
+        responses: List[ServeResponse] = []
+        requeue: List[Tuple[ServeRequest, float]] = []
+        for req in expired:
+            responses.append(ServeResponse(
+                request_id=req.request_id, ok=False, status="expired",
+                error=(f"deadline {req.deadline_ms:.3f} ms expired before "
+                       f"dispatch on {label}"),
+                arrival_us=req.arrival_us, dispatch_us=batch.dispatch_us,
+                complete_us=epoch_start_us, device=label,
+                batch_size=batch.size, priority=req.priority,
+            ))
+        for req in live:
+            rid = req.request_id
+            if rid in failures:
                 responses.append(ServeResponse(
-                    request_id=req.request_id, ok=False,
-                    error=failures[req.request_id],
+                    request_id=rid, ok=False,
+                    error=failures[rid],
                     arrival_us=req.arrival_us, dispatch_us=batch.dispatch_us,
                     complete_us=batch.dispatch_us, device=label,
-                    batch_size=batch.size,
+                    batch_size=batch.size, priority=req.priority,
                 ))
                 continue
+            if fail_at_us is not None and complete[rid] > fail_at_us:
+                # The device died before this result downloaded: the
+                # in-flight request is requeued, never silently lost.
+                requeue.append((req, fail_at_us))
+                continue
             responses.append(ServeResponse(
-                request_id=req.request_id, ok=True,
-                result=results[req.request_id],
+                request_id=rid, ok=True,
+                result=results[rid],
                 arrival_us=req.arrival_us, dispatch_us=batch.dispatch_us,
-                complete_us=complete[req.request_id], device=label,
-                batch_size=batch.size,
+                complete_us=complete[rid], device=label,
+                batch_size=batch.size, priority=req.priority,
             ))
-        return responses
+        return responses, requeue
 
 
 class HEServer:
@@ -474,21 +634,32 @@ class HEServer:
     Composition (paper mapping):
 
     * request wire format — ``core.serialize`` blobs (Fig. 1 upload);
-    * :class:`RequestBatcher` — latency/size batching budget;
-    * :class:`AsyncPipeline` — non-blocking submission, one final wait
-      (Fig. 2);
+    * :class:`RequestBatcher` — latency/size batching budget, priority
+      front-running, deadline-aware batch cuts;
+    * :class:`~.sessions.SessionManager` — multi-client sessions with
+      per-client evaluation keys and cached weights;
+    * :class:`~.admission.AdmissionController` — token-bucket +
+      modelled-backlog overload gate (typed ``overloaded`` responses);
+    * :class:`AsyncPipeline` — non-blocking submission with either one
+      final wait (:meth:`drain`) or an incremental completion stream
+      (:meth:`stream`) (Fig. 2);
     * :class:`MultiTileScheduler` per device — explicit multi-tile
       queues (Sec. III-C.2), sharded by :func:`plan_split` (Sec. V);
     * :class:`MemoryCache` — device memory reuse (Sec. III-C.1).
 
-    All timing is simulated; all ciphertext math is real.
+    All timing is simulated; all ciphertext math is real.  Every
+    submitted request receives exactly one terminal response: served
+    (``ok``), executor-rejected (``error``), shed by admission control
+    (``overloaded``), deadline-shed (``expired``) or lost with the whole
+    pool (``device_failed``).
     """
 
     def __init__(self, params_wire, *,
                  devices: Optional[Sequence[Tuple[DeviceSpec, int]]] = None,
                  policy: Optional[BatchPolicy] = None,
                  cache_enabled: bool = True,
-                 gpu_config: Optional[GpuConfig] = None):
+                 gpu_config: Optional[GpuConfig] = None,
+                 admission: Optional[AdmissionPolicy] = None):
         params = (from_bytes(load_params, params_wire)
                   if isinstance(params_wire, (bytes, bytearray))
                   else params_wire)
@@ -498,6 +669,9 @@ class HEServer:
         self.batcher = RequestBatcher(self.policy)
         self.dispatcher = BatchDispatcher(self.session, self.devices,
                                           gpu_config=gpu_config)
+        self.sessions = SessionManager(self.session)
+        self.admission = (AdmissionController(admission)
+                          if admission is not None else None)
         self.metrics = ServerMetrics()
         self._free_at_us: Dict[str, float] = {}
         self._clock_us = 0.0
@@ -507,14 +681,23 @@ class HEServer:
 
     # -- control plane ------------------------------------------------------------
 
-    def install_relin_key(self, wire: bytes) -> None:
-        self.session.install_relin_key(wire)
+    def install_relin_key(self, wire: bytes, *, client_id: str = "") -> None:
+        self.session.install_relin_key(wire, client_id=client_id)
 
-    def install_galois_keys(self, wire: bytes) -> None:
-        self.session.install_galois_keys(wire)
+    def install_galois_keys(self, wire: bytes, *, client_id: str = "") -> None:
+        self.session.install_galois_keys(wire, client_id=client_id)
 
-    def install_weights(self, name: str, values) -> None:
-        self.session.install_weights(name, values)
+    def install_weights(self, name: str, values, *,
+                        client_id: str = "") -> None:
+        self.session.install_weights(name, values, client_id=client_id)
+
+    def handshake(self, hello) -> bytes:
+        """Open/refresh a client session; returns the ``RPRA`` ack frame."""
+        return self.sessions.handshake(hello, now_us=self._clock_us)
+
+    def inject_device_failure(self, label: str, at_us: float) -> None:
+        """Simulate one pool device dying at ``at_us`` (failure testing)."""
+        self.dispatcher.fail_device(label, at_us)
 
     # -- data plane ---------------------------------------------------------------
 
@@ -522,18 +705,37 @@ class HEServer:
         """Accept one request (wire bytes or a ``ServeRequest``).
 
         ``arrival_us`` stamps the simulated arrival; omitted, the request
-        arrives "now" (at the server's current simulated clock).
+        arrives "now" (at the server's current simulated clock).  With
+        admission control configured, a shed request receives its typed
+        ``overloaded`` response immediately and never queues; it is also
+        excluded from :attr:`request_log` (the baseline replays accepted
+        traffic).
         """
         req = (decode_request(request)
                if isinstance(request, (bytes, bytearray)) else request)
         if req.request_id in self._seen_ids:
             raise ValueError(f"duplicate request id {req.request_id!r}")
+        if req.client_id and req.client_id not in self.sessions:
+            raise ValueError(
+                f"unknown session client {req.client_id!r}; handshake first"
+            )
         self._seen_ids.add(req.request_id)
         if arrival_us is not None:
             self._clock_us = max(self._clock_us, arrival_us)
             req.arrival_us = arrival_us
         else:
             req.arrival_us = self._clock_us
+        if self.admission is not None and not self.admission.admit(req.arrival_us):
+            resp = overloaded_response(req.request_id,
+                                       arrival_us=req.arrival_us,
+                                       priority=req.priority)
+            self._responses[req.request_id] = resp
+            self.metrics.observe_shed(req.priority)
+            self.sessions.note_shed(req.client_id)
+            return req.request_id
+        if self.admission is not None:
+            self.metrics.observe_admitted()
+        self.sessions.note_request(req.client_id)
         self.batcher.add(req)
         self._request_log.append(req)
         return req.request_id
@@ -543,33 +745,68 @@ class HEServer:
         """Every accepted request (for baseline replay and audits)."""
         return list(self._request_log)
 
+    def stream(self, *, wire: bool = False) -> Iterator[object]:
+        """Serve everything pending, yielding responses as tiles finish.
+
+        The streaming alternative to the :meth:`drain` barrier: batches
+        dispatch in order, but each per-request response is released at
+        its own completion instant (``yielded_at_us == complete_us``),
+        merged across devices and batches in simulated-time order.
+        Responses of a later-dispatched batch never hold back completed
+        ones from earlier batches.  ``wire=True`` yields encoded
+        response frames.  Abandoning the iterator early re-queues the
+        not-yet-dispatched batches' requests (a later ``stream()`` or
+        :meth:`drain` serves them), so the exactly-one-terminal-response
+        invariant survives a consumer that walks away mid-stream.
+        """
+        heap: List[Tuple[float, int, ServeResponse]] = []
+        seq = 0
+        batches = self.batcher.form_batches(drain=True,
+                                            now_us=self._clock_us)
+        undispatched = list(batches)
+        try:
+            for batch in batches:
+                while heap and heap[0][0] <= batch.dispatch_us:
+                    _, _, resp = heapq.heappop(heap)
+                    yield encode_response(resp) if wire else resp
+                undispatched.remove(batch)
+                self.metrics.observe_batch(batch.size)
+                ops = {r.request_id: r.op for r in batch.requests}
+                for resp in self.dispatcher.dispatch(batch, self._free_at_us):
+                    resp.yielded_at_us = max(resp.complete_us,
+                                             resp.arrival_us)
+                    self._record(resp, ops[resp.request_id])
+                    heapq.heappush(heap, (resp.yielded_at_us, seq, resp))
+                    seq += 1
+            while heap:
+                _, _, resp = heapq.heappop(heap)
+                yield encode_response(resp) if wire else resp
+        finally:
+            for batch in undispatched:
+                for req in batch.requests:
+                    self.batcher.add(req)
+            self._clock_us = max(
+                [self._clock_us]
+                + [r.complete_us for r in self._responses.values()]
+            )
+            self.metrics.requeued_total = self.dispatcher.requeued
+            self._sync_cache_metrics()
+
     def drain(self, *, wire: bool = False) -> Dict[str, object]:
         """Serve everything pending; returns responses by request id.
 
+        Barrier semantics: responses are computed exactly as in
+        :meth:`stream` but released together once the last one
+        completes (``yielded_at_us`` = the barrier instant).
         ``wire=True`` returns encoded response frames (the client/server
         channel); otherwise :class:`ServeResponse` objects.
         """
-        batches = self.batcher.form_batches(drain=True, now_us=self._clock_us)
+        responses = list(self.stream())
+        barrier_us = self._clock_us
         out: Dict[str, object] = {}
-        for batch in batches:
-            self.metrics.observe_batch(batch.size)
-            for resp in self.dispatcher.dispatch(batch, self._free_at_us):
-                self._responses[resp.request_id] = resp
-                self.metrics.observe(RequestRecord(
-                    request_id=resp.request_id,
-                    op=next(r.op for r in batch.requests
-                            if r.request_id == resp.request_id),
-                    device=resp.device,
-                    arrival_us=resp.arrival_us,
-                    dispatch_us=resp.dispatch_us,
-                    complete_us=resp.complete_us,
-                    batch_size=resp.batch_size,
-                ))
-                out[resp.request_id] = (encode_response(resp) if wire
-                                        else resp)
-        self._clock_us = max([self._clock_us]
-                             + [r.complete_us for r in self._responses.values()])
-        self._sync_cache_metrics()
+        for resp in responses:
+            resp.yielded_at_us = barrier_us
+            out[resp.request_id] = (encode_response(resp) if wire else resp)
         return out
 
     def response(self, request_id: str) -> ServeResponse:
@@ -577,6 +814,20 @@ class HEServer:
             return self._responses[request_id]
         except KeyError:
             raise KeyError(f"no response for {request_id!r} (drained?)") from None
+
+    def _record(self, resp: ServeResponse, op: str) -> None:
+        self._responses[resp.request_id] = resp
+        self.metrics.observe(RequestRecord(
+            request_id=resp.request_id,
+            op=op,
+            device=resp.device,
+            arrival_us=resp.arrival_us,
+            dispatch_us=resp.dispatch_us,
+            complete_us=resp.complete_us,
+            batch_size=resp.batch_size,
+            priority=resp.priority,
+            status=resp.status,
+        ))
 
     def _sync_cache_metrics(self) -> None:
         art, mc = self.session.artifacts, self.session.memcache.stats
@@ -616,7 +867,8 @@ class HEServer:
         for req in sorted(requests, key=lambda r: r.arrival_us):
             level = req.cts[0].level
             try:
-                profs = session.op_profiles(req.op, level, req.meta, profiler)
+                profs = session.op_profiles(req.op, level, req.meta, profiler,
+                                            client_id=req.client_id)
             except (KeyError, ValueError):
                 continue  # the batched path rejected it too
             pipe = AsyncPipeline(dev, tiles=1)

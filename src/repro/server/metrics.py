@@ -1,16 +1,19 @@
-"""Serving telemetry: latency, throughput, queue depth, cache hits.
+"""Serving telemetry: latency, throughput, queue depth, cache hits, shed.
 
 Everything is measured on the *simulated* clock (microseconds), so the
 numbers are deterministic and the tests can assert on them.  The record
 layout mirrors what a production HE service would export: per-request
-(arrival, dispatch, complete, device) plus batch shapes and artifact /
-device-memory cache counters.
+(arrival, dispatch, complete, device, priority, typed status) plus batch
+shapes, admission shed/accept counters and artifact / device-memory
+cache counters.  Latency percentiles split by priority class so a
+deadline-sensitive client's p99 is visible separately from batch
+traffic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 __all__ = ["RequestRecord", "ServerMetrics"]
 
@@ -26,6 +29,8 @@ class RequestRecord:
     dispatch_us: float
     complete_us: float
     batch_size: int
+    priority: int = 0
+    status: str = "ok"
 
     @property
     def latency_us(self) -> float:
@@ -61,12 +66,31 @@ class ServerMetrics:
     #: batching.  Equal when fusion is disabled.
     raw_launches: int = 0
     fused_launches: int = 0
+    #: Admission accounting: requests shed with a typed ``overloaded``
+    #: response before queueing, split by priority class.  ``admitted``
+    #: counts requests the gate let through (== every queued request
+    #: when admission is on; 0 when it is off).
+    shed_total: int = 0
+    admitted_total: int = 0
+    shed_by_priority: Dict[int, int] = field(default_factory=dict)
+    #: Requests re-dispatched onto a surviving device after a device
+    #: failure mid-stream.
+    requeued_total: int = 0
 
     def observe(self, record: RequestRecord) -> None:
         self.records.append(record)
 
     def observe_batch(self, size: int) -> None:
         self.batch_sizes.append(size)
+
+    def observe_shed(self, priority: int = 0) -> None:
+        self.shed_total += 1
+        self.shed_by_priority[priority] = (
+            self.shed_by_priority.get(priority, 0) + 1
+        )
+
+    def observe_admitted(self) -> None:
+        self.admitted_total += 1
 
     # -- aggregates ------------------------------------------------------------
 
@@ -93,8 +117,39 @@ class ServerMetrics:
             return 0.0
         return sum(r.latency_us for r in self.records) / self.count
 
-    def latency_percentile_us(self, q: float) -> float:
-        return _percentile(sorted(r.latency_us for r in self.records), q)
+    def _latencies(self, *, priority: Optional[int] = None,
+                   status: Optional[str] = None) -> List[float]:
+        return sorted(
+            r.latency_us for r in self.records
+            if (priority is None or r.priority == priority)
+            and (status is None or r.status == status)
+        )
+
+    def latency_percentile_us(self, q: float, *,
+                              priority: Optional[int] = None,
+                              status: Optional[str] = None) -> float:
+        """Nearest-rank latency percentile, optionally filtered.
+
+        ``priority`` restricts to one priority class; ``status`` to one
+        typed outcome (pass ``"ok"`` for accepted-and-served latency —
+        the number admission control exists to protect).
+        """
+        return _percentile(self._latencies(priority=priority,
+                                           status=status), q)
+
+    def priorities(self) -> List[int]:
+        return sorted({r.priority for r in self.records})
+
+    def status_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.status] = out.get(r.status, 0) + 1
+        return out
+
+    @property
+    def shed_rate(self) -> float:
+        total = self.shed_total + self.count
+        return self.shed_total / total if total else 0.0
 
     @property
     def mean_batch_size(self) -> float:
@@ -102,19 +157,34 @@ class ServerMetrics:
             return 0.0
         return sum(self.batch_sizes) / len(self.batch_sizes)
 
-    def max_queue_depth(self) -> int:
-        """Peak number of requests arrived but not yet dispatched."""
+    def _peak_depth(self, end_us) -> int:
+        """Peak concurrent requests between arrival and ``end_us(r)``.
+
+        Exits sort after arrivals at the same instant: a request whose
+        interval is empty still counts as present once.
+        """
         events = []
         for r in self.records:
             events.append((r.arrival_us, 0, 1))
-            events.append((r.dispatch_us, 1, -1))
+            events.append((end_us(r), 1, -1))
         depth = peak = 0
-        # Dispatches sort after arrivals at the same instant: a request
-        # that arrives exactly at dispatch time counts as queued once.
         for _, _, delta in sorted(events):
             depth += delta
             peak = max(peak, depth)
         return peak
+
+    def max_queue_depth(self) -> int:
+        """Peak number of requests arrived but not yet dispatched."""
+        return self._peak_depth(lambda r: r.dispatch_us)
+
+    def max_inflight(self) -> int:
+        """Peak number of requests arrived but not yet completed.
+
+        The server's true backlog (queued + executing) — the quantity
+        the admission gate's modelled-backlog bound protects; compare
+        against ``AdmissionPolicy.max_backlog + burst``.
+        """
+        return self._peak_depth(lambda r: r.complete_us)
 
     def per_device_counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
@@ -157,6 +227,27 @@ class ServerMetrics:
             f"device memcache      : {self.memcache_hits}/"
             f"{self.memcache_requests} hits",
         ]
+        if self.shed_total or self.admitted_total:
+            lines.append(
+                f"admission            : {self.admitted_total} admitted / "
+                f"{self.shed_total} shed "
+                f"({100 * self.shed_rate:.0f}% shed)"
+            )
+        if self.requeued_total:
+            lines.append(f"requeued on failure  : {self.requeued_total}")
+        statuses = self.status_counts()
+        if set(statuses) - {"ok"}:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(statuses.items()))
+            lines.append(f"terminal statuses    : {parts}")
+        prios = self.priorities()
+        if len(prios) > 1:
+            for p in prios:
+                lines.append(
+                    f"  prio {p} p50/p95/p99 : "
+                    f"{self.latency_percentile_us(50, priority=p):.1f} / "
+                    f"{self.latency_percentile_us(95, priority=p):.1f} / "
+                    f"{self.latency_percentile_us(99, priority=p):.1f} us"
+                )
         for name, n in sorted(self.per_device_counts().items()):
             lines.append(f"  {name:<19}: {n} requests")
         return "\n".join(lines)

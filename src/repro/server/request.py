@@ -8,11 +8,16 @@ A request frames one HE operation over serialized ciphertexts (the
     b"RPRQ" | u32 header_len | header JSON | (u64 blob_len | blob)*
 
 The header carries the request id, the operation name and its metadata
-(rotation steps, the server-side weight-artifact name, ...); each blob is
-one ``save_ciphertext`` payload.  Responses use the same framing with
-magic ``RPRS``, a status/timing header and at most one result blob.
-Everything is byte-exact and version-checked through the underlying
-``core.serialize`` format (``FORMAT_VERSION``).
+(rotation steps, the server-side weight-artifact name, ...), the serving
+QoS fields (``priority``, optional ``deadline_ms``) and the session
+``client`` id; each blob is one ``save_ciphertext`` payload.  Responses
+use the same framing with magic ``RPRS``, a typed status/timing header
+and at most one result blob.  Session handshakes use magics ``RPRH``
+(hello: client id + optional evaluation-key blobs) and ``RPRA`` (ack:
+session id + a ``core.serialize`` session ticket).  Every serving frame
+header carries the serialization ``FORMAT_VERSION`` and decoding fails
+closed on any other version, as do the underlying ``core.serialize``
+blobs.
 """
 
 from __future__ import annotations
@@ -23,25 +28,50 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.ciphertext import Ciphertext
-from ..core.serialize import from_bytes, load_ciphertext, save_ciphertext, to_bytes
+from ..core.serialize import (
+    FORMAT_VERSION,
+    from_bytes,
+    load_ciphertext,
+    save_ciphertext,
+    to_bytes,
+)
 
 __all__ = [
     "SUPPORTED_OPS",
+    "RESPONSE_STATUSES",
     "ServeRequest",
     "ServeResponse",
+    "SessionHello",
+    "SessionAck",
     "encode_request",
     "decode_request",
     "encode_response",
     "decode_response",
+    "encode_session_hello",
+    "decode_session_hello",
+    "encode_session_ack",
+    "decode_session_ack",
+    "overloaded_response",
 ]
 
 REQUEST_MAGIC = b"RPRQ"
 RESPONSE_MAGIC = b"RPRS"
+HELLO_MAGIC = b"RPRH"
+ACK_MAGIC = b"RPRA"
 
 #: Operations the dispatcher executes.  All of them need only public
 #: material server-side (evaluation keys and plaintext weights).
 SUPPORTED_OPS = frozenset(
     {"square", "multiply", "add", "rotate", "multiply_plain", "dot_plain"}
+)
+
+#: Terminal outcomes a request can receive — exactly one per request.
+#: ``ok`` served; ``error`` rejected by the executor (bad op input);
+#: ``overloaded`` shed by admission control before queueing; ``expired``
+#: shed at dispatch because its deadline had already passed;
+#: ``device_failed`` lost to a device failure with no surviving device.
+RESPONSE_STATUSES = frozenset(
+    {"ok", "error", "overloaded", "expired", "device_failed"}
 )
 
 
@@ -52,7 +82,12 @@ class ServeRequest:
     ``meta`` keys by op: ``rotate`` needs ``steps``; ``multiply_plain``
     and ``dot_plain`` need ``weights`` (a server-side artifact name).
     ``arrival_us`` is stamped by the server on submission (simulated
-    clock) — it travels outside the wire bytes.
+    clock) — it travels outside the wire bytes.  ``priority`` orders
+    requests inside a batching window (higher = more urgent, default 0);
+    ``deadline_ms`` is an optional latency budget relative to arrival —
+    a request still queued past it is shed, never served late.
+    ``client_id`` names the serving session whose evaluation keys and
+    cached weights execute the op ("" = the server's shared keyspace).
     """
 
     request_id: str
@@ -60,6 +95,9 @@ class ServeRequest:
     cts: List[Ciphertext]
     meta: Dict = field(default_factory=dict)
     arrival_us: float = 0.0
+    priority: int = 0
+    deadline_ms: Optional[float] = None
+    client_id: str = ""
 
     def __post_init__(self) -> None:
         if self.op not in SUPPORTED_OPS:
@@ -72,16 +110,35 @@ class ServeRequest:
                 f"op {self.op!r} takes {expected} ciphertext(s), "
                 f"got {len(self.cts)}"
             )
+        self.priority = int(self.priority)
+        if self.deadline_ms is not None:
+            self.deadline_ms = float(self.deadline_ms)
+            if self.deadline_ms <= 0:
+                raise ValueError("deadline_ms must be > 0 when given")
 
     @property
     def wire_bytes(self) -> int:
         """Payload volume for upload-cost modelling."""
         return sum(ct.data.nbytes for ct in self.cts)
 
+    @property
+    def deadline_us(self) -> Optional[float]:
+        """Absolute simulated deadline (``arrival + deadline_ms``)."""
+        if self.deadline_ms is None:
+            return None
+        return self.arrival_us + self.deadline_ms * 1e3
+
 
 @dataclass
 class ServeResponse:
-    """Per-request outcome with the server-side simulated timeline."""
+    """Per-request outcome with the server-side simulated timeline.
+
+    ``status`` is the typed terminal outcome (:data:`RESPONSE_STATUSES`);
+    ``ok`` stays as the convenience boolean (``status == "ok"``).
+    ``yielded_at_us`` is when the serving layer released the response to
+    the client: per-request completion in streaming mode, the end of the
+    drain barrier otherwise.
+    """
 
     request_id: str
     ok: bool
@@ -92,10 +149,70 @@ class ServeResponse:
     complete_us: float = 0.0
     device: str = ""
     batch_size: int = 0
+    status: str = ""
+    priority: int = 0
+    yielded_at_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.status:
+            self.status = "ok" if self.ok else "error"
+        if self.status not in RESPONSE_STATUSES:
+            raise ValueError(
+                f"unknown status {self.status!r}; "
+                f"known: {sorted(RESPONSE_STATUSES)}"
+            )
+        self.ok = self.status == "ok"
 
     @property
     def latency_us(self) -> float:
         return self.complete_us - self.arrival_us
+
+
+def overloaded_response(request_id: str, *, arrival_us: float = 0.0,
+                        priority: int = 0,
+                        error: str = "admission control: server overloaded",
+                        ) -> ServeResponse:
+    """The typed terminal response of a request shed by admission control."""
+    return ServeResponse(
+        request_id=request_id, ok=False, status="overloaded", error=error,
+        arrival_us=arrival_us, dispatch_us=arrival_us,
+        complete_us=arrival_us, yielded_at_us=arrival_us, priority=priority,
+    )
+
+
+@dataclass
+class SessionHello:
+    """Client half of the session handshake: id + optional key blobs.
+
+    The key blobs are ``core.serialize`` wires (``save_relin_key`` /
+    ``save_galois_keys``) installed into the client's private keyspace —
+    never the shared one — so concurrent clients cannot clobber each
+    other's evaluation keys.
+    """
+
+    client_id: str
+    relin_wire: Optional[bytes] = None
+    galois_wire: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if not self.client_id:
+            raise ValueError("session hello needs a non-empty client_id")
+        if ":" in self.client_id:
+            # ':' is the keyspace-name separator server-side; allowing it
+            # would let crafted ids collide with other clients' cached
+            # artifacts.
+            raise ValueError("client_id must not contain ':'")
+
+
+@dataclass
+class SessionAck:
+    """Server half of the handshake: session id + resumable ticket."""
+
+    client_id: str
+    ok: bool
+    session_id: str = ""
+    error: str = ""
+    ticket_wire: Optional[bytes] = None
 
 
 def _frame(magic: bytes, header: dict, blobs: List[bytes]) -> bytes:
@@ -116,6 +233,11 @@ def _unframe(magic: bytes, data: bytes) -> tuple:
     off = 8
     header = json.loads(data[off:off + head_len].decode())
     off += head_len
+    if header.get("v") != FORMAT_VERSION:
+        raise ValueError(
+            f"serving frame version {header.get('v')} unsupported "
+            f"(expected {FORMAT_VERSION})"
+        )
     blobs = []
     while off < len(data):
         (blob_len,) = struct.unpack_from("<Q", data, off)
@@ -130,10 +252,14 @@ def _unframe(magic: bytes, data: bytes) -> tuple:
 
 def encode_request(req: ServeRequest) -> bytes:
     header = {
+        "v": FORMAT_VERSION,
         "id": req.request_id,
         "op": req.op,
         "meta": req.meta,
         "n_cts": len(req.cts),
+        "priority": req.priority,
+        "deadline_ms": req.deadline_ms,
+        "client": req.client_id,
     }
     return _frame(REQUEST_MAGIC, header,
                   [to_bytes(save_ciphertext, ct) for ct in req.cts])
@@ -151,19 +277,26 @@ def decode_request(data: bytes) -> ServeRequest:
         op=header["op"],
         cts=[from_bytes(load_ciphertext, b) for b in blobs],
         meta=header.get("meta", {}),
+        priority=header.get("priority", 0),
+        deadline_ms=header.get("deadline_ms"),
+        client_id=header.get("client", ""),
     )
 
 
 def encode_response(resp: ServeResponse) -> bytes:
     header = {
+        "v": FORMAT_VERSION,
         "id": resp.request_id,
         "ok": resp.ok,
+        "status": resp.status,
         "error": resp.error,
         "arrival_us": resp.arrival_us,
         "dispatch_us": resp.dispatch_us,
         "complete_us": resp.complete_us,
+        "yielded_at_us": resp.yielded_at_us,
         "device": resp.device,
         "batch_size": resp.batch_size,
+        "priority": resp.priority,
     }
     blobs = []
     if resp.result is not None:
@@ -173,9 +306,10 @@ def encode_response(resp: ServeResponse) -> bytes:
 
 def decode_response(data: bytes) -> ServeResponse:
     header, blobs = _unframe(RESPONSE_MAGIC, data)
+    ok = header["ok"]
     return ServeResponse(
         request_id=header["id"],
-        ok=header["ok"],
+        ok=ok,
         result=from_bytes(load_ciphertext, blobs[0]) if blobs else None,
         error=header.get("error", ""),
         arrival_us=header.get("arrival_us", 0.0),
@@ -183,4 +317,58 @@ def decode_response(data: bytes) -> ServeResponse:
         complete_us=header.get("complete_us", 0.0),
         device=header.get("device", ""),
         batch_size=header.get("batch_size", 0),
+        status=header.get("status", "ok" if ok else "error"),
+        priority=header.get("priority", 0),
+        yielded_at_us=header.get("yielded_at_us", 0.0),
+    )
+
+
+def encode_session_hello(hello: SessionHello) -> bytes:
+    keys = []
+    blobs = []
+    if hello.relin_wire is not None:
+        keys.append("relin")
+        blobs.append(hello.relin_wire)
+    if hello.galois_wire is not None:
+        keys.append("galois")
+        blobs.append(hello.galois_wire)
+    header = {"v": FORMAT_VERSION, "client": hello.client_id, "keys": keys}
+    return _frame(HELLO_MAGIC, header, blobs)
+
+
+def decode_session_hello(data: bytes) -> SessionHello:
+    header, blobs = _unframe(HELLO_MAGIC, data)
+    keys = header.get("keys", [])
+    if len(keys) != len(blobs):
+        raise ValueError(
+            f"hello promises {len(keys)} key blobs, frame carries {len(blobs)}"
+        )
+    by_kind = dict(zip(keys, blobs))
+    return SessionHello(
+        client_id=header["client"],
+        relin_wire=by_kind.get("relin"),
+        galois_wire=by_kind.get("galois"),
+    )
+
+
+def encode_session_ack(ack: SessionAck) -> bytes:
+    header = {
+        "v": FORMAT_VERSION,
+        "client": ack.client_id,
+        "ok": ack.ok,
+        "session_id": ack.session_id,
+        "error": ack.error,
+    }
+    blobs = [ack.ticket_wire] if ack.ticket_wire is not None else []
+    return _frame(ACK_MAGIC, header, blobs)
+
+
+def decode_session_ack(data: bytes) -> SessionAck:
+    header, blobs = _unframe(ACK_MAGIC, data)
+    return SessionAck(
+        client_id=header["client"],
+        ok=header["ok"],
+        session_id=header.get("session_id", ""),
+        error=header.get("error", ""),
+        ticket_wire=blobs[0] if blobs else None,
     )

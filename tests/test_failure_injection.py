@@ -1,7 +1,10 @@
 """Failure-injection tests: the library must fail loudly, not silently.
 
 Covers tampering, cross-context key misuse, domain confusion and other
-misuse paths a downstream user could hit.
+misuse paths a downstream user could hit — plus mid-stream device
+failure in the serving layer: streamed responses already yielded stay
+valid, in-flight requests are requeued onto surviving devices or
+typed-failed, never silently lost.
 """
 
 import numpy as np
@@ -113,6 +116,103 @@ class TestDomainAndShapeErrors:
             ckks["evaluator"].add_plain(low, pt)
         with pytest.raises(ValueError):
             ckks["evaluator"].multiply_plain(low, pt)
+
+
+class TestMidStreamDeviceFailure:
+    """A device dying mid-stream must not lose or corrupt anything."""
+
+    N = 12
+
+    def _serve(self, ckks, rng, *, devices, fail=None):
+        from repro.server import BatchPolicy, HEServer, ServerClient
+
+        server = HEServer(
+            ServerClient.params_wire(ckks["params"]),
+            devices=devices,
+            policy=BatchPolicy(max_batch=4, window_us=50.0),
+        )
+        client = ServerClient(
+            server, encoder=ckks["encoder"], encryptor=ckks["encryptor"],
+            decryptor=ckks["decryptor"], relin_key=ckks["relin"],
+        )
+        enc = ckks["encoder"]
+        values = [rng.normal(size=enc.slots) for _ in range(self.N)]
+        ids = [client.submit_square(v, arrival_us=float(i * 100))
+               for i, v in enumerate(values)]
+        if fail is not None:
+            server.inject_device_failure(*fail)
+        streamed = list(client.stream())
+        return server, client, values, ids, streamed
+
+    def test_requeued_to_surviving_device(self, ckks, rng):
+        """Two-device pool: the failed device's in-flight requests land
+        on the survivor; already-yielded responses stay valid."""
+        from repro.xesim import DEVICE1, DEVICE2
+
+        pool = [(DEVICE1, 2), (DEVICE2, 1)]
+        # Dry run to learn the failure-free timeline, then inject the
+        # failure halfway through Device1's completions.
+        dry_server, _, _, ids, _ = self._serve(ckks, rng, devices=pool)
+        d1_completes = sorted(
+            r.complete_us for r in (dry_server.response(i) for i in ids)
+            if r.device == "Device1"
+        )
+        assert len(d1_completes) >= 4  # the fast device carries traffic
+        fail_us = (d1_completes[len(d1_completes) // 2 - 1]
+                   + d1_completes[len(d1_completes) // 2]) / 2
+
+        server, client, values, ids, streamed = self._serve(
+            ckks, rng, devices=pool, fail=("Device1", fail_us))
+
+        # Every request gets exactly one terminal response; all served.
+        assert sorted(r.request_id for r in streamed) == sorted(ids)
+        assert all(r.ok for r in streamed)
+        for v, rid in zip(values, ids):
+            assert np.abs(client.result(rid).real - v * v).max() < 1e-3
+
+        # Responses yielded before the failure instant are genuine
+        # Device1 completions; afterwards nothing completes on Device1.
+        pre = [r for r in streamed if r.yielded_at_us <= fail_us]
+        post = [r for r in streamed if r.yielded_at_us > fail_us]
+        assert any(r.device == "Device1" for r in pre)
+        assert all(r.device != "Device1" for r in post)
+        assert post  # some requests really were in flight
+
+        # The requeues are visible in the dispatcher accounting and the
+        # rescued requests completed after the failure, on the survivor.
+        assert server.dispatcher.requeued > 0
+        assert server.metrics.requeued_total == server.dispatcher.requeued
+        assert all(r.device == "Device2" and r.complete_us > fail_us
+                   for r in post)
+
+    def test_single_device_pool_types_the_loss(self, ckks, rng):
+        """No survivor: in-flight requests get a typed 'device_failed'
+        terminal response — never a silent drop, never a stale result."""
+        from repro.xesim import DEVICE2
+
+        pool = [(DEVICE2, 1)]
+        dry_server, _, _, ids, _ = self._serve(ckks, rng, devices=pool)
+        completes = sorted(
+            dry_server.response(i).complete_us for i in ids)
+        fail_us = (completes[self.N // 2 - 1] + completes[self.N // 2]) / 2
+
+        server, client, values, ids, streamed = self._serve(
+            ckks, rng, devices=pool, fail=("Device2", fail_us))
+
+        assert sorted(r.request_id for r in streamed) == sorted(ids)
+        served = [r for r in streamed if r.ok]
+        lost = [r for r in streamed if not r.ok]
+        assert served and lost
+        assert all(r.status == "device_failed" for r in lost)
+        assert all(r.result is None for r in lost)
+        assert all(r.complete_us <= fail_us for r in served)
+        # Already-yielded results remain decryptable and correct.
+        by_id = {rid: v for rid, v in zip(ids, values)}
+        for r in served:
+            got = client.result(r.request_id).real
+            assert np.abs(got - by_id[r.request_id] ** 2).max() < 1e-3
+        with pytest.raises(RuntimeError, match="device_failed"):
+            client.result(lost[0].request_id)
 
 
 class TestNoiseOverflowBehaviour:

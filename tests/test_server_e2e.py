@@ -10,7 +10,13 @@ clock.  Plus a 100+-request concurrency/integrity stress.
 import numpy as np
 import pytest
 
-from repro.server import BatchPolicy, HEServer, ServerClient
+from repro.server import (
+    BatchPolicy,
+    HEServer,
+    ServerClient,
+    mixed_square_multiply_traffic,
+    serve_traffic,
+)
 from repro.xesim import DEVICE1, DEVICE2
 
 
@@ -125,6 +131,89 @@ class TestEndToEndServing:
         # Out-of-order: submission order != completion order somewhere.
         order = sorted(expected, key=lambda r: client.response(r).complete_us)
         assert order != list(expected)
+
+    def test_streaming_first_response_beats_barrier(self, ckks):
+        """Acceptance: streaming mode releases the first response of a
+        32-request batch strictly earlier (simulated clock) than barrier
+        mode, with bit-identical results in both modes."""
+        from repro.core.serialize import save_relin_key, to_bytes
+
+        relin_wire = to_bytes(save_relin_key, ckks["relin"])
+        frames = mixed_square_multiply_traffic(
+            ckks["encoder"], ckks["encryptor"], requests=32,
+            rng=np.random.default_rng(20220808), mean_gap_us=1.0)
+        common = dict(relin_wire=relin_wire,
+                      devices=[(DEVICE1, 2), (DEVICE2, 1)],
+                      max_batch=32, window_us=500.0)
+        barrier = serve_traffic(ckks["params"], frames, stream=False,
+                                **common)
+        streaming = serve_traffic(ckks["params"], frames, stream=True,
+                                  **common)
+
+        b_resps = [barrier.response(rid) for rid, _, _, _ in frames]
+        s_resps = [streaming.response(rid) for rid, _, _, _ in frames]
+        assert all(r.ok for r in b_resps + s_resps)
+
+        # Barrier mode releases everything at the drain instant;
+        # streaming releases each response at its own completion.
+        barrier_release = {r.yielded_at_us for r in b_resps}
+        assert len(barrier_release) == 1
+        first_stream = min(r.yielded_at_us for r in s_resps)
+        assert first_stream < barrier_release.pop()
+        for r in s_resps:
+            assert r.yielded_at_us == pytest.approx(r.complete_us)
+
+        # Bit-identical ciphertext results, identical timelines.
+        for rb, rs in zip(b_resps, s_resps):
+            assert np.array_equal(rb.result.data, rs.result.data)
+            assert rb.complete_us == pytest.approx(rs.complete_us)
+
+    def test_stream_yields_in_release_order_across_batches(self, ckks, rng):
+        """Streamed responses arrive in nondecreasing yielded_at order,
+        merged across batches and devices, and cover every request."""
+        server, client = make_pair(
+            ckks,
+            devices=[(DEVICE2, 1), (DEVICE2, 1)],
+            policy=BatchPolicy(max_batch=4, window_us=50.0),
+        )
+        enc = ckks["encoder"]
+        values = [rng.normal(size=enc.slots) for _ in range(12)]
+        ids = [client.submit_square(v, arrival_us=float(i * 30))
+               for i, v in enumerate(values)]
+        order = []
+        last = -1.0
+        for resp in client.stream():
+            assert resp.yielded_at_us >= last
+            last = resp.yielded_at_us
+            order.append(resp.request_id)
+        assert sorted(order) == sorted(ids)
+        for v, rid in zip(values, ids):
+            assert np.abs(client.result(rid).real - v * v).max() < 1e-3
+
+    def test_abandoned_stream_requeues_undispatched_requests(self, ckks,
+                                                             rng):
+        """Walking away from a stream mid-iteration must not lose the
+        not-yet-dispatched requests: a later serve() still delivers
+        exactly one terminal response for every submitted id."""
+        server, client = make_pair(
+            ckks,
+            devices=[(DEVICE2, 1)],
+            policy=BatchPolicy(max_batch=2, window_us=10.0),
+        )
+        enc = ckks["encoder"]
+        values = [rng.normal(size=enc.slots) for _ in range(6)]
+        ids = [client.submit_square(v, arrival_us=float(i * 1000))
+               for i, v in enumerate(values)]
+        stream = client.stream()
+        first = next(stream)
+        stream.close()  # consumer abandons after one response
+        assert server.batcher.depth > 0  # undispatched work went back
+        client.serve()
+        for v, rid in zip(values, ids):
+            resp = client.response(rid)
+            assert resp.ok, rid
+            assert np.abs(client.result(rid).real - v * v).max() < 1e-3
+        assert first.request_id in ids
 
     def test_metrics_are_consistent(self, ckks, rng):
         server, client = make_pair(
