@@ -5,39 +5,86 @@ import time
 import numpy as np
 
 
-def interleaved_median_ops(pairs, reps):
-    """Median seconds-per-call for each (name, packed_fn, serial_fn).
+def backend_legs():
+    """Ordered backend names to bench: always packed+serial, native if usable."""
+    from repro import native
 
-    Packed and serial calls interleave so cache/allocator state is fair
-    to both; returns ``{name: (packed_s, serial_s)}``.
+    legs = ["packed", "serial"]
+    if native.available():
+        legs.insert(0, "native")
+    return legs
+
+
+def backend_leg(backend, stacked_fn, serial_fn):
+    """One timed leg returning its measured seconds-per-call.
+
+    The serial leg runs a per-limb object (``packed=False``); the
+    packed/native legs run the same stacked object pinned via
+    ``use_backend``.  The backend switch happens *outside* the clocked
+    window so its few-microsecond cost never biases fast ops' ratios.
     """
-    out = {}
-    for name, packed_fn, serial_fn in pairs:
-        packed_fn()
-        serial_fn()
-        tp, ts = [], []
-        for _ in range(reps):
-            t0 = time.perf_counter()
-            packed_fn()
-            tp.append(time.perf_counter() - t0)
+    if backend == "serial":
+        def run_serial():
             t0 = time.perf_counter()
             serial_fn()
-            ts.append(time.perf_counter() - t0)
-        out[name] = (float(np.median(tp)), float(np.median(ts)))
+            return time.perf_counter() - t0
+
+        return run_serial
+
+    from repro.native import use_backend
+
+    def run():
+        with use_backend(backend):
+            t0 = time.perf_counter()
+            stacked_fn()
+            return time.perf_counter() - t0
+
+    return run
+
+
+def interleaved_median_ops(cases, reps):
+    """Median seconds-per-call for each (name, {leg: fn}) case.
+
+    Each leg callable times itself and returns elapsed seconds (see
+    :func:`backend_leg`).  All legs of one case interleave within each
+    rep so cache/allocator state is fair to every backend; returns
+    ``{name: {leg: seconds}}``.
+    """
+    out = {}
+    for name, legs in cases:
+        for fn in legs.values():
+            fn()  # warmup
+        times = {leg: [] for leg in legs}
+        for _ in range(reps):
+            for leg, fn in legs.items():
+                times[leg].append(fn())
+        out[name] = {leg: float(np.median(ts)) for leg, ts in times.items()}
     return out
 
 
 def wallclock_payload(medians):
-    """Format interleaved medians as the BENCH_wallclock.json op table."""
+    """Format interleaved medians as the BENCH_wallclock.json op table.
+
+    Emits ``<leg>_ms`` / ``<leg>_ops_per_s`` per backend leg plus the
+    historical ``speedup`` (serial/packed) and, when the native leg ran,
+    ``native_speedup`` (serial/native) and ``native_vs_packed``.
+    """
     payload = {}
-    for name, (packed_s, serial_s) in medians.items():
-        payload[name] = {
-            "packed_ms": round(packed_s * 1e3, 4),
-            "serial_ms": round(serial_s * 1e3, 4),
-            "packed_ops_per_s": round(1.0 / packed_s, 2),
-            "serial_ops_per_s": round(1.0 / serial_s, 2),
-            "speedup": round(serial_s / packed_s, 3),
-        }
+    for name, legs in medians.items():
+        row = {}
+        for leg, secs in legs.items():
+            row[f"{leg}_ms"] = round(secs * 1e3, 4)
+            row[f"{leg}_ops_per_s"] = round(1.0 / secs, 2)
+        if "packed" in legs and "serial" in legs:
+            row["speedup"] = round(legs["serial"] / legs["packed"], 3)
+        if "native" in legs:
+            if "serial" in legs:
+                row["native_speedup"] = round(legs["serial"] / legs["native"], 3)
+            if "packed" in legs:
+                row["native_vs_packed"] = round(
+                    legs["packed"] / legs["native"], 3
+                )
+        payload[name] = row
     return payload
 
 

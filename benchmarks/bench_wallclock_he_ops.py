@@ -95,19 +95,20 @@ def test_rescale(benchmark, ckks_bench):
 
 
 def test_wallclock_json(quick, wallclock_record):
-    """Record packed-vs-per-limb ops/sec at N = 4096, level 8.
+    """Record native/packed/serial ops/sec at N = 4096, level 8.
 
-    The "serial" column is the per-limb reference path
-    (``Evaluator(packed=False)``) — the before; "packed" is the default
-    stacked path — the after.  Both compute bit-identical results (see
-    tests/test_packed_ab.py), so this is a pure execution-strategy
-    comparison.
+    "serial" is the per-limb reference path (``Evaluator(packed=False)``),
+    "packed" the stacked NumPy path, "native" the compiled kernel backend
+    (leg present only when a C toolchain is usable).  All legs compute
+    bit-identical results (tests/test_packed_ab.py), so this is a pure
+    execution-strategy comparison.
     """
+    from _wallclock import backend_leg, backend_legs
     from repro.core import Evaluator
     from repro.core.ciphertext import Ciphertext
 
     params, context = paper_shape_context()
-    packed = Evaluator(context)
+    stacked = Evaluator(context, packed=True)
     serial = Evaluator(context, packed=False)
     rng = np.random.default_rng(99)
     scale = float(params.scale)
@@ -118,21 +119,30 @@ def test_wallclock_json(quick, wallclock_record):
         random_ciphertext(rng, context, 2, level, scale).data, scale * scale
     )
 
+    legs = backend_legs()
     reps = 5 if quick else 25
     medians = interleaved_median_ops(
         [
-            ("add", lambda: packed.add(a, b), lambda: serial.add(a, b)),
-            ("multiply", lambda: packed.multiply(a, b),
-             lambda: serial.multiply(a, b)),
-            ("rescale", lambda: packed.rescale(rs_in),
-             lambda: serial.rescale(rs_in)),
+            ("add",
+             {bk: backend_leg(bk, lambda: stacked.add(a, b),
+                              lambda: serial.add(a, b)) for bk in legs}),
+            ("multiply",
+             {bk: backend_leg(bk, lambda: stacked.multiply(a, b),
+                              lambda: serial.multiply(a, b))
+              for bk in legs}),
+            ("rescale",
+             {bk: backend_leg(bk, lambda: stacked.rescale(rs_in),
+                              lambda: serial.rescale(rs_in))
+              for bk in legs}),
         ],
         reps,
     )
     payload = wallclock_payload(medians)
     wallclock_record(
         "he_ops", payload,
-        {"degree": 4096, "level": 8, "reps": reps, "quick": bool(quick)},
+        {"degree": 4096, "level": 8, "reps": reps, "quick": bool(quick),
+         "backends": legs},
     )
     for name, row in payload.items():
-        assert row["packed_ops_per_s"] > 0 and row["serial_ops_per_s"] > 0, name
+        for b in legs:
+            assert row[f"{b}_ops_per_s"] > 0, (name, b)

@@ -62,19 +62,22 @@ def test_ntt_batched_rns8(benchmark, tables):
 
 
 def test_wallclock_json(quick, wallclock_record):
-    """Record stacked-vs-per-row NTT ops/sec at N = 4096, level 8.
+    """Record native/packed/serial NTT ops/sec at N = 4096, level 8.
 
     One "op" is a full 8-limb RNS stack transform (the unit the CKKS
-    layer issues); "serial" is the per-row loop (the before), "packed"
-    the stacked engine (the after).  Outputs are bit-identical.
+    layer issues); "serial" is the per-row loop, "packed" the stacked
+    NumPy engine, "native" the compiled fused-butterfly kernels (leg
+    present only when a C toolchain is usable).  All legs are
+    bit-identical (tests/test_packed_ab.py).
     """
+    from _wallclock import backend_leg, backend_legs
     from repro.modmath import gen_ntt_primes
     from repro.ntt import NTTEngine
     from repro.rns import RNSBase
 
     n, k = 4096, 8
     base = RNSBase.from_values(gen_ntt_primes([30] + [23] * (k - 1), n))
-    packed = NTTEngine(n, base)
+    stacked = NTTEngine(n, base, packed=True)
     serial = NTTEngine(n, base, packed=False)
     rng = np.random.default_rng(13)
     x = np.stack(
@@ -82,22 +85,29 @@ def test_wallclock_json(quick, wallclock_record):
     )
     fwd = serial.forward(x, lazy=True)
 
+    legs = backend_legs()
     reps = 5 if quick else 25
     medians = interleaved_median_ops(
         [
-            ("ntt_forward", lambda: packed.forward(x),
-             lambda: serial.forward(x)),
-            ("ntt_forward_lazy", lambda: packed.forward(x, lazy=True),
-             lambda: serial.forward(x, lazy=True)),
-            ("ntt_inverse", lambda: packed.inverse(fwd),
-             lambda: serial.inverse(fwd)),
+            ("ntt_forward",
+             {b: backend_leg(b, lambda: stacked.forward(x),
+                             lambda: serial.forward(x)) for b in legs}),
+            ("ntt_forward_lazy",
+             {b: backend_leg(b, lambda: stacked.forward(x, lazy=True),
+                             lambda: serial.forward(x, lazy=True))
+              for b in legs}),
+            ("ntt_inverse",
+             {b: backend_leg(b, lambda: stacked.inverse(fwd),
+                             lambda: serial.inverse(fwd)) for b in legs}),
         ],
         reps,
     )
     payload = wallclock_payload(medians)
     wallclock_record(
         "ntt", payload,
-        {"degree": 4096, "level": 8, "reps": reps, "quick": bool(quick)},
+        {"degree": 4096, "level": 8, "reps": reps, "quick": bool(quick),
+         "backends": legs},
     )
     for name, row in payload.items():
-        assert row["packed_ops_per_s"] > 0 and row["serial_ops_per_s"] > 0, name
+        for b in legs:
+            assert row[f"{b}_ops_per_s"] > 0, (name, b)

@@ -26,6 +26,13 @@ Commands
     ``--self-test`` verifies fused launches and simulated time strictly
     drop while decrypted results stay bit-identical; exits non-zero
     otherwise.
+``native``
+    Build/inspect the compiled kernel backend (``repro.native``): print
+    the resolved backend, compiler, and cache state; ``--build`` forces
+    a (re)compile; ``--self-test`` verifies native/packed/serial
+    bit-identicality at the paper shape (N=4096, level 8) plus a native
+    speedup on the stacked NTT, and exits non-zero on failure or when
+    no toolchain is available.
 ``info``
     Version and package inventory.
 """
@@ -320,12 +327,106 @@ def cmd_fuse(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_native(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from . import native
+
+    print(f"backend resolved     : {native.get_backend()}")
+    try:
+        cc = native.find_compiler()
+    except native.NativeBuildError as exc:
+        cc = f"(none: {exc})"
+    print(f"compiler             : {cc}")
+    print(f"cache dir            : {native.cache_dir()}")
+    if args.build:
+        # Force-recompile whenever a toolchain exists — this must also
+        # repair a corrupt/stale cached library that failed to load.
+        try:
+            native.build(force=True)
+        except native.NativeBuildError as exc:
+            print(f"build                : FAILED ({exc})")
+            return 1
+        native.reset()
+    ok = native.available()
+    print(f"kernel library       : "
+          f"{native.library_path() if ok else 'unavailable'}")
+    if not ok:
+        print(f"reason               : {native.availability_error()}")
+        return 1
+    if not args.self_test:
+        return 0
+
+    # Three-way bit-identity at the acceptance shape, plus a timing probe.
+    from .core import CkksContext, CkksParameters, Evaluator
+    from .core.ciphertext import Ciphertext
+    from .ntt import NTTEngine
+    from .rns import RNSBase
+    from .modmath import gen_ntt_primes
+
+    params = CkksParameters.default(degree=4096, levels=7, scale_bits=23,
+                                    first_bits=30, special_bits=30)
+    context = CkksContext(params)
+    rng = np.random.default_rng(17)
+    scale = float(params.scale)
+
+    def rand_ct(size):
+        data = np.empty((size, 8, 4096), dtype=np.uint64)
+        for i in range(8):
+            data[:, i] = rng.integers(0, context.modulus(i).value,
+                                      (size, 4096), dtype=np.uint64)
+        return Ciphertext(data, scale)
+
+    a, b = rand_ct(2), rand_ct(2)
+    rs_in = Ciphertext(rand_ct(2).data, scale * scale)
+    ev = Evaluator(context)
+    outs = {}
+    for mode in ("native", "packed", "serial"):
+        with native.use_backend(mode):
+            outs[mode] = (ev.multiply(a, b).data, ev.rescale(rs_in).data)
+    identical = all(
+        np.array_equal(x, y)
+        for mode in ("packed", "serial")
+        for x, y in zip(outs["native"], outs[mode])
+    )
+    print(f"bit-identity         : "
+          f"{'native == packed == serial' if identical else 'MISMATCH'}")
+
+    base = RNSBase.from_values(gen_ntt_primes([30] + [23] * 7, 4096))
+    engine = NTTEngine(4096, base)
+    x = np.stack(
+        [rng.integers(0, m.value, 4096, dtype=np.uint64) for m in base]
+    )
+
+    def med(fn, reps=7):
+        fn()
+        ts = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            ts.append(time.perf_counter() - t0)
+        return float(np.median(ts))
+
+    with native.use_backend("native"):
+        t_nat = med(lambda: engine.forward(x))
+    with native.use_backend("packed"):
+        t_pack = med(lambda: engine.forward(x))
+    speedup = t_pack / t_nat
+    print(f"stacked fwd NTT      : native {t_nat * 1e3:.3f} ms vs packed "
+          f"{t_pack * 1e3:.3f} ms ({speedup:.2f}x)")
+    ok = identical and speedup > 1.2
+    print(f"self-test: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from . import __version__
 
     print(f"repro {__version__} — reproduction of 'Accelerating Encrypted "
           f"Computing on Intel GPUs' (IPDPS 2022, arXiv:2109.14704)")
-    print("packages: modmath rns ntt xesim runtime core gpu server apps analysis")
+    print("packages: modmath rns ntt native xesim runtime core gpu server apps analysis")
     print("docs: README.md DESIGN.md EXPERIMENTS.md")
     return 0
 
@@ -392,6 +493,15 @@ def main(argv: list | None = None) -> int:
                         help="verify launches/time drop and results stay "
                              "bit-identical; nonzero exit on failure")
     p_fuse.set_defaults(fn=cmd_fuse)
+
+    p_nat = sub.add_parser("native", help="build/inspect the compiled "
+                                          "kernel backend")
+    p_nat.add_argument("--build", action="store_true",
+                       help="force a (re)compile of the kernel library")
+    p_nat.add_argument("--self-test", action="store_true",
+                       help="verify three-way bit-identicality and a "
+                            "native NTT speedup; nonzero exit on failure")
+    p_nat.set_defaults(fn=cmd_native)
 
     p_info = sub.add_parser("info", help="version and inventory")
     p_info.set_defaults(fn=cmd_info)

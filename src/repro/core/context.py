@@ -23,6 +23,7 @@ import numpy as np
 from ..modmath import Modulus, StackedModulus, inv_mod, packedops
 from ..modmath.barrett import barrett_reduce_64
 from ..modmath.ops import mul_mod, sub_mod
+from ..native import backend as _backend
 from ..ntt.radix2 import (
     ntt_forward,
     ntt_forward_stacked,
@@ -124,21 +125,24 @@ class CkksContext:
     # -- domain transforms -------------------------------------------------------
 
     def to_ntt(self, matrix: np.ndarray, *, rows: int | None = None,
-               special_last: bool = False, packed: bool = True) -> np.ndarray:
+               special_last: bool = False,
+               packed: bool | None = None) -> np.ndarray:
         """Forward-NTT each row of an RNS matrix (rows = level count)."""
         return self._transform(
             matrix, forward=True, special_last=special_last, packed=packed
         )
 
     def from_ntt(self, matrix: np.ndarray, *, special_last: bool = False,
-                 packed: bool = True) -> np.ndarray:
+                 packed: bool | None = None) -> np.ndarray:
         """Inverse-NTT each row back to coefficient form."""
         return self._transform(
             matrix, forward=False, special_last=special_last, packed=packed
         )
 
     def _transform(self, matrix: np.ndarray, *, forward: bool,
-                   special_last: bool, packed: bool = True) -> np.ndarray:
+                   special_last: bool, packed: bool | None = None) -> np.ndarray:
+        if packed is None:
+            packed = _backend.packed_default()
         matrix = np.asarray(matrix, dtype=np.uint64)
         k = matrix.shape[-2]
         if packed:
@@ -198,7 +202,8 @@ class CkksContext:
         return cached
 
     def divide_round_drop_ntt(
-        self, matrix: np.ndarray, dropped_idx: int, *, packed: bool = True
+        self, matrix: np.ndarray, dropped_idx: int, *,
+        packed: bool | None = None
     ) -> np.ndarray:
         """Drop the last row and divide-and-round by its modulus, in NTT form.
 
@@ -210,8 +215,14 @@ class CkksContext:
         per kept prime subtract its (re-NTT-ed) reduction and multiply by
         the dropped modulus' inverse — all element-wise in NTT form.  The
         packed path performs the per-prime half as four stacked calls over
-        the whole kept stack (bit-identical to the reference loop).
+        the whole kept stack (bit-identical to the reference loop); under
+        the native backend those stacked calls — both NTTs, the Barrett
+        reduction, and the fused lazy-difference Harvey tail — run in the
+        compiled kernel library.  ``packed=None`` follows the process
+        backend (per-limb under ``serial``).
         """
+        if packed is None:
+            packed = _backend.packed_default()
         matrix = np.asarray(matrix, dtype=np.uint64)
         k = matrix.shape[-2]
         if k < 2:
@@ -259,7 +270,7 @@ class CkksContext:
         return out
 
     def rescale_ntt(self, matrix: np.ndarray, level: int, *,
-                    packed: bool = True) -> np.ndarray:
+                    packed: bool | None = None) -> np.ndarray:
         """Rescale: drop ``q_{level-1}`` from a level-``level`` matrix."""
         if matrix.shape[-2] != level:
             raise ValueError("matrix does not match level")

@@ -22,10 +22,18 @@ class Decryptor:
     """
 
     def __init__(self, context: CkksContext, secret_key: SecretKey,
-                 *, packed: bool = True):
+                 *, packed: bool | None = None):
         self.context = context
         self.sk = secret_key
-        self.packed = packed
+        self._packed_arg = packed
+
+    @property
+    def packed(self) -> bool:
+        if self._packed_arg is not None:
+            return self._packed_arg
+        from ..native import backend as _backend
+
+        return _backend.packed_default()
 
     def decrypt(self, ct: Ciphertext) -> Plaintext:
         if not ct.is_ntt:

@@ -29,11 +29,19 @@ class Encryptor:
     """
 
     def __init__(self, context: CkksContext, public_key: PublicKey,
-                 *, seed: Optional[int] = None, packed: bool = True):
+                 *, seed: Optional[int] = None, packed: bool | None = None):
         self.context = context
         self.pk = public_key
         self.rng = np.random.default_rng(seed)
-        self.packed = packed
+        self._packed_arg = packed
+
+    @property
+    def packed(self) -> bool:
+        if self._packed_arg is not None:
+            return self._packed_arg
+        from ..native import backend as _backend
+
+        return _backend.packed_default()
 
     def _sample_signed_ntt(self, level: int, values: np.ndarray) -> np.ndarray:
         if self.packed:

@@ -51,13 +51,25 @@ SCALE_RTOL = 1e-9
 class Evaluator:
     """Stateless evaluator bound to a context.
 
-    ``packed`` selects the whole-tensor packed-RNS kernels (default) or
-    the per-limb reference loops (the bit-identical oracle).
+    ``packed`` selects the whole-tensor packed-RNS kernels or the
+    per-limb reference loops (the bit-identical oracle).  The default
+    (``None``) follows the process-wide backend selection
+    (:mod:`repro.native.backend`): packed under ``packed``/``native`` —
+    the stacked kernels themselves dispatch to the compiled library when
+    native is active — and per-limb under ``serial``.
     """
 
-    def __init__(self, context: CkksContext, *, packed: bool = True):
+    def __init__(self, context: CkksContext, *, packed: bool | None = None):
         self.context = context
-        self.packed = packed
+        self._packed_arg = packed
+
+    @property
+    def packed(self) -> bool:
+        if self._packed_arg is not None:
+            return self._packed_arg
+        from ..native import backend as _backend
+
+        return _backend.packed_default()
 
     # -- shape checks ------------------------------------------------------------
 
@@ -383,8 +395,8 @@ class Evaluator:
                 dn = decomposed[i]
                 acc0 = mad_mod(dn, key[0][target_rows], acc0, st_t)
                 acc1 = mad_mod(dn, key[1][target_rows], acc1, st_t)
-            d0 = ctx.divide_round_drop_ntt(acc0, special_idx)
-            d1 = ctx.divide_round_drop_ntt(acc1, special_idx)
+            d0 = ctx.divide_round_drop_ntt(acc0, special_idx, packed=True)
+            d1 = ctx.divide_round_drop_ntt(acc1, special_idx, packed=True)
             return d0, d1
         target_rows = list(range(level)) + [special_idx]
         acc0 = np.zeros((level + 1, n), dtype=np.uint64)

@@ -22,6 +22,13 @@ whole-tensor stacks:
 * the ciphertext tensor product fuses its cross term: the two 128-bit
   cross products are added *before* the one reduction (the paper's
   mad_mod argument applied across components).
+
+When the :mod:`repro.native` backend is selected (auto-detected when a C
+toolchain is present, or via ``set_backend``/``REPRO_BACKEND``), every
+kernel here first offers the call to the compiled library — one memory
+pass per op instead of the ufunc sequences below — and falls through to
+the NumPy path only for ineligible shapes.  Both produce bit-identical
+outputs (three-way A/B suite in ``tests/test_packed_ab.py``).
 """
 
 from __future__ import annotations
@@ -30,6 +37,8 @@ import threading
 
 import numpy as np
 
+from ..native import backend as _backend
+from ..native import glue as _native
 from .stacked import StackedModulus
 
 __all__ = [
@@ -59,6 +68,13 @@ _MATERIALIZE_MIN_N = 256
 
 _POOL = threading.local()
 
+#: Guards scratch-pool mutation.  The pools themselves are per-thread
+#: (each evaluator lane reuses its own warm buffers), but the insert /
+#: bounded-clear sequence is kept atomic so a future shared pool — or a
+#: re-entrant caller landing mid-clear — can never hand out a buffer
+#: object that another kernel invocation is still writing through.
+_POOL_LOCK = threading.Lock()
+
 
 class _Buffers:
     __slots__ = ("flat", "mask", "count")
@@ -81,9 +97,11 @@ def _buffers(shape):
         pool = _POOL.pool = {}
     bufs = pool.get(count)
     if bufs is None:
-        if len(pool) >= 8:
-            pool.clear()
-        bufs = pool[count] = _Buffers(count)
+        bufs = _Buffers(count)
+        with _POOL_LOCK:
+            if len(pool) >= 8:
+                pool.clear()
+            pool[count] = bufs
     return bufs.shaped(shape)
 
 
@@ -226,6 +244,10 @@ def _reduce128_into(hi, lo, K: _Consts, out, bufs, mask) -> None:
 
 
 def add_mod_stacked(a, b, modulus: StackedModulus):
+    if _backend.is_native():
+        out = _native.add_mod(a, b, modulus)
+        if out is not None:
+            return out
     (a, b), shape, bufs, mask, K = _setup(modulus, a, b)
     out = np.empty(shape, dtype=np.uint64)
     np.add(a, b, out=bufs[0])
@@ -234,6 +256,10 @@ def add_mod_stacked(a, b, modulus: StackedModulus):
 
 
 def sub_mod_stacked(a, b, modulus: StackedModulus):
+    if _backend.is_native():
+        out = _native.sub_mod(a, b, modulus)
+        if out is not None:
+            return out
     (a, b), shape, bufs, mask, K = _setup(modulus, a, b)
     out = np.empty(shape, dtype=np.uint64)
     np.add(a, K.p, out=bufs[0])
@@ -243,6 +269,10 @@ def sub_mod_stacked(a, b, modulus: StackedModulus):
 
 
 def neg_mod_stacked(a, modulus: StackedModulus):
+    if _backend.is_native():
+        out = _native.neg_mod(a, modulus)
+        if out is not None:
+            return out
     (a,), shape, bufs, mask, K = _setup(modulus, a)
     out = np.empty(shape, dtype=np.uint64)
     # (p - a) * (a != 0): matches np.where(a == 0, 0, p - a) exactly.
@@ -253,6 +283,10 @@ def neg_mod_stacked(a, modulus: StackedModulus):
 
 
 def conditional_sub_stacked(x, modulus: StackedModulus):
+    if _backend.is_native():
+        out = _native.conditional_sub(x, modulus)
+        if out is not None:
+            return out
     (x,), shape, bufs, mask, K = _setup(modulus, x)
     out = np.empty(shape, dtype=np.uint64)
     _cond_sub(x, K.p, bufs[0], out)
@@ -260,6 +294,10 @@ def conditional_sub_stacked(x, modulus: StackedModulus):
 
 
 def barrett_reduce_64_stacked(x, modulus: StackedModulus):
+    if _backend.is_native():
+        out = _native.barrett_reduce_64(x, modulus)
+        if out is not None:
+            return out
     (x,), shape, bufs, mask, K = _setup(modulus, x)
     out = np.empty(shape, dtype=np.uint64)
     b0, b1, b2, b3, b4, b5, b6 = bufs[:7]
@@ -274,6 +312,10 @@ def barrett_reduce_64_stacked(x, modulus: StackedModulus):
 
 
 def barrett_reduce_128_stacked(hi, lo, modulus: StackedModulus):
+    if _backend.is_native():
+        out = _native.barrett_reduce_128(hi, lo, modulus)
+        if out is not None:
+            return out
     (hi, lo), shape, bufs, mask, K = _setup(modulus, hi, lo)
     out = np.empty(shape, dtype=np.uint64)
     _reduce128_into(hi, lo, K, out, bufs, mask)
@@ -281,6 +323,10 @@ def barrett_reduce_128_stacked(hi, lo, modulus: StackedModulus):
 
 
 def mul_mod_stacked(a, b, modulus: StackedModulus):
+    if _backend.is_native():
+        out = _native.mul_mod(a, b, modulus)
+        if out is not None:
+            return out
     (a, b), shape, bufs, mask, K = _setup(modulus, a, b)
     out = np.empty(shape, dtype=np.uint64)
     hi, lo = bufs[10], bufs[11]
@@ -290,6 +336,10 @@ def mul_mod_stacked(a, b, modulus: StackedModulus):
 
 
 def mad_mod_stacked(a, b, c, modulus: StackedModulus):
+    if _backend.is_native():
+        out = _native.mad_mod(a, b, c, modulus)
+        if out is not None:
+            return out
     (a, b, c), shape, bufs, mask, K = _setup(modulus, a, b, c)
     out = np.empty(shape, dtype=np.uint64)
     hi, lo = bufs[10], bufs[11]
@@ -312,6 +362,10 @@ def mul_mod_operand_stacked(x, w, wq_hi, wq_lo, modulus: StackedModulus):
     such as the rescale ``d^{-1}`` scaling.  Value-identical to
     ``mul_mod(x, w, modulus)``.
     """
+    if _backend.is_native():
+        out = _native.mul_operand(x, w, wq_hi, wq_lo, modulus)
+        if out is not None:
+            return out
     (x,), shape, bufs, mask, K = _setup(modulus, x)
     w = np.asarray(w, dtype=np.uint64)
     wq_hi = np.asarray(wq_hi, dtype=np.uint64)
@@ -340,6 +394,10 @@ def lazy_diff_mul_operand_stacked(m, r_lazy, w, wq_hi, wq_lo,
     ``mul_mod(sub_mod(m, reduce(r_lazy)), w)`` without ever fully
     reducing the NTT output.
     """
+    if _backend.is_native():
+        out = _native.lazy_diff_mul_operand(m, r_lazy, w, wq_hi, wq_lo, modulus)
+        if out is not None:
+            return out
     (m, r_lazy), shape, bufs, mask, K = _setup(modulus, m, r_lazy)
     w = np.asarray(w, dtype=np.uint64)
     wq_hi = np.asarray(wq_hi, dtype=np.uint64)
@@ -371,6 +429,10 @@ def dyadic_product_stacked(a0, a1, b0, b1, modulus: StackedModulus):
     never underflows).  Canonically identical to
     ``add_mod(mul_mod(a0,b1), mul_mod(a1,b0))`` for the cross term.
     """
+    if _backend.is_native():
+        out = _native.dyadic_product(a0, a1, b0, b1, modulus)
+        if out is not None:
+            return out
     (a0, a1, b0, b1), shape, bufs, mask, K = _setup(modulus, a0, a1, b0, b1)
     out = np.empty((3,) + shape, dtype=np.uint64)
     hiA, loA = bufs[10], bufs[11]
@@ -402,6 +464,10 @@ def dyadic_square_stacked(a0, a1, modulus: StackedModulus):
     reduction; canonically identical to ``add_mod(c, c)`` with
     ``c = mul_mod(a0, a1)``.
     """
+    if _backend.is_native():
+        out = _native.dyadic_square(a0, a1, modulus)
+        if out is not None:
+            return out
     (a0, a1), shape, bufs, mask, K = _setup(modulus, a0, a1)
     out = np.empty((3,) + shape, dtype=np.uint64)
     hi, lo = bufs[10], bufs[11]

@@ -25,6 +25,7 @@ kernels row by row; ``tests/test_packed_ab.py`` enforces this property.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence, Tuple
 
 import numpy as np
@@ -68,6 +69,8 @@ class StackedModulus:
         "_prefixes",
         "_trailing_variants",
         "_mat_cache",
+        "_native_consts",
+        "_lock",
     )
 
     def __init__(self, moduli: Iterable[Modulus], *, trailing: int = 1):
@@ -129,6 +132,12 @@ class StackedModulus:
         self._prefixes: dict = {}
         self._trailing_variants: dict = {}
         self._mat_cache: dict = {}
+        #: Flat (k,) constant arrays for the native backend, built lazily
+        #: by repro.native.glue and cached here (idempotent).
+        self._native_consts = None
+        #: Guards the derived-stack memos: concurrent evaluator lanes
+        #: share StackedModulus instances through the table caches.
+        self._lock = threading.Lock()
 
     def materialized(self, n: int):
         """Constants broadcast to full ``(k, n)`` arrays (memoized, tiny LRU).
@@ -140,8 +149,6 @@ class StackedModulus:
         """
         cached = self._mat_cache.get(n)
         if cached is None:
-            if len(self._mat_cache) >= 2:
-                self._mat_cache.clear()
             k = len(self.moduli)
             cols = {
                 "p": self.u64, "two_p": self.two_p,
@@ -157,7 +164,10 @@ class StackedModulus:
                 )
                 full.setflags(write=False)
                 cached[name] = full
-            self._mat_cache[n] = cached
+            with self._lock:
+                if len(self._mat_cache) >= 2:
+                    self._mat_cache.clear()
+                self._mat_cache[n] = cached
         return cached
 
     # -- construction ---------------------------------------------------------
@@ -195,7 +205,8 @@ class StackedModulus:
         cached = self._prefixes.get(rows)
         if cached is None:
             cached = StackedModulus(self.moduli[:rows], trailing=self.trailing)
-            self._prefixes[rows] = cached
+            with self._lock:
+                cached = self._prefixes.setdefault(rows, cached)
         return cached
 
     def with_trailing(self, trailing: int) -> "StackedModulus":
@@ -210,5 +221,6 @@ class StackedModulus:
         cached = self._trailing_variants.get(trailing)
         if cached is None:
             cached = StackedModulus(self.moduli, trailing=trailing)
-            self._trailing_variants[trailing] = cached
+            with self._lock:
+                cached = self._trailing_variants.setdefault(trailing, cached)
         return cached

@@ -1,0 +1,88 @@
+"""Runtime-compiled native kernel backend (the paper at the kernel level).
+
+The paper's core claim is that HE throughput is decided by fused
+kernels: a whole NTT stage chain — load, twiddle multiply, lazy Harvey
+reduction, add/sub, store — executed in one pass over the data, rather
+than one memory sweep per primitive op.  The packed NumPy path (PR 3)
+hit exactly that wall: every Harvey/Barrett step is a separate
+full-array traversal, so multiply and rescale sat at NumPy's per-pass
+cost floor.
+
+``repro.native`` breaks the floor.  Small C sources ship in-tree
+(``csrc/kernels.c``), are compiled on first use with the system ``cc``
+into a cached shared library (``~/.cache/repro-native``), and are driven
+through ctypes.  Three fused kernel families cover the hot path:
+
+1. the full stacked forward/inverse NTT — all ``log2(N)`` butterfly
+   stages per ``(batch, limb)`` row in one call;
+2. fused dyadic multiply/square and ``mad_mod`` accumulate for the
+   tensor product and key-switch loops;
+3. the divide-round/rescale tails (Harvey ``d^{-1}`` multiply fused with
+   the lazy difference, and the ``LastModulusScaler`` sequence).
+
+Outputs are bit-identical to the packed and per-limb paths — same
+canonical values, same lazy windows — enforced by the three-way A/B
+suite in ``tests/test_packed_ab.py``.
+
+Backend selection (:mod:`repro.native.backend`): ``set_backend("native"
+| "packed" | "serial" | "auto")``, the ``REPRO_BACKEND`` env var, or
+auto-detection (native when a toolchain is present, with a single logged
+fallback otherwise).  ``NTTEngine``, the packed modmath kernels,
+``CkksContext``, and the RNS scalers all dispatch through it, so
+``Evaluator``, ``GpuEvaluator``, and the whole serving stack inherit the
+fast path transparently.
+"""
+
+from .backend import (
+    BACKENDS,
+    BackendUnavailableError,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from .build import NativeBuildError, build, cache_dir, find_compiler
+
+__all__ = [
+    "BACKENDS",
+    "BackendUnavailableError",
+    "NativeBuildError",
+    "available",
+    "availability_error",
+    "build",
+    "cache_dir",
+    "find_compiler",
+    "get_backend",
+    "library_path",
+    "reset",
+    "set_backend",
+    "use_backend",
+]
+
+
+def available() -> bool:
+    """Whether the native kernel library builds/loads on this machine."""
+    from . import glue
+
+    return glue.available()
+
+
+def availability_error():
+    """Why the native backend is unavailable, or None when it is usable."""
+    from . import glue
+
+    return glue.availability_error()
+
+
+def library_path():
+    """Filesystem path of the loaded kernel library (None if unavailable)."""
+    from . import glue
+
+    return glue.library_path()
+
+
+def reset() -> None:
+    """Forget library-load state and backend resolution (tests/env changes)."""
+    from . import backend, glue
+
+    glue.reset()
+    backend.invalidate()

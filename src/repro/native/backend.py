@@ -1,0 +1,178 @@
+"""Backend selection for the hot numeric path.
+
+Three execution strategies implement the same bit-identical arithmetic:
+
+``native``
+    Runtime-compiled C kernels (fused stacked-NTT butterflies, dyadic
+    cores, divide-round tails) loaded via ctypes — the fastest path.
+``packed``
+    The packed-RNS NumPy kernels (:mod:`repro.modmath.packedops`,
+    stacked NTT): whole ``(size, level, N)`` stacks per ufunc pass.
+``serial``
+    The per-limb reference loops retained as the oracle.
+
+Selection precedence:
+
+1. an explicit :func:`set_backend` call;
+2. the ``REPRO_BACKEND`` environment variable
+   (``native|packed|serial|auto``);
+3. auto-detection: ``native`` when the kernel library builds/loads,
+   otherwise ``packed`` (the library layer logs the fallback once).
+
+``set_backend("native")`` *raises* :class:`BackendUnavailableError` when
+no toolchain or cached library is usable — an explicit request must not
+degrade silently.  The env var and auto-detection degrade with a single
+logged warning instead (they express a preference, not a requirement).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = [
+    "BACKENDS", "BackendUnavailableError",
+    "set_backend", "get_backend", "use_backend",
+    "resolve", "is_native", "is_serial", "packed_default",
+    "invalidate",
+]
+
+logger = logging.getLogger("repro.native")
+
+BACKENDS = ("native", "packed", "serial")
+_AUTO = "auto"
+
+_LOCK = threading.RLock()
+_EXPLICIT: Optional[str] = None   # set_backend choice (None = follow env/auto)
+_RESOLVED: Optional[str] = None   # memoized resolution for the hot path
+_ENV_WARNED = False
+_DEGRADE_WARNED = False
+
+
+class BackendUnavailableError(RuntimeError):
+    """A requested backend cannot run (e.g. native without a C toolchain)."""
+
+
+def _native_available() -> bool:
+    from . import glue
+
+    return glue.available()
+
+
+def _resolve_locked() -> str:
+    global _ENV_WARNED, _DEGRADE_WARNED
+    choice = _EXPLICIT
+    source = "set_backend"
+    if choice is None:
+        env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+        if env and env != _AUTO:
+            if env in BACKENDS:
+                choice = env
+                source = "REPRO_BACKEND"
+            elif not _ENV_WARNED:
+                _ENV_WARNED = True
+                logger.warning(
+                    "ignoring invalid REPRO_BACKEND=%r (expected one of "
+                    "%s or 'auto')", env, "|".join(BACKENDS),
+                )
+    if choice is None:  # auto-detect
+        return "native" if _native_available() else "packed"
+    if choice == "native" and not _native_available():
+        # set_backend already verified availability, so this is the env
+        # path: degrade once, loudly (glue logged the root cause).  The
+        # once-flag matters because re-resolutions are routine (every
+        # use_backend exit invalidates the memo).
+        if not _DEGRADE_WARNED:
+            _DEGRADE_WARNED = True
+            logger.warning(
+                "%s requested the native backend but it is unavailable; "
+                "using the packed NumPy backend", source,
+            )
+        return "packed"
+    return choice
+
+
+def resolve() -> str:
+    """The backend every stacked kernel dispatches on (memoized)."""
+    global _RESOLVED
+    mode = _RESOLVED
+    if mode is None:
+        with _LOCK:
+            mode = _RESOLVED
+            if mode is None:
+                mode = _RESOLVED = _resolve_locked()
+    return mode
+
+
+def get_backend() -> str:
+    """The currently resolved backend name."""
+    return resolve()
+
+
+def set_backend(name: Optional[str]) -> str:
+    """Select the execution backend process-wide; returns the resolved name.
+
+    ``None`` or ``"auto"`` restores env-var/auto-detect behaviour.
+    Requesting ``"native"`` when the kernel library cannot be built or
+    loaded raises :class:`BackendUnavailableError`.
+    """
+    global _EXPLICIT, _RESOLVED
+    if name is not None:
+        name = name.strip().lower()
+        if name == _AUTO:
+            name = None
+    if name is not None and name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKENDS} or 'auto'"
+        )
+    if name == "native" and not _native_available():
+        from . import glue
+
+        raise BackendUnavailableError(
+            "native backend unavailable: "
+            f"{glue.availability_error() or 'kernel library failed to load'}"
+        )
+    with _LOCK:
+        _EXPLICIT = name
+        _RESOLVED = None
+    return resolve()
+
+
+@contextmanager
+def use_backend(name: Optional[str]):
+    """Temporarily select a backend (tests and benchmarks)."""
+    global _EXPLICIT, _RESOLVED
+    with _LOCK:
+        prev = _EXPLICIT
+    set_backend(name)
+    try:
+        yield
+    finally:
+        with _LOCK:
+            _EXPLICIT = prev
+            _RESOLVED = None
+
+
+def invalidate() -> None:
+    """Drop the memoized resolution (after env or library-state changes)."""
+    global _RESOLVED, _ENV_WARNED, _DEGRADE_WARNED
+    with _LOCK:
+        _RESOLVED = None
+        _ENV_WARNED = False
+        _DEGRADE_WARNED = False
+
+
+def is_native() -> bool:
+    return resolve() == "native"
+
+
+def is_serial() -> bool:
+    return resolve() == "serial"
+
+
+def packed_default() -> bool:
+    """Default for the ``packed=`` flags: everything except ``serial``."""
+    return resolve() != "serial"

@@ -1,0 +1,132 @@
+"""Build-on-first-use for the native kernel library.
+
+The C sources ship in-tree (``repro/native/csrc``).  The first time the
+native backend is asked for, they are compiled with the system C
+compiler into a shared library cached under ``~/.cache/repro-native``
+(override with ``REPRO_NATIVE_CACHE``), keyed by a digest of the source
+text, the compiler identity, and the flags — so editing a kernel or
+switching compilers rebuilds, and every later process start is a plain
+``dlopen`` of the cached ``.so``.
+
+Environment knobs
+-----------------
+``REPRO_NATIVE_CC``
+    Compiler executable (default: first of ``cc``/``gcc``/``clang`` on
+    PATH).
+``REPRO_NATIVE_CFLAGS``
+    Extra flags appended to the default ``-O2``-class set.
+``REPRO_NATIVE_CACHE``
+    Cache directory for built libraries.
+``REPRO_NATIVE_DISABLE``
+    Any non-empty value makes the toolchain look absent (used by tests
+    and CI to exercise the fallback path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import List
+
+__all__ = ["NativeBuildError", "find_compiler", "cache_dir", "build",
+           "source_files", "SO_BASENAME"]
+
+SO_BASENAME = "repro_native"
+
+#: Baseline flags; correctness does not depend on them (the kernels are
+#: plain C11), only speed.  No ``-march=native`` so a cached library
+#: restored on a different machine of the same OS/arch stays runnable.
+BASE_CFLAGS = ["-O3", "-std=c11", "-fPIC", "-shared", "-funroll-loops",
+               "-fvisibility=default"]
+
+
+class NativeBuildError(RuntimeError):
+    """The native kernel library could not be built or located."""
+
+
+def source_files() -> List[Path]:
+    csrc = Path(__file__).resolve().parent / "csrc"
+    files = sorted(csrc.glob("*.c"))
+    if not files:
+        raise NativeBuildError(f"no C sources under {csrc}")
+    return files
+
+
+def find_compiler() -> str:
+    """The C compiler to use, or raise :class:`NativeBuildError`."""
+    if os.environ.get("REPRO_NATIVE_DISABLE"):
+        raise NativeBuildError("native backend disabled via REPRO_NATIVE_DISABLE")
+    explicit = os.environ.get("REPRO_NATIVE_CC")
+    if explicit:
+        found = shutil.which(explicit)
+        if not found:
+            raise NativeBuildError(f"REPRO_NATIVE_CC={explicit!r} not on PATH")
+        return found
+    for cand in ("cc", "gcc", "clang"):
+        found = shutil.which(cand)
+        if found:
+            return found
+    raise NativeBuildError("no C compiler found (tried cc, gcc, clang)")
+
+
+def cache_dir() -> Path:
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-native"
+
+
+def _cflags() -> List[str]:
+    extra = os.environ.get("REPRO_NATIVE_CFLAGS", "")
+    return BASE_CFLAGS + (extra.split() if extra else [])
+
+
+def _digest(cc: str, flags: List[str]) -> str:
+    h = hashlib.sha256()
+    for src in source_files():
+        h.update(src.name.encode())
+        h.update(src.read_bytes())
+    h.update(cc.encode())
+    h.update(" ".join(flags).encode())
+    return h.hexdigest()[:16]
+
+
+def build(*, force: bool = False) -> Path:
+    """Return the path of the built library, compiling if needed.
+
+    The compile lands in the cache atomically (temp file + ``os.replace``)
+    so concurrent builders from several processes are safe.
+    """
+    cc = find_compiler()
+    flags = _cflags()
+    out = cache_dir() / f"{SO_BASENAME}-{_digest(cc, flags)}.so"
+    if out.exists() and not force:
+        return out
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(out.parent))
+    os.close(fd)
+    cmd = [cc, *flags, "-o", tmp, *[str(s) for s in source_files()]]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=300
+        )
+        if proc.returncode != 0:
+            raise NativeBuildError(
+                f"compile failed ({' '.join(cmd)}):\n{proc.stderr.strip()}"
+            )
+        os.replace(tmp, out)
+    except NativeBuildError:
+        raise
+    except Exception as exc:  # subprocess/OS failures -> typed error
+        raise NativeBuildError(f"compile failed: {exc}") from exc
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+    return out

@@ -1,0 +1,379 @@
+/* Fused modular kernels for the repro.native backend.
+ *
+ * Compiled on first use by repro/native/build.py with the system C
+ * compiler into a cached shared library and driven through ctypes.
+ * Every function is the single-memory-pass counterpart of a NumPy
+ * kernel in repro.modmath.packedops / repro.ntt.radix2: instead of one
+ * full-array traversal per primitive ufunc (~20-45 passes per modular
+ * op on the packed path), each element is loaded once, carried through
+ * the whole Harvey/Barrett arithmetic chain in registers, and stored
+ * once.  The paper's fused-butterfly argument (Sec. III-B) applied to
+ * the CPU backend.
+ *
+ * Bit-identicality contract: all outputs equal the packed-NumPy path's
+ * outputs exactly — same canonical values, same lazy-reduction windows
+ * ([0, 4p) forward NTT, [0, 2p) inverse, canonical [0, p) elsewhere).
+ * The arithmetic below mirrors the NumPy sequences value-for-value
+ * (64-bit operations wrap mod 2**64, 128-bit intermediates wrap mod
+ * 2**128, exactly like the emulated uint128 path), so equality is
+ * structural, and tests/test_packed_ab.py enforces it per element.
+ *
+ * Layout conventions (all arrays C-contiguous uint64):
+ *   - data tensors are (rows, k, n): `rows` flattened leading axes,
+ *     `k` the RNS limb axis (second-to-last), `n` the trailing axis;
+ *   - per-limb constants are flat (k,) arrays indexed by the limb row;
+ *   - NTT twiddle tables are (k, n) in the bit-reversed HEXL layout of
+ *     repro.ntt.tables (index m..2m-1 holds stage-m operands).
+ *
+ * All moduli satisfy p < 2**61 (enforced by repro.modmath.Modulus), so
+ * 4p < 2**63: lazy sums never wrap and the conditional-subtract chains
+ * below are exact.
+ */
+
+#include <stdint.h>
+#include <stddef.h>
+
+typedef uint64_t u64;
+typedef int64_t i64;
+typedef unsigned __int128 u128;
+
+#if defined(_MSC_VER)
+#define EXPORT __declspec(dllexport)
+#else
+#define EXPORT __attribute__((visibility("default")))
+#endif
+
+static inline u64 mulhi(u64 a, u64 b) {
+    return (u64)(((u128)a * b) >> 64);
+}
+
+/* Harvey lazy product w*y - floor(w*2^64/p as wq) -> [0, 2p). */
+static inline u64 harvey_lazy(u64 y, u64 w, u64 wq, u64 p) {
+    return w * y - mulhi(wq, y) * p;
+}
+
+/* x - b if x >= b else x (b <= 2^63). */
+static inline u64 csub(u64 x, u64 b) {
+    return x >= b ? x - b : x;
+}
+
+/* Canonical x mod p for x < 2^64 (single-word Barrett). */
+static inline u64 barrett64(u64 x, u64 p, u64 rhi) {
+    u64 r = x - mulhi(x, rhi) * p;
+    return csub(r, p);
+}
+
+/* Canonical (hi*2^64 + lo) mod p: Harvey(hi; 2^64 mod p) + Barrett64(lo),
+ * both lazy in [0, 2p), folded with two conditional subtracts — the same
+ * value sequence as packedops._reduce128_into. */
+static inline u64 reduce128(u64 hi, u64 lo, u64 p, u64 two_p,
+                            u64 rhi, u64 c64, u64 c64q) {
+    u64 t1 = c64 * hi - mulhi(c64q, hi) * p;
+    u64 r2 = lo - mulhi(lo, rhi) * p;
+    u64 s = t1 + r2;
+    s = csub(s, two_p);
+    return csub(s, p);
+}
+
+/* ---------------------------------------------------------------------------
+ * Fused stacked NTT: all log2(n) butterfly stages of every (batch, limb)
+ * row in one call — one twiddle-multiply + lazy reduction + add/sub per
+ * butterfly, data touched log2(n) times total instead of ~20 numpy
+ * passes per stage.
+ * ------------------------------------------------------------------------- */
+
+EXPORT void repro_ntt_forward(u64 *x, i64 batch, i64 k, i64 n,
+                              const u64 *w, const u64 *wq,
+                              const u64 *p_arr, const u64 *two_p_arr,
+                              i64 lazy) {
+    for (i64 b = 0; b < batch; ++b) {
+        for (i64 j = 0; j < k; ++j) {
+            u64 *row = x + ((size_t)b * k + j) * (size_t)n;
+            const u64 *wr = w + (size_t)j * n;
+            const u64 *wqr = wq + (size_t)j * n;
+            const u64 p = p_arr[j], two_p = two_p_arr[j];
+            for (i64 m = 1; m < n; m <<= 1) {
+                const i64 t = n / (2 * m);
+                for (i64 g = 0; g < m; ++g) {
+                    const u64 W = wr[m + g], Wq = wqr[m + g];
+                    u64 *restrict X = row + (size_t)(2 * g) * t;
+                    u64 *restrict Y = X + t;
+                    for (i64 i = 0; i < t; ++i) {
+                        const u64 xv = csub(X[i], two_p);
+                        const u64 tt = harvey_lazy(Y[i], W, Wq, p);
+                        X[i] = xv + tt;
+                        Y[i] = xv - tt + two_p;
+                    }
+                }
+            }
+            if (!lazy) {
+                /* "Last round processing": [0, 4p) -> [0, p). */
+                for (i64 i = 0; i < n; ++i)
+                    row[i] = csub(csub(row[i], two_p), p);
+            }
+        }
+    }
+}
+
+EXPORT void repro_ntt_inverse(u64 *x, i64 batch, i64 k, i64 n,
+                              const u64 *iw, const u64 *iwq,
+                              const u64 *p_arr, const u64 *two_p_arr,
+                              const u64 *ninv_w, const u64 *ninv_q,
+                              i64 lazy) {
+    for (i64 b = 0; b < batch; ++b) {
+        for (i64 j = 0; j < k; ++j) {
+            u64 *row = x + ((size_t)b * k + j) * (size_t)n;
+            const u64 *wr = iw + (size_t)j * n;
+            const u64 *wqr = iwq + (size_t)j * n;
+            const u64 p = p_arr[j], two_p = two_p_arr[j];
+            for (i64 h = n / 2; h >= 1; h >>= 1) {
+                const i64 t = n / (2 * h);
+                for (i64 g = 0; g < h; ++g) {
+                    const u64 W = wr[h + g], Wq = wqr[h + g];
+                    u64 *restrict X = row + (size_t)(2 * g) * t;
+                    u64 *restrict Y = X + t;
+                    for (i64 i = 0; i < t; ++i) {
+                        const u64 xv = X[i], yv = Y[i];
+                        X[i] = csub(xv + yv, two_p);
+                        Y[i] = harvey_lazy(xv + two_p - yv, W, Wq, p);
+                    }
+                }
+            }
+            /* Final n^{-1} scaling, fused with the correction pass. */
+            const u64 nw = ninv_w[j], nq = ninv_q[j];
+            if (lazy) {
+                for (i64 i = 0; i < n; ++i)
+                    row[i] = csub(harvey_lazy(row[i], nw, nq, p), two_p);
+            } else {
+                for (i64 i = 0; i < n; ++i) {
+                    u64 v = csub(harvey_lazy(row[i], nw, nq, p), two_p);
+                    row[i] = csub(v, p);
+                }
+            }
+        }
+    }
+}
+
+/* ---------------------------------------------------------------------------
+ * Elementwise modular kernels over (rows, k, n) stacks.
+ * ------------------------------------------------------------------------- */
+
+/* Variadic so comma-separated declarations survive preprocessing. */
+#define FOR_STACK(...)                                                      \
+    for (i64 r = 0; r < rows; ++r) {                                        \
+        for (i64 j = 0; j < k; ++j) {                                       \
+            const size_t off = ((size_t)r * k + j) * (size_t)n;             \
+            __VA_ARGS__                                                     \
+        }                                                                   \
+    }
+
+EXPORT void repro_add_mod(const u64 *a, const u64 *b, u64 *out,
+                          i64 rows, i64 k, i64 n, const u64 *p_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j];
+        for (i64 i = 0; i < n; ++i)
+            out[off + i] = csub(a[off + i] + b[off + i], p);
+    })
+}
+
+EXPORT void repro_sub_mod(const u64 *a, const u64 *b, u64 *out,
+                          i64 rows, i64 k, i64 n, const u64 *p_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j];
+        for (i64 i = 0; i < n; ++i)
+            out[off + i] = csub(a[off + i] + p - b[off + i], p);
+    })
+}
+
+EXPORT void repro_neg_mod(const u64 *a, u64 *out,
+                          i64 rows, i64 k, i64 n, const u64 *p_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j];
+        for (i64 i = 0; i < n; ++i) {
+            const u64 v = a[off + i];
+            out[off + i] = v ? p - v : 0;
+        }
+    })
+}
+
+EXPORT void repro_conditional_sub(const u64 *a, u64 *out,
+                                  i64 rows, i64 k, i64 n, const u64 *p_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j];
+        for (i64 i = 0; i < n; ++i)
+            out[off + i] = csub(a[off + i], p);
+    })
+}
+
+EXPORT void repro_barrett64(const u64 *a, u64 *out,
+                            i64 rows, i64 k, i64 n,
+                            const u64 *p_arr, const u64 *rhi_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j], rhi = rhi_arr[j];
+        for (i64 i = 0; i < n; ++i)
+            out[off + i] = barrett64(a[off + i], p, rhi);
+    })
+}
+
+EXPORT void repro_barrett128(const u64 *hi, const u64 *lo, u64 *out,
+                             i64 rows, i64 k, i64 n,
+                             const u64 *p_arr, const u64 *two_p_arr,
+                             const u64 *rhi_arr, const u64 *c64_arr,
+                             const u64 *c64q_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
+        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
+        for (i64 i = 0; i < n; ++i)
+            out[off + i] = reduce128(hi[off + i], lo[off + i],
+                                     p, two_p, rhi, c64, c64q);
+    })
+}
+
+EXPORT void repro_mul_mod(const u64 *a, const u64 *b, u64 *out,
+                          i64 rows, i64 k, i64 n,
+                          const u64 *p_arr, const u64 *two_p_arr,
+                          const u64 *rhi_arr, const u64 *c64_arr,
+                          const u64 *c64q_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
+        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
+        for (i64 i = 0; i < n; ++i) {
+            const u128 pr = (u128)a[off + i] * b[off + i];
+            out[off + i] = reduce128((u64)(pr >> 64), (u64)pr,
+                                     p, two_p, rhi, c64, c64q);
+        }
+    })
+}
+
+/* Fused multiply-add: one reduction after a*b + c (the paper's mad_mod).
+ * The 128-bit sum wraps mod 2**128 exactly like the NumPy carry chain. */
+EXPORT void repro_mad_mod(const u64 *a, const u64 *b, const u64 *c, u64 *out,
+                          i64 rows, i64 k, i64 n,
+                          const u64 *p_arr, const u64 *two_p_arr,
+                          const u64 *rhi_arr, const u64 *c64_arr,
+                          const u64 *c64q_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
+        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
+        for (i64 i = 0; i < n; ++i) {
+            const u128 pr = (u128)a[off + i] * b[off + i] + c[off + i];
+            out[off + i] = reduce128((u64)(pr >> 64), (u64)pr,
+                                     p, two_p, rhi, c64, c64q);
+        }
+    })
+}
+
+/* Ciphertext tensor product (a0 b0, a0 b1 + a1 b0, a1 b1), each element
+ * finished in one pass: three wide multiplies, three reductions.  Cross
+ * products sum at 128 bits before the one reduction (valid for lazy NTT
+ * operands < 2**63: the sum stays < 2**127). */
+EXPORT void repro_dyadic_product(const u64 *a0, const u64 *a1,
+                                 const u64 *b0, const u64 *b1,
+                                 u64 *o0, u64 *o1, u64 *o2,
+                                 i64 rows, i64 k, i64 n,
+                                 const u64 *p_arr, const u64 *two_p_arr,
+                                 const u64 *rhi_arr, const u64 *c64_arr,
+                                 const u64 *c64q_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
+        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
+        for (i64 i = 0; i < n; ++i) {
+            const u64 x0 = a0[off + i], x1 = a1[off + i];
+            const u64 y0 = b0[off + i], y1 = b1[off + i];
+            const u128 p00 = (u128)x0 * y0;
+            const u128 p11 = (u128)x1 * y1;
+            const u128 px = (u128)x0 * y1 + (u128)x1 * y0;
+            o0[off + i] = reduce128((u64)(p00 >> 64), (u64)p00,
+                                    p, two_p, rhi, c64, c64q);
+            o1[off + i] = reduce128((u64)(px >> 64), (u64)px,
+                                    p, two_p, rhi, c64, c64q);
+            o2[off + i] = reduce128((u64)(p11 >> 64), (u64)p11,
+                                    p, two_p, rhi, c64, c64q);
+        }
+    })
+}
+
+EXPORT void repro_dyadic_square(const u64 *a0, const u64 *a1,
+                                u64 *o0, u64 *o1, u64 *o2,
+                                i64 rows, i64 k, i64 n,
+                                const u64 *p_arr, const u64 *two_p_arr,
+                                const u64 *rhi_arr, const u64 *c64_arr,
+                                const u64 *c64q_arr) {
+    FOR_STACK({
+        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
+        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
+        for (i64 i = 0; i < n; ++i) {
+            const u64 x0 = a0[off + i], x1 = a1[off + i];
+            const u128 p00 = (u128)x0 * x0;
+            const u128 p11 = (u128)x1 * x1;
+            const u128 px = ((u128)x0 * x1) << 1; /* wraps mod 2^128 */
+            o0[off + i] = reduce128((u64)(p00 >> 64), (u64)p00,
+                                    p, two_p, rhi, c64, c64q);
+            o1[off + i] = reduce128((u64)(px >> 64), (u64)px,
+                                    p, two_p, rhi, c64, c64q);
+            o2[off + i] = reduce128((u64)(p11 >> 64), (u64)p11,
+                                    p, two_p, rhi, c64, c64q);
+        }
+    })
+}
+
+/* Canonical w*x mod p for a fixed per-limb Harvey operand w. */
+EXPORT void repro_mul_operand(const u64 *x, u64 *out,
+                              i64 rows, i64 k, i64 n,
+                              const u64 *w_arr, const u64 *wq_arr,
+                              const u64 *p_arr) {
+    FOR_STACK({
+        const u64 w = w_arr[j], wq = wq_arr[j], p = p_arr[j];
+        for (i64 i = 0; i < n; ++i)
+            out[off + i] = csub(harvey_lazy(x[off + i], w, wq, p), p);
+    })
+}
+
+/* The divide-round tail: w*(m - r) mod p with r lazy in [0, 4p) —
+ * one pass over the data instead of packedops' ~12. */
+EXPORT void repro_lazy_diff_mul_operand(const u64 *m_arr, const u64 *r_arr,
+                                        u64 *out, i64 rows, i64 k, i64 n,
+                                        const u64 *w_arr, const u64 *wq_arr,
+                                        const u64 *p_arr,
+                                        const u64 *two_p_arr) {
+    FOR_STACK({
+        const u64 w = w_arr[j], wq = wq_arr[j];
+        const u64 p = p_arr[j], four_p = two_p_arr[j] * 2;
+        for (i64 i = 0; i < n; ++i) {
+            const u64 y = m_arr[off + i] + four_p - r_arr[off + i];
+            out[off + i] = csub(harvey_lazy(y, w, wq, p), p);
+        }
+    })
+}
+
+/* LastModulusScaler.divide_round fused: given the (k, n) residue matrix
+ * whose last row holds the dropped modulus' residues, emit the (k-1, n)
+ * divide-and-rounded kept rows.  Per element: Barrett64 of the dropped
+ * residue into q_j, centered-representative correction, modular
+ * difference, Harvey multiply by d^{-1} — one load/store per output. */
+EXPORT void repro_scaler_tail(const u64 *matrix, u64 *out,
+                              i64 k, i64 n, u64 half_d,
+                              const u64 *p_arr, const u64 *rhi_arr,
+                              const u64 *inv_w, const u64 *inv_wq,
+                              const u64 *d_mod) {
+    const u64 *last = matrix + (size_t)(k - 1) * n;
+    for (i64 j = 0; j < k - 1; ++j) {
+        const u64 p = p_arr[j], rhi = rhi_arr[j];
+        const u64 w = inv_w[j], wq = inv_wq[j], dm = d_mod[j];
+        const u64 *row = matrix + (size_t)j * n;
+        u64 *orow = out + (size_t)j * n;
+        for (i64 i = 0; i < n; ++i) {
+            const u64 lv = last[i];
+            u64 r = barrett64(lv, p, rhi);
+            if (lv > half_d)
+                r = csub(r + p - dm, p);
+            const u64 diff = csub(row[i] + p - r, p);
+            orow[i] = csub(harvey_lazy(diff, w, wq, p), p);
+        }
+    }
+}
+
+/* Sanity hook: lets the loader verify the ABI after a cache hit. */
+EXPORT i64 repro_native_abi_version(void) {
+    return 1;
+}

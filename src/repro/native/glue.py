@@ -1,0 +1,450 @@
+"""ctypes bridge between the stacked NumPy kernels and the compiled library.
+
+Every wrapper takes the same operands as its packed-NumPy counterpart
+(arrays plus a ``StackedModulus`` / ``StackedNTTTables``-shaped object,
+duck-typed so this module imports nothing from :mod:`repro.modmath`) and
+returns either the finished uint64 array — bit-identical to the NumPy
+path — or ``None`` when the call is ineligible (no library, limb axis
+mismatch), in which case the caller falls through to NumPy.
+
+Loading is memoized with *fall-back-once* semantics: the first failure
+(no toolchain, compile error, disabled via ``REPRO_NATIVE_DISABLE``)
+logs a single warning and pins the unavailable state, so later calls
+cost one dict lookup, not a retried compile.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import logging
+import threading
+from typing import Optional
+
+import numpy as np
+
+from .build import NativeBuildError, build
+
+__all__ = [
+    "available", "availability_error", "library_path", "load", "reset",
+    "ntt_forward", "ntt_inverse",
+    "add_mod", "sub_mod", "neg_mod", "conditional_sub",
+    "barrett_reduce_64", "barrett_reduce_128",
+    "mul_mod", "mad_mod", "dyadic_product", "dyadic_square",
+    "mul_operand", "lazy_diff_mul_operand", "scaler_tail",
+]
+
+logger = logging.getLogger("repro.native")
+
+_LOCK = threading.RLock()
+_LIB: Optional[ctypes.CDLL] = None
+_LIB_PATH = None
+_FAILED = False
+_FAIL_REASON: Optional[str] = None
+
+_PTR = ctypes.c_void_p
+_I64 = ctypes.c_int64
+_U64 = ctypes.c_uint64
+
+#: argtypes per exported symbol (all restype None unless listed).
+_SIGS = {
+    "repro_ntt_forward": [_PTR, _I64, _I64, _I64, _PTR, _PTR, _PTR, _PTR, _I64],
+    "repro_ntt_inverse": [_PTR, _I64, _I64, _I64, _PTR, _PTR, _PTR, _PTR,
+                          _PTR, _PTR, _I64],
+    "repro_add_mod": [_PTR, _PTR, _PTR, _I64, _I64, _I64, _PTR],
+    "repro_sub_mod": [_PTR, _PTR, _PTR, _I64, _I64, _I64, _PTR],
+    "repro_neg_mod": [_PTR, _PTR, _I64, _I64, _I64, _PTR],
+    "repro_conditional_sub": [_PTR, _PTR, _I64, _I64, _I64, _PTR],
+    "repro_barrett64": [_PTR, _PTR, _I64, _I64, _I64, _PTR, _PTR],
+    "repro_barrett128": [_PTR, _PTR, _PTR, _I64, _I64, _I64,
+                         _PTR, _PTR, _PTR, _PTR, _PTR],
+    "repro_mul_mod": [_PTR, _PTR, _PTR, _I64, _I64, _I64,
+                      _PTR, _PTR, _PTR, _PTR, _PTR],
+    "repro_mad_mod": [_PTR, _PTR, _PTR, _PTR, _I64, _I64, _I64,
+                      _PTR, _PTR, _PTR, _PTR, _PTR],
+    "repro_dyadic_product": [_PTR, _PTR, _PTR, _PTR, _PTR, _PTR, _PTR,
+                             _I64, _I64, _I64, _PTR, _PTR, _PTR, _PTR, _PTR],
+    "repro_dyadic_square": [_PTR, _PTR, _PTR, _PTR, _PTR,
+                            _I64, _I64, _I64, _PTR, _PTR, _PTR, _PTR, _PTR],
+    "repro_mul_operand": [_PTR, _PTR, _I64, _I64, _I64, _PTR, _PTR, _PTR],
+    "repro_lazy_diff_mul_operand": [_PTR, _PTR, _PTR, _I64, _I64, _I64,
+                                    _PTR, _PTR, _PTR, _PTR],
+    "repro_scaler_tail": [_PTR, _PTR, _I64, _I64, _U64,
+                          _PTR, _PTR, _PTR, _PTR, _PTR],
+}
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The loaded kernel library, building it on first use; None if unavailable."""
+    global _LIB, _LIB_PATH, _FAILED, _FAIL_REASON
+    if _LIB is not None or _FAILED:
+        return _LIB
+    with _LOCK:
+        if _LIB is not None or _FAILED:
+            return _LIB
+        try:
+            path = build()
+            lib = ctypes.CDLL(str(path))
+            for name, argtypes in _SIGS.items():
+                fn = getattr(lib, name)
+                fn.argtypes = argtypes
+                fn.restype = None
+            abi = lib.repro_native_abi_version
+            abi.argtypes = []
+            abi.restype = _I64
+            if abi() != 1:
+                raise NativeBuildError(
+                    f"cached library {path} has ABI {abi()}, expected 1"
+                )
+        except (NativeBuildError, OSError, AttributeError) as exc:
+            _FAILED = True
+            _FAIL_REASON = str(exc)
+            logger.warning(
+                "native kernel backend unavailable (%s); "
+                "falling back to the packed NumPy path", _FAIL_REASON,
+            )
+            return None
+        _LIB = lib
+        _LIB_PATH = path
+        return _LIB
+
+
+def available() -> bool:
+    return load() is not None
+
+
+def availability_error() -> Optional[str]:
+    """Why the native backend is unavailable (None when it is usable)."""
+    load()
+    return _FAIL_REASON
+
+
+def library_path():
+    load()
+    return _LIB_PATH
+
+
+def reset() -> None:
+    """Forget the load state (tests; allows a retry after env changes)."""
+    global _LIB, _LIB_PATH, _FAILED, _FAIL_REASON
+    with _LOCK:
+        _LIB = None
+        _LIB_PATH = None
+        _FAILED = False
+        _FAIL_REASON = None
+
+
+# -- shape/constant helpers ---------------------------------------------------
+
+
+def _ptr(a: np.ndarray) -> int:
+    return a.ctypes.data
+
+
+def _stack_dims(k: int, shape):
+    """``(rows, k, n)`` decomposition of a broadcast shape, or None.
+
+    A one-limb stack broadcasts its constants uniformly, so any shape
+    flattens; otherwise the limb axis must be second-to-last.
+    """
+    if k == 1:
+        total = 1
+        for d in shape:
+            total *= int(d)
+        return 1, 1, total
+    if len(shape) < 2 or shape[-2] != k:
+        return None
+    rows = 1
+    for d in shape[:-2]:
+        rows *= int(d)
+    return rows, k, int(shape[-1])
+
+
+def _full(a, shape) -> np.ndarray:
+    """``a`` broadcast to ``shape`` as a C-contiguous uint64 array."""
+    a = np.asarray(a, dtype=np.uint64)
+    if a.shape != shape:
+        a = np.broadcast_to(a, shape)
+    return np.ascontiguousarray(a)
+
+
+def _mod_consts(st):
+    """Flat per-limb constant arrays for a StackedModulus (memoized on it)."""
+    cached = getattr(st, "_native_consts", None)
+    if cached is None:
+        k = len(st)
+        c64q = (st.c64q_hi.reshape(k) << np.uint64(32)) | st.c64q_lo.reshape(k)
+        cached = {
+            "p": np.ascontiguousarray(st.u64.reshape(k)),
+            "two_p": np.ascontiguousarray(st.two_p.reshape(k)),
+            "rhi": np.ascontiguousarray(st.ratio_hi.reshape(k)),
+            "c64": np.ascontiguousarray(st.c64.reshape(k)),
+            "c64q": np.ascontiguousarray(c64q),
+        }
+        try:
+            st._native_consts = cached
+        except AttributeError:
+            pass  # duck-typed stand-in without the slot: rebuild per call
+    return cached
+
+
+def _operand_cols(w, wq_hi, wq_lo, k: int):
+    """Per-limb Harvey operand ``(k,)`` arrays from column inputs, or None."""
+    w = np.asarray(w, dtype=np.uint64)
+    if w.size != k:
+        return None
+    wq = (np.asarray(wq_hi, dtype=np.uint64).reshape(k) << np.uint64(32)) | \
+        np.asarray(wq_lo, dtype=np.uint64).reshape(k)
+    return np.ascontiguousarray(w.reshape(k)), np.ascontiguousarray(wq)
+
+
+def _setup(st, *operands):
+    """(lib, arrays, out, dims, consts) or None when ineligible."""
+    if getattr(st, "trailing", 1) != 1:
+        return None  # non-standard limb-axis placement: NumPy handles it
+    lib = load()
+    if lib is None:
+        return None
+    k = len(st)
+    shapes = [np.asarray(a).shape for a in operands]
+    shape = np.broadcast_shapes(*shapes, st.u64.shape)
+    dims = _stack_dims(k, shape)
+    if dims is None:
+        return None
+    arrs = [_full(a, shape) for a in operands]
+    return lib, arrs, shape, dims, _mod_consts(st)
+
+
+# -- elementwise kernels ------------------------------------------------------
+
+
+def add_mod(a, b, st):
+    res = _setup(st, a, b)
+    if res is None:
+        return None
+    lib, (a, b), shape, (rows, k, n), K = res
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_add_mod(_ptr(a), _ptr(b), _ptr(out), rows, k, n, _ptr(K["p"]))
+    return out
+
+
+def sub_mod(a, b, st):
+    res = _setup(st, a, b)
+    if res is None:
+        return None
+    lib, (a, b), shape, (rows, k, n), K = res
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_sub_mod(_ptr(a), _ptr(b), _ptr(out), rows, k, n, _ptr(K["p"]))
+    return out
+
+
+def neg_mod(a, st):
+    res = _setup(st, a)
+    if res is None:
+        return None
+    lib, (a,), shape, (rows, k, n), K = res
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_neg_mod(_ptr(a), _ptr(out), rows, k, n, _ptr(K["p"]))
+    return out
+
+
+def conditional_sub(x, st):
+    res = _setup(st, x)
+    if res is None:
+        return None
+    lib, (x,), shape, (rows, k, n), K = res
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_conditional_sub(_ptr(x), _ptr(out), rows, k, n, _ptr(K["p"]))
+    return out
+
+
+def barrett_reduce_64(x, st):
+    res = _setup(st, x)
+    if res is None:
+        return None
+    lib, (x,), shape, (rows, k, n), K = res
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_barrett64(_ptr(x), _ptr(out), rows, k, n,
+                        _ptr(K["p"]), _ptr(K["rhi"]))
+    return out
+
+
+def barrett_reduce_128(hi, lo, st):
+    res = _setup(st, hi, lo)
+    if res is None:
+        return None
+    lib, (hi, lo), shape, (rows, k, n), K = res
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_barrett128(_ptr(hi), _ptr(lo), _ptr(out), rows, k, n,
+                         _ptr(K["p"]), _ptr(K["two_p"]), _ptr(K["rhi"]),
+                         _ptr(K["c64"]), _ptr(K["c64q"]))
+    return out
+
+
+def mul_mod(a, b, st):
+    res = _setup(st, a, b)
+    if res is None:
+        return None
+    lib, (a, b), shape, (rows, k, n), K = res
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_mul_mod(_ptr(a), _ptr(b), _ptr(out), rows, k, n,
+                      _ptr(K["p"]), _ptr(K["two_p"]), _ptr(K["rhi"]),
+                      _ptr(K["c64"]), _ptr(K["c64q"]))
+    return out
+
+
+def mad_mod(a, b, c, st):
+    res = _setup(st, a, b, c)
+    if res is None:
+        return None
+    lib, (a, b, c), shape, (rows, k, n), K = res
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_mad_mod(_ptr(a), _ptr(b), _ptr(c), _ptr(out), rows, k, n,
+                      _ptr(K["p"]), _ptr(K["two_p"]), _ptr(K["rhi"]),
+                      _ptr(K["c64"]), _ptr(K["c64q"]))
+    return out
+
+
+def dyadic_product(a0, a1, b0, b1, st):
+    res = _setup(st, a0, a1, b0, b1)
+    if res is None:
+        return None
+    lib, (a0, a1, b0, b1), shape, (rows, k, n), K = res
+    out = np.empty((3,) + shape, dtype=np.uint64)
+    lib.repro_dyadic_product(
+        _ptr(a0), _ptr(a1), _ptr(b0), _ptr(b1),
+        _ptr(out[0]), _ptr(out[1]), _ptr(out[2]), rows, k, n,
+        _ptr(K["p"]), _ptr(K["two_p"]), _ptr(K["rhi"]),
+        _ptr(K["c64"]), _ptr(K["c64q"]))
+    return out
+
+
+def dyadic_square(a0, a1, st):
+    res = _setup(st, a0, a1)
+    if res is None:
+        return None
+    lib, (a0, a1), shape, (rows, k, n), K = res
+    out = np.empty((3,) + shape, dtype=np.uint64)
+    lib.repro_dyadic_square(
+        _ptr(a0), _ptr(a1), _ptr(out[0]), _ptr(out[1]), _ptr(out[2]),
+        rows, k, n,
+        _ptr(K["p"]), _ptr(K["two_p"]), _ptr(K["rhi"]),
+        _ptr(K["c64"]), _ptr(K["c64q"]))
+    return out
+
+
+def mul_operand(x, w, wq_hi, wq_lo, st):
+    res = _setup(st, x)
+    if res is None:
+        return None
+    lib, (x,), shape, (rows, k, n), K = res
+    cols = _operand_cols(w, wq_hi, wq_lo, k)
+    if cols is None:
+        return None
+    wf, wqf = cols
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_mul_operand(_ptr(x), _ptr(out), rows, k, n,
+                          _ptr(wf), _ptr(wqf), _ptr(K["p"]))
+    return out
+
+
+def lazy_diff_mul_operand(m, r_lazy, w, wq_hi, wq_lo, st):
+    res = _setup(st, m, r_lazy)
+    if res is None:
+        return None
+    lib, (m, r_lazy), shape, (rows, k, n), K = res
+    cols = _operand_cols(w, wq_hi, wq_lo, k)
+    if cols is None:
+        return None
+    wf, wqf = cols
+    out = np.empty(shape, dtype=np.uint64)
+    lib.repro_lazy_diff_mul_operand(
+        _ptr(m), _ptr(r_lazy), _ptr(out), rows, k, n,
+        _ptr(wf), _ptr(wqf), _ptr(K["p"]), _ptr(K["two_p"]))
+    return out
+
+
+def scaler_tail(matrix, half_d, kept_st, inv_w, inv_wq, d_mod):
+    """Fused LastModulusScaler.divide_round over a ``(k, n)`` matrix."""
+    lib = load()
+    if lib is None:
+        return None
+    matrix = np.ascontiguousarray(np.asarray(matrix, dtype=np.uint64))
+    k, n = matrix.shape
+    K = _mod_consts(kept_st)
+    out = np.empty((k - 1, n), dtype=np.uint64)
+    lib.repro_scaler_tail(
+        _ptr(matrix), _ptr(out), k, n, int(half_d),
+        _ptr(K["p"]), _ptr(K["rhi"]),
+        _ptr(inv_w), _ptr(inv_wq), _ptr(d_mod))
+    return out
+
+
+# -- stacked NTT --------------------------------------------------------------
+
+
+def _tables_consts(st_tables):
+    """(p, two_p, ninv_q) flat arrays for a StackedNTTTables (memoized)."""
+    cached = getattr(st_tables, "_native_consts", None)
+    if cached is None:
+        k = len(st_tables)
+        mods = _mod_consts(st_tables.modulus)
+        ninv_q = (st_tables.ninv_q_hi.reshape(k) << np.uint64(32)) | \
+            st_tables.ninv_q_lo.reshape(k)
+        cached = {
+            "p": mods["p"],
+            "two_p": mods["two_p"],
+            "ninv_w": np.ascontiguousarray(st_tables.ninv_w.reshape(k)),
+            "ninv_q": np.ascontiguousarray(ninv_q),
+        }
+        try:
+            st_tables._native_consts = cached
+        except AttributeError:
+            pass
+    return cached
+
+
+def _ntt_setup(x, st_tables):
+    lib = load()
+    if lib is None:
+        return None
+    k = len(st_tables)
+    n = st_tables.degree
+    x = np.asarray(x)
+    if x.ndim < 2 or x.shape[-1] != n or x.shape[-2] != k:
+        return None
+    out = np.array(x, dtype=np.uint64, order="C", copy=True)
+    batch = 1
+    for d in out.shape[:-2]:
+        batch *= int(d)
+    return lib, out, batch, k, n, _tables_consts(st_tables)
+
+
+def ntt_forward(x, st_tables, *, lazy: bool = False):
+    """Whole stacked forward NTT in one native call (all stages fused)."""
+    res = _ntt_setup(x, st_tables)
+    if res is None:
+        return None
+    lib, out, batch, k, n, K = res
+    w = st_tables.w
+    wq = st_tables.wq
+    if not (w.flags.c_contiguous and wq.flags.c_contiguous):
+        return None
+    lib.repro_ntt_forward(_ptr(out), batch, k, n, _ptr(w), _ptr(wq),
+                          _ptr(K["p"]), _ptr(K["two_p"]), int(lazy))
+    return out
+
+
+def ntt_inverse(x, st_tables, *, lazy: bool = False):
+    """Whole stacked inverse NTT + fused n^{-1} scaling in one native call."""
+    res = _ntt_setup(x, st_tables)
+    if res is None:
+        return None
+    lib, out, batch, k, n, K = res
+    iw = st_tables.iw
+    iwq = st_tables.iwq
+    if not (iw.flags.c_contiguous and iwq.flags.c_contiguous):
+        return None
+    lib.repro_ntt_inverse(_ptr(out), batch, k, n, _ptr(iw), _ptr(iwq),
+                          _ptr(K["p"]), _ptr(K["two_p"]),
+                          _ptr(K["ninv_w"]), _ptr(K["ninv_q"]), int(lazy))
+    return out

@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from ..modmath import Modulus, mul_mod
+from ..native import backend as _backend
 from ..rns import RNSBase
 from .radix2 import ntt_forward, ntt_forward_stacked, ntt_inverse, ntt_inverse_stacked
 from .tables import NTTTables, StackedNTTTables, get_stacked_tables, get_tables
@@ -30,9 +31,17 @@ __all__ = ["NTTEngine"]
 
 
 class NTTEngine:
-    """Forward/inverse negacyclic NTT over all primes of an RNS base."""
+    """Forward/inverse negacyclic NTT over all primes of an RNS base.
 
-    def __init__(self, degree: int, base: RNSBase, *, packed: bool = True):
+    ``packed=None`` (the default) follows the process-wide backend
+    selection (:mod:`repro.native.backend`): the stacked path under
+    ``packed``/``native`` — the stacked transforms themselves dispatch
+    to the compiled kernels when native is active — and the per-row
+    reference loop under ``serial``.  Passing an explicit boolean pins
+    the engine regardless of backend.
+    """
+
+    def __init__(self, degree: int, base: RNSBase, *, packed: bool | None = None):
         for m in base:
             if not m.supports_ntt(degree):
                 raise ValueError(
@@ -40,9 +49,15 @@ class NTTEngine:
                 )
         self.degree = degree
         self.base = base
-        self.packed = packed
+        self._packed_arg = packed
         self.tables: list[NTTTables] = [get_tables(degree, m) for m in base]
         self.stacked: StackedNTTTables = get_stacked_tables(degree, base)
+
+    @property
+    def packed(self) -> bool:
+        if self._packed_arg is not None:
+            return self._packed_arg
+        return _backend.packed_default()
 
     def _check(self, matrix: np.ndarray, rows: int | None = None) -> None:
         if matrix.shape[-1] != self.degree:
@@ -106,4 +121,6 @@ class NTTEngine:
 
     def subengine(self, rows: int) -> "NTTEngine":
         """Engine over the first ``rows`` primes (a lower level)."""
-        return NTTEngine(self.degree, self.base.prefix(rows), packed=self.packed)
+        return NTTEngine(
+            self.degree, self.base.prefix(rows), packed=self._packed_arg
+        )

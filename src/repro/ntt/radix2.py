@@ -31,6 +31,8 @@ import numpy as np
 from ..modmath import Modulus
 from ..modmath.harvey import reduce_from_lazy
 from ..modmath.uint128 import mul_high, mul_low, wrapping
+from ..native import backend as _backend
+from ..native import glue as _native
 from .tables import NTTTables, StackedNTTTables
 
 __all__ = [
@@ -184,6 +186,10 @@ class _StageScratch:
 
 _SCRATCH_POOL = threading.local()
 
+#: Keeps the insert/bounded-clear of the per-thread pools atomic (same
+#: rationale as ``packedops._POOL_LOCK``: concurrent evaluator lanes).
+_SCRATCH_LOCK = threading.Lock()
+
 
 def _get_scratch(count: int) -> _StageScratch:
     """Per-thread scratch cache so repeated transforms reuse warm pages."""
@@ -192,9 +198,11 @@ def _get_scratch(count: int) -> _StageScratch:
         pool = _SCRATCH_POOL.pool = {}
     scratch = pool.get(count)
     if scratch is None:
-        if len(pool) >= 8:
-            pool.clear()
-        scratch = pool[count] = _StageScratch(count)
+        scratch = _StageScratch(count)
+        with _SCRATCH_LOCK:
+            if len(pool) >= 8:
+                pool.clear()
+            pool[count] = scratch
     return scratch
 
 
@@ -261,8 +269,16 @@ def ntt_forward_stacked(
     per-limb moduli broadcast from ``(k, 1, 1)`` columns.  Laziness
     semantics and output values match :func:`ntt_forward` applied row
     by row, bit for bit.
+
+    Under the native backend the whole stage chain runs as one compiled
+    call (:func:`repro.native.glue.ntt_forward`) — same values, one
+    memory pass per stage instead of ~20.
     """
     k = _check_stacked(x, st)
+    if _backend.is_native():
+        out = _native.ntt_forward(x, st, lazy=lazy)
+        if out is not None:
+            return out
     n = st.degree
     out = np.array(x, dtype=np.uint64, copy=True)
     lead = out.shape[:-2]
@@ -304,9 +320,15 @@ def ntt_inverse_stacked(
 ) -> np.ndarray:
     """Out-of-place inverse NTT of a whole ``(..., k, n)`` limb stack.
 
-    Bit-identical to :func:`ntt_inverse` applied row by row.
+    Bit-identical to :func:`ntt_inverse` applied row by row.  Under the
+    native backend the stage chain plus the fused ``n^{-1}`` scaling run
+    as one compiled call.
     """
     k = _check_stacked(x, st)
+    if _backend.is_native():
+        out = _native.ntt_inverse(x, st, lazy=lazy)
+        if out is not None:
+            return out
     n = st.degree
     out = np.array(x, dtype=np.uint64, copy=True)
     lead = out.shape[:-2]

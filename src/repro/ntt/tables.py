@@ -12,6 +12,7 @@ as uint64 arrays so whole stages are vectorized.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Sequence, Tuple
@@ -178,7 +179,7 @@ class StackedNTTTables:
         "degree", "tables", "modulus", "w", "wq", "iw", "iwq",
         "wq_hi", "wq_lo", "iwq_hi", "iwq_lo",
         "p3", "two_p3", "ninv_w", "ninv_q_hi", "ninv_q_lo",
-        "_prefixes", "_stage_cache",
+        "_prefixes", "_stage_cache", "_native_consts", "_lock",
     )
 
     def __init__(self, tables: Sequence[NTTTables]):
@@ -218,6 +219,11 @@ class StackedNTTTables:
             arr.setflags(write=False)
         self._prefixes: dict = {}
         self._stage_cache: dict = {}
+        #: Flat constant arrays for the native backend (repro.native.glue).
+        self._native_consts = None
+        #: Guards the per-instance memos: one tables object serves every
+        #: evaluator lane of a streaming server concurrently.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.tables)
@@ -247,7 +253,8 @@ class StackedNTTTables:
         )
         for g in grids:
             g.setflags(write=False)
-        self._stage_cache[key] = grids
+        with self._lock:
+            grids = self._stage_cache.setdefault(key, grids)
         return grids
 
     _VIEW_ATTRS = (
@@ -275,7 +282,10 @@ class StackedNTTTables:
                 setattr(cached, name, getattr(self, name)[:rows])
             cached._prefixes = {}
             cached._stage_cache = {}
-            self._prefixes[rows] = cached
+            cached._native_consts = None
+            cached._lock = threading.Lock()
+            with self._lock:
+                cached = self._prefixes.setdefault(rows, cached)
         return cached
 
 
@@ -285,6 +295,14 @@ class StackedNTTTables:
 #: not accumulate them without bound; anything a live context needs is
 #: also referenced by that context, so eviction is always safe.
 TABLES_CACHE_SIZE = 32
+
+#: Serializes builds through the two bounded LRU memos below.  CPython's
+#: ``lru_cache`` is internally consistent, but without this lock two
+#: server lanes asking for the same uncached ``(degree, modulus)`` both
+#: pay the expensive ``NTTTables.create`` and racing evictions can churn
+#: entries a concurrent reader is about to use.  ``RLock`` because the
+#: stacked memo builds through the per-prime one.
+_TABLES_LOCK = threading.RLock()
 
 
 @lru_cache(maxsize=TABLES_CACHE_SIZE)
@@ -296,10 +314,11 @@ def get_tables(degree: int, modulus: Modulus | int) -> NTTTables:
     """Memoized table lookup (tables are expensive and immutable).
 
     The memo is a bounded LRU keyed by ``(degree, modulus)`` — see
-    :data:`TABLES_CACHE_SIZE`.
+    :data:`TABLES_CACHE_SIZE`.  Thread-safe: see :data:`_TABLES_LOCK`.
     """
     value = modulus.value if isinstance(modulus, Modulus) else int(modulus)
-    return _cached_tables(degree, value)
+    with _TABLES_LOCK:
+        return _cached_tables(degree, value)
 
 
 @lru_cache(maxsize=TABLES_CACHE_SIZE)
@@ -313,19 +332,23 @@ def get_stacked_tables(degree: int, moduli) -> StackedNTTTables:
     ``moduli`` may be an iterable of :class:`Modulus` or plain ints (an
     ``RNSBase`` works directly).  Rebuilding a stack from already-cached
     per-prime tables is cheap, so the same small LRU bound applies.
+    Thread-safe: see :data:`_TABLES_LOCK`.
     """
     values = tuple(
         m.value if isinstance(m, Modulus) else int(m) for m in moduli
     )
-    return _cached_stacked_tables(degree, values)
+    with _TABLES_LOCK:
+        return _cached_stacked_tables(degree, values)
 
 
 def tables_cache_info():
     """(per-prime, stacked) ``lru_cache`` statistics — for tests and ops."""
-    return _cached_tables.cache_info(), _cached_stacked_tables.cache_info()
+    with _TABLES_LOCK:
+        return _cached_tables.cache_info(), _cached_stacked_tables.cache_info()
 
 
 def clear_tables_cache() -> None:
     """Drop both table memos (frees memory; safe at any time)."""
-    _cached_stacked_tables.cache_clear()
-    _cached_tables.cache_clear()
+    with _TABLES_LOCK:
+        _cached_stacked_tables.cache_clear()
+        _cached_tables.cache_clear()

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..modmath import Modulus, mul_mod
 from ..modmath.ops import add_mod
+from ..native import backend as _backend
 from .base import RNSBase
 
 __all__ = ["BaseConverter"]
@@ -58,10 +59,15 @@ class BaseConverter:
         ``k * m`` output products land as one ``(k, m, n)`` tensor and
         fold with ``k`` stacked additions.  Bit-identical to
         :meth:`convert_reference` (same accumulation order per limb).
+        Under the ``serial`` backend the reference loop runs instead;
+        under ``native`` the stacked calls dispatch to the compiled
+        kernels.
         """
         k, n = matrix.shape
         if k != len(self.ibase):
             raise ValueError("matrix does not match input base")
+        if _backend.is_serial():
+            return self.convert_reference(matrix)
         ist = self.ibase.stacked
         ost = self.obase.stacked
         # y_i = [x_i * inv_punc_i] mod q_i  -- exact, per input prime.

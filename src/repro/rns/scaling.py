@@ -24,6 +24,8 @@ import numpy as np
 
 from ..modmath import Modulus, inv_mod, mul_mod
 from ..modmath.ops import sub_mod
+from ..native import backend as _backend
+from ..native import glue as _native
 from .base import RNSBase
 
 __all__ = ["LastModulusScaler"]
@@ -43,6 +45,12 @@ class LastModulusScaler:
         self._inv_d = np.array(
             [inv_mod(d % m.value, m) for m in self.kept], dtype=np.uint64
         )
+        #: Harvey quotients floor(d^{-1} * 2**64 / q_j): the native fused
+        #: tail multiplies by d^{-1} as a constant operand.
+        self._inv_d_quot = np.array(
+            [(int(v) << 64) // m.value for v, m in zip(self._inv_d, self.kept)],
+            dtype=np.uint64,
+        )
         #: d mod q_j (used to shift the centered residue non-negatively).
         self._d_mod = np.array([d % m.value for m in self.kept], dtype=np.uint64)
         self._half_d = d >> 1
@@ -53,11 +61,24 @@ class LastModulusScaler:
         The last row must be the residues modulo the dropped modulus.
         Packed: the centered-residue correction and the final multiply
         run once over the whole ``(k-1, n)`` kept stack; bit-identical
-        to :meth:`divide_round_reference`.
+        to :meth:`divide_round_reference`.  Backend dispatch: under
+        ``native`` the whole sequence is one fused compiled pass
+        (``repro_scaler_tail``); under ``serial`` the per-limb reference
+        loop runs instead.
         """
         k, n = matrix.shape
         if k != len(self.base):
             raise ValueError("matrix does not match base")
+        mode = _backend.resolve()
+        if mode == "serial":
+            return self.divide_round_reference(matrix)
+        if mode == "native":
+            out = _native.scaler_tail(
+                matrix, self._half_d, self.kept.stacked,
+                self._inv_d, self._inv_d_quot, self._d_mod,
+            )
+            if out is not None:
+                return out
         last = matrix[-1]
         st = self.kept.stacked
         is_high = last.astype(np.uint64) > np.uint64(self._half_d)

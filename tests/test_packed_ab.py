@@ -1,4 +1,4 @@
-"""A/B property suite: packed-RNS paths are bit-identical to per-limb paths.
+"""A/B property suite: all execution backends are bit-identical.
 
 The packed execution path (stacked modmath kernels, stacked NTT, packed
 evaluator/encryptor/decryptor, packed rns converters) must produce the
@@ -7,12 +7,30 @@ same values, same lazy-reduction windows.  Hypothesis drives random
 moduli (20-60 bits), levels 1-8, degrees {16, 64, 4096}, and both
 laziness modes through every layer; a deterministic heavyweight case
 pins the paper-shaped N=4096, level-8 stack.
+
+The ``test_native_*`` cases extend the suite to a **three-way** check:
+the compiled kernel backend (:mod:`repro.native`) against both the
+packed-NumPy path and the per-limb serial oracle, over the same random
+moduli / level / degree / laziness space.  When no C toolchain is
+usable, the native legs *skip* visibly (they must not silently pass as
+two-way checks).
 """
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from repro import native as repro_native
+from repro.native import use_backend
+
+NATIVE_AVAILABLE = repro_native.available()
+
+needs_native = pytest.mark.skipif(
+    not NATIVE_AVAILABLE,
+    reason="no usable C toolchain: native backend leg skipped "
+           f"({repro_native.availability_error()})",
+)
 
 from repro.core import (
     CkksContext,
@@ -352,3 +370,194 @@ def test_paper_shape_evaluator_pin():
     assert np.array_equal(ep.multiply(a, b).data, es.multiply(a, b).data)
     rs = Ciphertext(a.data, scale * scale)
     assert np.array_equal(ep.rescale(rs).data, es.rescale(rs).data)
+
+
+# -- three-way native / packed / serial ---------------------------------------
+
+
+@needs_native
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    k=st.integers(1, 8),
+    n=st.sampled_from([1, 7, 64, 300]),
+)
+def test_native_modmath_three_way(seed, k, n):
+    """Native == packed == per-limb for every stacked modular kernel."""
+    from repro.modmath import packedops
+
+    rng = np.random.default_rng(seed)
+    mods = [
+        Modulus(int(p))
+        for p in _distinct_ntt_base(rng, k, 16).values
+    ]
+    stacked = StackedModulus(mods)
+    a = np.stack([rng.integers(0, m.value, n, dtype=np.uint64) for m in mods])
+    b = np.stack([rng.integers(0, m.value, n, dtype=np.uint64) for m in mods])
+    c = np.stack([rng.integers(0, m.value, n, dtype=np.uint64) for m in mods])
+    lazy = np.stack(
+        [rng.integers(0, 2 * m.value, n, dtype=np.uint64) for m in mods]
+    )
+    hi = rng.integers(0, 1 << 64, (k, n), dtype=np.uint64)
+    lo = rng.integers(0, 1 << 64, (k, n), dtype=np.uint64)
+    w = np.stack([rng.integers(1, m.value, 1, dtype=np.uint64) for m in mods])
+    wq = [(int(w[i, 0]) << 64) // mods[i].value for i in range(k)]
+    wq_hi = np.array([q >> 32 for q in wq], dtype=np.uint64)[:, None]
+    wq_lo = np.array([q & 0xFFFFFFFF for q in wq], dtype=np.uint64)[:, None]
+    m_in = np.stack([rng.integers(0, m.value, n, dtype=np.uint64) for m in mods])
+    r_lazy = np.stack(
+        [rng.integers(0, 4 * m.value, n, dtype=np.uint64) for m in mods]
+    )
+
+    def run_all():
+        return {
+            "add_mod": add_mod(a, b, stacked),
+            "sub_mod": sub_mod(a, b, stacked),
+            "neg_mod": neg_mod(a, stacked),
+            "mul_mod": mul_mod(a, b, stacked),
+            "mad_mod": mad_mod(a, b, c, stacked),
+            "conditional_sub": conditional_sub(lazy, stacked),
+            "barrett_reduce_64": barrett_reduce_64(lo, stacked),
+            "barrett_reduce_128": barrett_reduce_128(hi, lo, stacked),
+            "dyadic_product": packedops.dyadic_product_stacked(
+                a, b, c, lazy, stacked
+            ),
+            "dyadic_square": packedops.dyadic_square_stacked(a, b, stacked),
+            "mul_mod_operand": packedops.mul_mod_operand_stacked(
+                a, w, wq_hi, wq_lo, stacked
+            ),
+            "lazy_diff_mul_operand": packedops.lazy_diff_mul_operand_stacked(
+                m_in, r_lazy, w, wq_hi, wq_lo, stacked
+            ),
+        }
+
+    with use_backend("native"):
+        got_native = run_all()
+    with use_backend("packed"):
+        got_packed = run_all()
+
+    serial = {
+        "add_mod": [add_mod(a[i], b[i], mods[i]) for i in range(k)],
+        "sub_mod": [sub_mod(a[i], b[i], mods[i]) for i in range(k)],
+        "neg_mod": [neg_mod(a[i], mods[i]) for i in range(k)],
+        "mul_mod": [mul_mod(a[i], b[i], mods[i]) for i in range(k)],
+        "mad_mod": [mad_mod(a[i], b[i], c[i], mods[i]) for i in range(k)],
+        "conditional_sub": [conditional_sub(lazy[i], mods[i]) for i in range(k)],
+        "barrett_reduce_64": [barrett_reduce_64(lo[i], mods[i]) for i in range(k)],
+        "barrett_reduce_128": [
+            barrett_reduce_128(hi[i], lo[i], mods[i]) for i in range(k)
+        ],
+    }
+    for name in got_native:
+        assert np.array_equal(got_native[name], got_packed[name]), name
+    for name, rows in serial.items():
+        assert np.array_equal(got_native[name], np.stack(rows)), name
+
+
+@needs_native
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    k=st.integers(1, 8),
+    degree=st.sampled_from(DEGREES),
+    lazy=st.booleans(),
+    lead=st.sampled_from([(), (2,)]),
+)
+def test_native_ntt_three_way(seed, k, degree, lazy, lead):
+    """Native stacked NTT == packed stacked NTT == per-row serial NTT."""
+    rng = np.random.default_rng(seed)
+    base = _distinct_ntt_base(rng, k, degree)
+    stacked = NTTEngine(degree, base, packed=True)
+    serial = NTTEngine(degree, base, packed=False)
+    x = np.empty(lead + (k, degree), dtype=np.uint64)
+    for i, m in enumerate(base):
+        x[..., i, :] = rng.integers(0, m.value, lead + (degree,), dtype=np.uint64)
+
+    fwd_s = serial.forward(x, lazy=lazy)
+    with use_backend("native"):
+        fwd_n = stacked.forward(x, lazy=lazy)
+        inv_n = stacked.inverse(fwd_s, lazy=lazy)
+    with use_backend("packed"):
+        fwd_p = stacked.forward(x, lazy=lazy)
+        inv_p = stacked.inverse(fwd_s, lazy=lazy)
+    inv_s = serial.inverse(fwd_s, lazy=lazy)
+    assert np.array_equal(fwd_n, fwd_p)
+    assert np.array_equal(fwd_n, fwd_s)
+    assert np.array_equal(inv_n, inv_p)
+    assert np.array_equal(inv_n, inv_s)
+
+
+@needs_native
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    k=st.integers(2, 8),
+    n=st.sampled_from([4, 64, 256]),
+)
+def test_native_scaler_three_way(seed, k, n):
+    """Native fused divide-round tail == packed == per-limb reference."""
+    rng = np.random.default_rng(seed)
+    base = _distinct_ntt_base(rng, k, 16)
+    scaler = LastModulusScaler(base)
+    x = _rand_rows(rng, base, (n,))
+    ref = scaler.divide_round_reference(x)
+    with use_backend("native"):
+        got_native = scaler.divide_round(x)
+    with use_backend("packed"):
+        got_packed = scaler.divide_round(x)
+    with use_backend("serial"):
+        got_serial = scaler.divide_round(x)
+    assert np.array_equal(got_native, got_packed)
+    assert np.array_equal(got_native, got_serial)
+    assert np.array_equal(got_native, ref)
+
+
+@needs_native
+def test_native_evaluator_paper_shape_three_way():
+    """N=4096, level-8 multiply/rescale/relinearize pin across backends."""
+    params = CkksParameters.default(
+        degree=4096, levels=7, scale_bits=23, first_bits=30, special_bits=30
+    )
+    ctx = CkksContext(params)
+    keygen = KeyGenerator(ctx, seed=123)
+    rlk = keygen.relin_key()
+    ev = Evaluator(ctx, packed=True)
+    ev_serial = Evaluator(ctx, packed=False)
+    rng = np.random.default_rng(3)
+    scale = float(params.scale)
+    a = _random_ct(rng, ctx, 2, 8, scale)
+    b = _random_ct(rng, ctx, 2, 8, scale)
+    t3 = _random_ct(rng, ctx, 3, 8, scale)
+    rs = Ciphertext(a.data, scale * scale)
+
+    def run(e):
+        return (
+            e.multiply(a, b).data,
+            e.rescale(rs).data,
+            e.relinearize(t3, rlk).data,
+        )
+
+    with use_backend("native"):
+        got_native = run(ev)
+    with use_backend("packed"):
+        got_packed = run(ev)
+    got_serial = run(ev_serial)
+    for x, y, z in zip(got_native, got_packed, got_serial):
+        assert np.array_equal(x, y)
+        assert np.array_equal(x, z)
+
+
+@needs_native
+def test_native_backend_follows_default_evaluator():
+    """Evaluator(packed=None) follows set_backend: serial flips per-limb."""
+    params = CkksParameters.default(
+        degree=64, levels=2, scale_bits=23, first_bits=30, special_bits=30
+    )
+    ctx = CkksContext(params)
+    ev = Evaluator(ctx)
+    with use_backend("serial"):
+        assert ev.packed is False
+    with use_backend("native"):
+        assert ev.packed is True
+    with use_backend("packed"):
+        assert ev.packed is True

@@ -1,0 +1,151 @@
+"""Concurrency regression suite: shared caches under multi-threaded load.
+
+The streaming server dispatches evaluator work from multiple logical
+lanes; the NTT table memos (``ntt/tables.py``), the per-instance
+prefix/stage caches, and the packed-kernel scratch pools are all shared
+state.  These tests hammer them from many threads and require (a) no
+exceptions and (b) outputs bit-identical to the single-threaded run.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import CkksContext, CkksParameters, Evaluator
+from repro.core.ciphertext import Ciphertext
+from repro.modmath import gen_ntt_primes
+from repro.ntt.tables import (
+    clear_tables_cache,
+    get_stacked_tables,
+    get_tables,
+)
+
+THREADS = 8
+ITERS = 12
+
+
+def _run_threads(worker, count=THREADS):
+    errors = []
+    threads = []
+
+    def wrap(idx):
+        try:
+            worker(idx)
+        except Exception as exc:  # noqa: BLE001 - recorded for the assert
+            errors.append(exc)
+
+    for idx in range(count):
+        t = threading.Thread(target=wrap, args=(idx,))
+        threads.append(t)
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return errors
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    params = CkksParameters.default(
+        degree=64, levels=3, scale_bits=23, first_bits=30, special_bits=30
+    )
+    return CkksContext(params)
+
+
+def _random_ct(rng, context, size, level, scale):
+    data = np.empty((size, level, context.degree), dtype=np.uint64)
+    for i in range(level):
+        data[:, i] = rng.integers(
+            0, context.modulus(i).value, (size, context.degree),
+            dtype=np.uint64,
+        )
+    return Ciphertext(data, scale)
+
+
+def test_concurrent_evaluators_bit_identical(scheme):
+    """N threads running multiply/rescale on one context match 1-thread."""
+    ctx = scheme
+    scale = float(ctx.params.scale)
+    rng = np.random.default_rng(5)
+    a = _random_ct(rng, ctx, 2, 4, scale)
+    b = _random_ct(rng, ctx, 2, 4, scale)
+    rs = Ciphertext(_random_ct(rng, ctx, 2, 4, scale).data, scale * scale)
+    ev = Evaluator(ctx)
+    want_mul = ev.multiply(a, b).data
+    want_rs = ev.rescale(rs).data
+    mismatches = []
+
+    def worker(_idx):
+        local_ev = Evaluator(ctx)
+        for _ in range(ITERS):
+            if not np.array_equal(local_ev.multiply(a, b).data, want_mul):
+                mismatches.append("multiply")
+            if not np.array_equal(local_ev.rescale(rs).data, want_rs):
+                mismatches.append("rescale")
+
+    errors = _run_threads(worker)
+    assert not errors, errors
+    assert not mismatches, mismatches
+
+
+def test_concurrent_table_cache_churn():
+    """Cache clears racing lookups/prefixes never corrupt the tables."""
+    degree = 64
+    bases = [
+        tuple(gen_ntt_primes([24 + i, 25 + i, 26 + i], degree))
+        for i in range(6)
+    ]
+    stop = threading.Event()
+
+    def churn(_idx):
+        while not stop.is_set():
+            clear_tables_cache()
+
+    def lookup(idx):
+        rng = np.random.default_rng(idx)
+        for _ in range(40):
+            values = bases[int(rng.integers(len(bases)))]
+            st = get_stacked_tables(degree, values)
+            assert st.degree == degree
+            assert st.modulus.values == list(values)
+            pre = st.prefix(2)
+            assert pre.degree == degree
+            assert len(pre) == 2
+            t = get_tables(degree, values[0])
+            assert t.degree == degree
+
+    churner = threading.Thread(target=churn, args=(0,))
+    churner.start()
+    try:
+        errors = _run_threads(lookup, count=4)
+    finally:
+        stop.set()
+        churner.join()
+    assert not errors, errors
+
+
+def test_concurrent_stage_twiddle_and_prefix_memos():
+    """Concurrent stage_twiddles/prefix on one shared tables object."""
+    degree = 256
+    values = gen_ntt_primes([30, 28, 26, 24], degree)
+    st = get_stacked_tables(degree, values)
+    ref = {
+        (fwd, m): tuple(np.array(g, copy=True)
+                        for g in st.stage_twiddles(m, forward=fwd))
+        for fwd in (True, False)
+        for m in (1, 2, 4, 8)
+    }
+
+    def worker(idx):
+        for _ in range(30):
+            for fwd in (True, False):
+                for m in (1, 2, 4, 8):
+                    grids = st.stage_twiddles(m, forward=fwd)
+                    for got, want in zip(grids, ref[(fwd, m)]):
+                        assert np.array_equal(got, want)
+            pre = st.prefix(1 + idx % 3)
+            assert len(pre) == 1 + idx % 3
+
+    errors = _run_threads(worker)
+    assert not errors, errors
