@@ -1,8 +1,41 @@
 """Shared timing helpers for the BENCH_wallclock.json emitters."""
 
+import os
 import time
 
 import numpy as np
+
+
+def host_meta():
+    """Run metadata every history entry should carry.
+
+    Scaling numbers are meaningless without the host context: how many
+    cpus were available, how many kernel threads the native backend was
+    using, and which compiler/flags built the library.  Returns plain
+    JSON-safe values; native fields degrade gracefully when the backend
+    is unavailable.
+    """
+    import importlib
+
+    from repro import native
+
+    # The package re-exports a build() *function*, shadowing the module
+    # attribute — resolve the module itself for the flag helpers.
+    build_mod = importlib.import_module("repro.native.build")
+
+    meta = {"cpu_count": os.cpu_count() or 1}
+    try:
+        meta["cc"] = build_mod.find_compiler()
+    except Exception:
+        meta["cc"] = None
+    try:
+        meta["cflags"] = " ".join(build_mod.cflags())
+    except Exception:
+        meta["cflags"] = None
+    meta["native_available"] = native.available()
+    meta["native_threads"] = (native.get_threads()
+                              if meta["native_available"] else None)
+    return meta
 
 
 def backend_legs():
@@ -84,6 +117,58 @@ def wallclock_payload(medians):
                 row["native_vs_packed"] = round(
                     legs["packed"] / legs["native"], 3
                 )
+        payload[name] = row
+    return payload
+
+
+def thread_scaling_counts():
+    """Kernel-thread counts for the cores-vs-throughput sweep.
+
+    Always 1 and 2 (the CI runner's shape) plus the full host width when
+    wider.  On a single-cpu host the 2-thread leg still runs — it shows
+    the (expected) flat curve — but speedup floors must gate on
+    ``os.cpu_count() >= 2``.
+    """
+    cpu = os.cpu_count() or 1
+    return sorted({1, 2, cpu})
+
+
+def thread_scaling_ops(fn, counts, reps):
+    """Median native ops/sec of ``fn`` at each kernel-thread count.
+
+    Runs ``fn`` pinned to the native backend under ``use_threads(t)``
+    for each ``t`` (warmup call outside the clock), returning
+    ``{t: ops_per_s}``.
+    """
+    from repro.native import use_backend, use_threads
+
+    out = {}
+    with use_backend("native"):
+        for t in counts:
+            with use_threads(t):
+                fn()  # warmup (and thread-pool spin-up)
+                ts = []
+                for _ in range(reps):
+                    t0 = time.perf_counter()
+                    fn()
+                    ts.append(time.perf_counter() - t0)
+            out[t] = 1.0 / float(np.median(ts))
+    return out
+
+
+def scaling_payload(per_op):
+    """Format ``{op: {t: ops_per_s}}`` as a BENCH_wallclock.json section.
+
+    Keys follow the ``<leg>_ops_per_s`` convention (legs named ``t1``,
+    ``t2``, ...) so the history recorder picks them up, plus a
+    ``speedup_2t`` ratio when both 1- and 2-thread legs ran.
+    """
+    payload = {}
+    for name, by_threads in per_op.items():
+        row = {f"t{t}_ops_per_s": round(ops, 2)
+               for t, ops in by_threads.items()}
+        if 1 in by_threads and 2 in by_threads:
+            row["speedup_2t"] = round(by_threads[2] / by_threads[1], 3)
         payload[name] = row
     return payload
 

@@ -1,11 +1,15 @@
 """Overload A/B bench: shed rate and tail latency with admission on/off.
 
 Drives the canonical ``mixed_square_multiply_traffic`` recipe at 2x the
-pool's modelled capacity on identical frames, once unguarded and once
-behind the token-bucket + backlog admission gate, and records the
-shed/latency counters into ``benchmarks/results/BENCH_wallclock.json``
-(section ``serving_overload``) so CI tracks the serving subsystem's
-overload behaviour per run alongside the packed-path wall clocks.
+pool's modelled capacity on identical frames, once unguarded, once
+behind the token-bucket + backlog admission gate, and once with the
+ciphertext math fanned across a 2-thread evaluation worker pool, and
+records the shed/latency counters into
+``benchmarks/results/BENCH_wallclock.json`` (section
+``serving_overload``) so CI tracks the serving subsystem's overload
+behaviour per run alongside the packed-path wall clocks.  The pooled
+leg must return byte-identical responses to the serial leg with exactly
+one terminal status per request.
 """
 
 import numpy as np
@@ -42,6 +46,10 @@ def test_serving_overload_wallclock_json(quick, wallclock_record):
     unguarded = serve_traffic(params, frames, **common)
     guarded = serve_traffic(params, frames, admission=policy,
                             stream=True, **common)
+    # Same overload, with the ciphertext math fanned across a real
+    # 2-thread evaluation pool: responses must be identical to the
+    # serial leg and every request still gets exactly one terminal.
+    pooled = serve_traffic(params, frames, workers=2, **common)
 
     def row(server):
         m = server.metrics
@@ -62,6 +70,9 @@ def test_serving_overload_wallclock_json(quick, wallclock_record):
         "requests": requests,
         "no_admission": row(unguarded),
         "admission": row(guarded),
+        "workers2": {**row(pooled),
+                     "worker_tasks": [w["tasks"]
+                                      for w in pooled.metrics.worker_stats]},
     }
     # Namespaced meta keys: the wallclock JSON's meta block is shared
     # with the he_ops/ntt benches, so this bench must not clobber their
@@ -79,3 +90,12 @@ def test_serving_overload_wallclock_json(quick, wallclock_record):
     assert payload["admission"]["served"] + payload["admission"]["shed"] \
         == requests
     assert payload["no_admission"]["served"] == requests
+    # The worker-pool leg preserves those semantics and every response
+    # byte: multi-core evaluation must be invisible to clients.
+    assert payload["workers2"]["served"] == requests
+    assert payload["workers2"]["shed"] == 0
+    assert sum(payload["workers2"]["worker_tasks"]) > 0
+    for rid, _wire, _arrival, _expected in frames:
+        a, b = unguarded.response(rid), pooled.response(rid)
+        assert a.status == b.status == "ok", rid
+        assert np.array_equal(a.result.data, b.result.data), rid

@@ -146,3 +146,52 @@ def test_wallclock_json(quick, wallclock_record):
     for name, row in payload.items():
         for b in legs:
             assert row[f"{b}_ops_per_s"] > 0, (name, b)
+
+
+def test_wallclock_scaling_json(quick, wallclock_record):
+    """Cores-vs-throughput curve for the threaded ciphertext multiply.
+
+    Same sweep as the NTT scaling bench but over the full
+    ``Evaluator.multiply`` at the paper shape (N = 4096, level 8):
+    thread count must never change the product, and with >= 2 real cpus
+    two kernel threads must deliver >= 1.6x the single-thread rate.
+    """
+    import os
+
+    import pytest
+
+    from _wallclock import scaling_payload, thread_scaling_counts, thread_scaling_ops
+    from repro import native
+    from repro.core import Evaluator
+
+    if not native.available():
+        pytest.skip("native backend unavailable (no C toolchain)")
+
+    params, context = paper_shape_context()
+    ev = Evaluator(context, packed=True)
+    rng = np.random.default_rng(99)
+    scale = float(params.scale)
+    level = context.max_level
+    a = random_ciphertext(rng, context, 2, level, scale)
+    b = random_ciphertext(rng, context, 2, level, scale)
+
+    counts = thread_scaling_counts()
+    with native.use_backend("native"):
+        with native.use_threads(1):
+            ref = ev.multiply(a, b).data
+        for t in counts[1:]:
+            with native.use_threads(t):
+                assert np.array_equal(ev.multiply(a, b).data, ref), t
+
+    reps = 5 if quick else 25
+    ops = thread_scaling_ops(lambda: ev.multiply(a, b), counts, reps)
+    payload = scaling_payload({"multiply": ops})
+    wallclock_record(
+        "he_ops_scaling", payload,
+        {"degree": 4096, "level": 8, "reps": reps, "quick": bool(quick),
+         "thread_counts": counts},
+    )
+    if (os.cpu_count() or 1) >= 2:
+        # Same floors as the NTT scaling bench: 1.6x full, 1.2x quick.
+        floor = 1.2 if quick else 1.6
+        assert payload["multiply"]["speedup_2t"] >= floor, payload

@@ -67,6 +67,12 @@ def wallclock_record(results_dir):
     path = results_dir / "BENCH_wallclock.json"
 
     def _record(section, payload, meta):
+        from _wallclock import host_meta
+
+        # Host context (cpu count, native threads, compiler) rides along
+        # on every entry so scaling numbers stay interpretable; explicit
+        # per-bench meta wins on key collisions.
+        meta = {**host_meta(), **meta}
         data = json.loads(path.read_text()) if path.exists() else {}
         data.setdefault("meta", {}).update(meta)
         data[section] = payload

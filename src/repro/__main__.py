@@ -115,6 +115,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.window_us < 0:
         print("serve: --window-us must be >= 0")
         return 2
+    if args.workers < 0:
+        print("serve: --workers must be >= 0")
+        return 2
 
     pools = {
         "device1": [(DEVICE1, 2)],
@@ -144,6 +147,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         gpu_config=GpuConfig(ntt_variant="local-radix-8", asm=True,
                              kernel_fusion=args.fusion),
         admission=admission,
+        workers=args.workers,
     )
     client = ServerClient(
         server,
@@ -208,6 +212,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             continue
         worst = max(worst, float(np.abs(client.result(rid).real
                                         - expected).max()))
+    server.close()
 
     print(f"pool: {', '.join(f'{d.name} x{t}' for d, t in devices)}")
     print(server.metrics.render())
@@ -328,11 +333,18 @@ def cmd_fuse(args: argparse.Namespace) -> int:
 
 
 def cmd_native(args: argparse.Namespace) -> int:
+    import os
     import time
 
     import numpy as np
 
     from . import native
+
+    if args.threads is not None:
+        if args.threads < 1:
+            print("native: --threads must be >= 1")
+            return 2
+        native.set_threads(args.threads)
 
     print(f"backend resolved     : {native.get_backend()}")
     try:
@@ -356,6 +368,9 @@ def cmd_native(args: argparse.Namespace) -> int:
     if not ok:
         print(f"reason               : {native.availability_error()}")
         return 1
+    cpu = os.cpu_count() or 1
+    print(f"kernel threads       : {native.get_threads()} "
+          f"(host has {cpu} cpus)")
     if not args.self_test:
         return 0
 
@@ -416,7 +431,26 @@ def cmd_native(args: argparse.Namespace) -> int:
     speedup = t_pack / t_nat
     print(f"stacked fwd NTT      : native {t_nat * 1e3:.3f} ms vs packed "
           f"{t_pack * 1e3:.3f} ms ({speedup:.2f}x)")
-    ok = identical and speedup > 1.2
+
+    # Cores-vs-throughput scaling probe: the same fwd NTT under 1, 2, ...
+    # kernel threads.  The multi-core floor only binds when the host
+    # actually has more than one cpu.
+    counts = sorted({1, 2, cpu} - {0})
+    counts = [t for t in counts if t <= max(cpu, 2)]
+    scaling = {}
+    with native.use_backend("native"):
+        for t in counts:
+            with native.use_threads(t):
+                dt = med(lambda: engine.forward(x))
+            scaling[t] = 1.0 / dt
+    print("thread scaling       : "
+          + ", ".join(f"t{t}={ops:,.0f} ops/s" for t, ops in scaling.items()))
+    thread_ok = True
+    if cpu >= 2 and 2 in scaling:
+        thread_speedup = scaling[2] / scaling[1]
+        print(f"2-thread speedup     : {thread_speedup:.2f}x")
+        thread_ok = thread_speedup > 1.2
+    ok = identical and speedup > 1.2 and thread_ok
     print(f"self-test: {'PASS' if ok else 'FAIL'}")
     return 0 if ok else 1
 
@@ -477,6 +511,9 @@ def main(argv: list | None = None) -> int:
                        help="admission token-bucket depth (default 8)")
     p_srv.add_argument("--admission-backlog", type=int, default=16,
                        help="modelled backlog bound in requests (default 16)")
+    p_srv.add_argument("--workers", type=int, default=0,
+                       help="evaluation worker threads (0/1 = inline; "
+                            ">=2 fans batch math across a pool)")
     p_srv.add_argument("--self-test", action="store_true",
                        help="verify results + speedup; nonzero exit on failure")
     p_srv.set_defaults(fn=cmd_serve)
@@ -498,6 +535,9 @@ def main(argv: list | None = None) -> int:
                                           "kernel backend")
     p_nat.add_argument("--build", action="store_true",
                        help="force a (re)compile of the kernel library")
+    p_nat.add_argument("--threads", type=int, default=None,
+                       help="kernel worker threads (default: "
+                            "REPRO_NATIVE_THREADS or cpu count)")
     p_nat.add_argument("--self-test", action="store_true",
                        help="verify three-way bit-identicality and a "
                             "native NTT speedup; nonzero exit on failure")

@@ -30,6 +30,8 @@ import numpy as np
 from ..modmath import packedops
 from ..modmath.barrett import barrett_reduce_64
 from ..modmath.ops import add_mod, mad_mod, mul_mod, neg_mod, sub_mod
+from ..native import backend as _backend
+from ..native import glue as _native
 from ..ntt.radix2 import (
     ntt_forward,
     ntt_forward_stacked,
@@ -355,6 +357,17 @@ class Evaluator:
         if not self.packed:
             return self._decompose_serial(poly_ntt, level)
         target_rows = self._target_rows(level)
+        if _backend.is_native():
+            # Fully fused native kernel: iNTT -> Barrett -> NTT without
+            # materializing the two intermediate (level, level+1, N)
+            # tensors; falls through on any eligibility miss.
+            out = _native.ks_decompose(
+                poly_ntt,
+                ctx.stacked_tables.prefix(level),
+                ctx.stacked_tables_rows(target_rows),
+            )
+            if out is not None:
+                return out
         d = ntt_inverse_stacked(poly_ntt, ctx.stacked_tables.prefix(level))
         st_t = ctx.stacked_rows(target_rows)
         reduced = barrett_reduce_64(d[:, None, :], st_t)

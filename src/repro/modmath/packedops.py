@@ -33,12 +33,11 @@ outputs (three-way A/B suite in ``tests/test_packed_ab.py``).
 
 from __future__ import annotations
 
-import threading
-
 import numpy as np
 
 from ..native import backend as _backend
 from ..native import glue as _native
+from .scratch import ScratchRegistry
 from .stacked import StackedModulus
 
 __all__ = [
@@ -53,6 +52,8 @@ __all__ = [
     "mul_mod_operand_stacked",
     "dyadic_product_stacked",
     "dyadic_square_stacked",
+    "scratch_pool_info",
+    "clear_scratch_pool",
 ]
 
 _U32 = np.uint64(32)
@@ -66,14 +67,10 @@ _POOL_DEPTH = 14
 #: enough to amortize the copies (tiny stacks keep the (k, 1) columns).
 _MATERIALIZE_MIN_N = 256
 
-_POOL = threading.local()
-
-#: Guards scratch-pool mutation.  The pools themselves are per-thread
-#: (each evaluator lane reuses its own warm buffers), but the insert /
-#: bounded-clear sequence is kept atomic so a future shared pool — or a
-#: re-entrant caller landing mid-clear — can never hand out a buffer
-#: object that another kernel invocation is still writing through.
-_POOL_LOCK = threading.Lock()
+#: Per-thread pools of reusable kernel buffers, globally byte-bounded so
+#: a long-lived worker pool (one warm pool per thread, forever) cannot
+#: leak — eviction is LRU across *all* threads' pools.
+_SCRATCH = ScratchRegistry("packedops")
 
 
 class _Buffers:
@@ -84,6 +81,10 @@ class _Buffers:
         self.flat = np.empty((_POOL_DEPTH, count), dtype=np.uint64)
         self.mask = np.empty(count, dtype=bool)
 
+    @property
+    def nbytes(self) -> int:
+        return self.flat.nbytes + self.mask.nbytes
+
     def shaped(self, shape):
         return [b.reshape(shape) for b in self.flat], self.mask.reshape(shape)
 
@@ -92,17 +93,17 @@ def _buffers(shape):
     count = 1
     for dim in shape:
         count *= int(dim)
-    pool = getattr(_POOL, "pool", None)
-    if pool is None:
-        pool = _POOL.pool = {}
-    bufs = pool.get(count)
-    if bufs is None:
-        bufs = _Buffers(count)
-        with _POOL_LOCK:
-            if len(pool) >= 8:
-                pool.clear()
-            pool[count] = bufs
-    return bufs.shaped(shape)
+    return _SCRATCH.get(count, _Buffers).shaped(shape)
+
+
+def scratch_pool_info():
+    """Live scratch accounting: ``threads``, ``buffers``, ``bytes``."""
+    return _SCRATCH.info()
+
+
+def clear_scratch_pool():
+    """Drop every thread's cached kernel buffers (tests, trim-memory)."""
+    _SCRATCH.clear()
 
 
 class _Consts:

@@ -18,7 +18,17 @@ through ctypes.  Three fused kernel families cover the hot path:
 2. fused dyadic multiply/square and ``mad_mod`` accumulate for the
    tensor product and key-switch loops;
 3. the divide-round/rescale tails (Harvey ``d^{-1}`` multiply fused with
-   the lazy difference, and the ``LastModulusScaler`` sequence).
+   the lazy difference, and the ``LastModulusScaler`` sequence);
+4. the fused key-switch decompose (iNTT -> Barrett -> NTT in one call)
+   feeding ``Evaluator._switch_key``.
+
+All kernels run multi-core: every call decomposes into independent
+``(batch, limb)`` rows that an in-tree pthread worker pool spreads
+across cores (no OpenMP, so plain ``cc`` builds keep working).  Width
+comes from ``REPRO_NATIVE_THREADS`` / :func:`set_threads` /
+``set_backend(..., threads=N)``, auto-sized from ``os.cpu_count()``;
+thread count never changes outputs (the A/B suite pins 1-thread vs
+N-thread bit-identical).
 
 Outputs are bit-identical to the packed and per-limb paths — same
 canonical values, same lazy windows — enforced by the three-way A/B
@@ -52,10 +62,13 @@ __all__ = [
     "cache_dir",
     "find_compiler",
     "get_backend",
+    "get_threads",
     "library_path",
     "reset",
     "set_backend",
+    "set_threads",
     "use_backend",
+    "use_threads",
 ]
 
 
@@ -86,3 +99,29 @@ def reset() -> None:
 
     glue.reset()
     backend.invalidate()
+
+
+def set_threads(n):
+    """Set the native kernel worker-pool width; returns the applied width.
+
+    ``None`` restores the default (``REPRO_NATIVE_THREADS``, else
+    ``os.cpu_count()``).  Thread count never changes kernel outputs —
+    rows are computed by the same value sequence on any thread.
+    """
+    from . import glue
+
+    return glue.set_threads(n)
+
+
+def get_threads():
+    """The native worker-pool width currently in effect (or pending)."""
+    from . import glue
+
+    return glue.get_threads()
+
+
+def use_threads(n):
+    """Context manager: scoped native thread width, restored on exit."""
+    from . import glue
+
+    return glue.use_threads(n)

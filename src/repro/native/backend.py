@@ -112,14 +112,22 @@ def get_backend() -> str:
     return resolve()
 
 
-def set_backend(name: Optional[str]) -> str:
+def set_backend(name: Optional[str], *, threads: Optional[int] = None) -> str:
     """Select the execution backend process-wide; returns the resolved name.
 
     ``None`` or ``"auto"`` restores env-var/auto-detect behaviour.
     Requesting ``"native"`` when the kernel library cannot be built or
     loaded raises :class:`BackendUnavailableError`.
+
+    ``threads`` (optional) also sets the native worker-pool width —
+    shorthand for :func:`repro.native.set_threads`; it applies to the
+    native library regardless of which backend ends up selected.
     """
     global _EXPLICIT, _RESOLVED
+    if threads is not None:
+        from . import glue
+
+        glue.set_threads(threads)
     if name is not None:
         name = name.strip().lower()
         if name == _AUTO:

@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import List
 
 __all__ = ["NativeBuildError", "find_compiler", "cache_dir", "build",
-           "source_files", "SO_BASENAME"]
+           "source_files", "cflags", "SO_BASENAME"]
 
 SO_BASENAME = "repro_native"
 
@@ -41,7 +41,12 @@ SO_BASENAME = "repro_native"
 #: plain C11), only speed.  No ``-march=native`` so a cached library
 #: restored on a different machine of the same OS/arch stays runnable.
 BASE_CFLAGS = ["-O3", "-std=c11", "-fPIC", "-shared", "-funroll-loops",
-               "-fvisibility=default"]
+               "-fvisibility=default", "-pthread"]
+
+
+def cflags() -> List[str]:
+    """The full flag set a build would use (baseline + env extras)."""
+    return _cflags()
 
 
 class NativeBuildError(RuntimeError):

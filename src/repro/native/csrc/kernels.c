@@ -10,6 +10,17 @@
  * once.  The paper's fused-butterfly argument (Sec. III-B) applied to
  * the CPU backend.
  *
+ * Threading: every kernel decomposes into independent (batch, limb)
+ * rows, which a small in-tree pthread worker pool (no OpenMP, so the
+ * plain system-``cc`` build path keeps working) spreads across cores.
+ * Each row is computed by exactly the same value sequence regardless of
+ * which thread runs it, so thread count never changes outputs — the
+ * A/B suite pins REPRO_NATIVE_THREADS=1 vs N bit-identical.  The pool
+ * width is set from Python (repro_native_set_threads); tiny stacks run
+ * inline because a dispatch costs more than it saves, and a thread that
+ * finds the pool busy (concurrent server workers) computes its call
+ * inline rather than queueing behind the other region.
+ *
  * Bit-identicality contract: all outputs equal the packed-NumPy path's
  * outputs exactly — same canonical values, same lazy-reduction windows
  * ([0, 4p) forward NTT, [0, 2p) inverse, canonical [0, p) elsewhere).
@@ -32,6 +43,12 @@
 
 #include <stdint.h>
 #include <stddef.h>
+#include <string.h>
+
+#if !defined(_WIN32)
+#include <pthread.h>
+#define REPRO_HAVE_THREADS 1
+#endif
 
 typedef uint64_t u64;
 typedef int64_t i64;
@@ -76,42 +93,266 @@ static inline u64 reduce128(u64 hi, u64 lo, u64 p, u64 two_p,
 }
 
 /* ---------------------------------------------------------------------------
+ * Worker pool: fixed detached threads, one broadcast job at a time.
+ *
+ * A job is (fn, ctx, total): fn(ctx, begin, end) must process the
+ * half-open unit range [begin, end), units being independent rows.  The
+ * dispatching thread takes part 0 itself and waits for the workers, so
+ * a pool of W threads runs W-wide.  Dispatch is guarded by a trylock:
+ * a second thread arriving while a region is in flight (e.g. a server
+ * worker pool above the native pool) runs its call inline instead of
+ * blocking, which avoids oversubscription and cannot deadlock.
+ * ------------------------------------------------------------------------- */
+
+typedef void (*job_fn)(void *ctx, i64 begin, i64 end);
+
+/* Work below this many element-ops runs inline: waking the pool costs
+ * tens of microseconds, which tiny test-scale stacks cannot amortize. */
+#define PAR_MIN_ELEMOPS 32768
+
+#ifdef REPRO_HAVE_THREADS
+
+#define POOL_MAX_THREADS 64
+
+static pthread_mutex_t pool_region_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_mutex_t pool_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t pool_go = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t pool_done = PTHREAD_COND_INITIALIZER;
+static i64 pool_width = 1;   /* configured parallel width incl. caller */
+static i64 pool_spawned = 0; /* worker threads running (never shrinks) */
+static u64 pool_gen = 0;
+static i64 pool_pending = 0;
+static job_fn pool_fn;
+static void *pool_ctx;
+static i64 pool_total;
+static i64 pool_parts;
+
+typedef struct {
+    i64 part;  /* fixed 1-based part index of this worker */
+    u64 seen;  /* generation at spawn: earlier jobs are not ours */
+} worker_boot;
+
+static worker_boot pool_boot[POOL_MAX_THREADS];
+
+static void *pool_worker(void *arg) {
+    const worker_boot *boot = (const worker_boot *)arg;
+    const i64 me = boot->part;
+    u64 seen = boot->seen;
+    pthread_mutex_lock(&pool_mu);
+    for (;;) {
+        while (pool_gen == seen)
+            pthread_cond_wait(&pool_go, &pool_mu);
+        seen = pool_gen;
+        const job_fn fn = pool_fn;
+        void *const ctx = pool_ctx;
+        const i64 total = pool_total, parts = pool_parts;
+        pthread_mutex_unlock(&pool_mu);
+        if (me < parts) {
+            const i64 b = total * me / parts;
+            const i64 e = total * (me + 1) / parts;
+            if (b < e)
+                fn(ctx, b, e);
+        }
+        pthread_mutex_lock(&pool_mu);
+        if (--pool_pending == 0)
+            pthread_cond_signal(&pool_done);
+    }
+    return NULL; /* unreachable */
+}
+
+#endif /* REPRO_HAVE_THREADS */
+
+/* Set the pool width (callers + workers); returns the width in effect.
+ * Threads spawn lazily and are never torn down — shrinking just idles
+ * the extras, so repeated set/restore cycles stay cheap. */
+EXPORT i64 repro_native_set_threads(i64 want) {
+#ifdef REPRO_HAVE_THREADS
+    i64 got;
+    if (want < 1)
+        want = 1;
+    if (want > POOL_MAX_THREADS)
+        want = POOL_MAX_THREADS;
+    pthread_mutex_lock(&pool_region_mu);
+    while (pool_spawned < want - 1) {
+        pthread_t tid;
+        pthread_attr_t attr;
+        worker_boot *boot = &pool_boot[pool_spawned];
+        boot->part = pool_spawned + 1;
+        pthread_mutex_lock(&pool_mu);
+        boot->seen = pool_gen;
+        pthread_mutex_unlock(&pool_mu);
+        pthread_attr_init(&attr);
+        pthread_attr_setdetachstate(&attr, PTHREAD_CREATE_DETACHED);
+        if (pthread_create(&tid, &attr, pool_worker, boot) != 0) {
+            pthread_attr_destroy(&attr);
+            break; /* keep whatever width we reached */
+        }
+        pthread_attr_destroy(&attr);
+        pool_spawned++;
+    }
+    pool_width = want <= pool_spawned + 1 ? want : pool_spawned + 1;
+    got = pool_width;
+    pthread_mutex_unlock(&pool_region_mu);
+    return got;
+#else
+    (void)want;
+    return 1;
+#endif
+}
+
+EXPORT i64 repro_native_get_threads(void) {
+#ifdef REPRO_HAVE_THREADS
+    pthread_mutex_lock(&pool_region_mu);
+    i64 got = pool_width;
+    pthread_mutex_unlock(&pool_region_mu);
+    return got;
+#else
+    return 1;
+#endif
+}
+
+/* Run fn over [0, total) units, splitting across the pool when the
+ * work (total * elemops_per_unit element-operations) warrants it. */
+static void run_rows(job_fn fn, void *ctx, i64 total, i64 elemops_per_unit) {
+#ifdef REPRO_HAVE_THREADS
+    i64 parts = pool_width;
+    if (parts > total)
+        parts = total;
+    if (parts > 1 && total * elemops_per_unit >= PAR_MIN_ELEMOPS
+        && pthread_mutex_trylock(&pool_region_mu) == 0) {
+        parts = pool_width < total ? pool_width : total;
+        if (parts > 1) {
+            pthread_mutex_lock(&pool_mu);
+            pool_fn = fn;
+            pool_ctx = ctx;
+            pool_total = total;
+            pool_parts = parts;
+            pool_pending = pool_spawned;
+            pool_gen++;
+            pthread_cond_broadcast(&pool_go);
+            pthread_mutex_unlock(&pool_mu);
+            const i64 e0 = total / parts; /* part 0 runs on this thread */
+            if (e0 > 0)
+                fn(ctx, 0, e0);
+            pthread_mutex_lock(&pool_mu);
+            while (pool_pending)
+                pthread_cond_wait(&pool_done, &pool_mu);
+            pthread_mutex_unlock(&pool_mu);
+            pthread_mutex_unlock(&pool_region_mu);
+            return;
+        }
+        pthread_mutex_unlock(&pool_region_mu);
+    }
+#endif
+    fn(ctx, 0, total);
+}
+
+/* Shared operand block for the row jobs: each kernel fills what it
+ * uses.  a..d are inputs, o0..o2 outputs, the rest per-limb constant
+ * tables indexed by the limb row (flat row index mod k). */
+typedef struct {
+    const u64 *a, *b, *c, *d;
+    u64 *o0, *o1, *o2;
+    i64 k, n;
+    const u64 *p, *two_p, *rhi, *c64, *c64q, *w, *wq;
+    u64 half_d;
+    i64 lazy;
+} rowctx;
+
+/* ---------------------------------------------------------------------------
  * Fused stacked NTT: all log2(n) butterfly stages of every (batch, limb)
  * row in one call — one twiddle-multiply + lazy reduction + add/sub per
  * butterfly, data touched log2(n) times total instead of ~20 numpy
- * passes per stage.
+ * passes per stage.  Rows are independent, so the pool splits them.
  * ------------------------------------------------------------------------- */
+
+static void ntt_fwd_row(u64 *row, i64 n, const u64 *wr, const u64 *wqr,
+                        u64 p, u64 two_p, i64 lazy) {
+    for (i64 m = 1; m < n; m <<= 1) {
+        const i64 t = n / (2 * m);
+        for (i64 g = 0; g < m; ++g) {
+            const u64 W = wr[m + g], Wq = wqr[m + g];
+            u64 *restrict X = row + (size_t)(2 * g) * t;
+            u64 *restrict Y = X + t;
+            for (i64 i = 0; i < t; ++i) {
+                const u64 xv = csub(X[i], two_p);
+                const u64 tt = harvey_lazy(Y[i], W, Wq, p);
+                X[i] = xv + tt;
+                Y[i] = xv - tt + two_p;
+            }
+        }
+    }
+    if (!lazy) {
+        /* "Last round processing": [0, 4p) -> [0, p). */
+        for (i64 i = 0; i < n; ++i)
+            row[i] = csub(csub(row[i], two_p), p);
+    }
+}
+
+static void ntt_inv_row(u64 *row, i64 n, const u64 *wr, const u64 *wqr,
+                        u64 p, u64 two_p, u64 nw, u64 nq, i64 lazy) {
+    for (i64 h = n / 2; h >= 1; h >>= 1) {
+        const i64 t = n / (2 * h);
+        for (i64 g = 0; g < h; ++g) {
+            const u64 W = wr[h + g], Wq = wqr[h + g];
+            u64 *restrict X = row + (size_t)(2 * g) * t;
+            u64 *restrict Y = X + t;
+            for (i64 i = 0; i < t; ++i) {
+                const u64 xv = X[i], yv = Y[i];
+                X[i] = csub(xv + yv, two_p);
+                Y[i] = harvey_lazy(xv + two_p - yv, W, Wq, p);
+            }
+        }
+    }
+    /* Final n^{-1} scaling, fused with the correction pass. */
+    if (lazy) {
+        for (i64 i = 0; i < n; ++i)
+            row[i] = csub(harvey_lazy(row[i], nw, nq, p), two_p);
+    } else {
+        for (i64 i = 0; i < n; ++i) {
+            u64 v = csub(harvey_lazy(row[i], nw, nq, p), two_p);
+            row[i] = csub(v, p);
+        }
+    }
+}
+
+/* NTT jobs reuse rowctx: o0 = data, a = ninv_w column, b = ninv_q. */
+
+static void job_ntt_forward(void *vctx, i64 begin, i64 end) {
+    const rowctx *C = (const rowctx *)vctx;
+    const i64 n = C->n;
+    for (i64 r = begin; r < end; ++r) {
+        const i64 j = r % C->k;
+        ntt_fwd_row(C->o0 + (size_t)r * n, n,
+                    C->w + (size_t)j * n, C->wq + (size_t)j * n,
+                    C->p[j], C->two_p[j], C->lazy);
+    }
+}
 
 EXPORT void repro_ntt_forward(u64 *x, i64 batch, i64 k, i64 n,
                               const u64 *w, const u64 *wq,
                               const u64 *p_arr, const u64 *two_p_arr,
                               i64 lazy) {
-    for (i64 b = 0; b < batch; ++b) {
-        for (i64 j = 0; j < k; ++j) {
-            u64 *row = x + ((size_t)b * k + j) * (size_t)n;
-            const u64 *wr = w + (size_t)j * n;
-            const u64 *wqr = wq + (size_t)j * n;
-            const u64 p = p_arr[j], two_p = two_p_arr[j];
-            for (i64 m = 1; m < n; m <<= 1) {
-                const i64 t = n / (2 * m);
-                for (i64 g = 0; g < m; ++g) {
-                    const u64 W = wr[m + g], Wq = wqr[m + g];
-                    u64 *restrict X = row + (size_t)(2 * g) * t;
-                    u64 *restrict Y = X + t;
-                    for (i64 i = 0; i < t; ++i) {
-                        const u64 xv = csub(X[i], two_p);
-                        const u64 tt = harvey_lazy(Y[i], W, Wq, p);
-                        X[i] = xv + tt;
-                        Y[i] = xv - tt + two_p;
-                    }
-                }
-            }
-            if (!lazy) {
-                /* "Last round processing": [0, 4p) -> [0, p). */
-                for (i64 i = 0; i < n; ++i)
-                    row[i] = csub(csub(row[i], two_p), p);
-            }
-        }
+    rowctx C = {0};
+    C.o0 = x;
+    C.k = k;
+    C.n = n;
+    C.w = w;
+    C.wq = wq;
+    C.p = p_arr;
+    C.two_p = two_p_arr;
+    C.lazy = lazy;
+    run_rows(job_ntt_forward, &C, batch * k, 12 * n);
+}
+
+static void job_ntt_inverse(void *vctx, i64 begin, i64 end) {
+    const rowctx *C = (const rowctx *)vctx;
+    const i64 n = C->n;
+    for (i64 r = begin; r < end; ++r) {
+        const i64 j = r % C->k;
+        ntt_inv_row(C->o0 + (size_t)r * n, n,
+                    C->w + (size_t)j * n, C->wq + (size_t)j * n,
+                    C->p[j], C->two_p[j], C->a[j], C->b[j], C->lazy);
     }
 }
 
@@ -120,153 +361,299 @@ EXPORT void repro_ntt_inverse(u64 *x, i64 batch, i64 k, i64 n,
                               const u64 *p_arr, const u64 *two_p_arr,
                               const u64 *ninv_w, const u64 *ninv_q,
                               i64 lazy) {
-    for (i64 b = 0; b < batch; ++b) {
-        for (i64 j = 0; j < k; ++j) {
-            u64 *row = x + ((size_t)b * k + j) * (size_t)n;
-            const u64 *wr = iw + (size_t)j * n;
-            const u64 *wqr = iwq + (size_t)j * n;
-            const u64 p = p_arr[j], two_p = two_p_arr[j];
-            for (i64 h = n / 2; h >= 1; h >>= 1) {
-                const i64 t = n / (2 * h);
-                for (i64 g = 0; g < h; ++g) {
-                    const u64 W = wr[h + g], Wq = wqr[h + g];
-                    u64 *restrict X = row + (size_t)(2 * g) * t;
-                    u64 *restrict Y = X + t;
-                    for (i64 i = 0; i < t; ++i) {
-                        const u64 xv = X[i], yv = Y[i];
-                        X[i] = csub(xv + yv, two_p);
-                        Y[i] = harvey_lazy(xv + two_p - yv, W, Wq, p);
-                    }
-                }
-            }
-            /* Final n^{-1} scaling, fused with the correction pass. */
-            const u64 nw = ninv_w[j], nq = ninv_q[j];
-            if (lazy) {
-                for (i64 i = 0; i < n; ++i)
-                    row[i] = csub(harvey_lazy(row[i], nw, nq, p), two_p);
-            } else {
-                for (i64 i = 0; i < n; ++i) {
-                    u64 v = csub(harvey_lazy(row[i], nw, nq, p), two_p);
-                    row[i] = csub(v, p);
-                }
-            }
+    rowctx C = {0};
+    C.o0 = x;
+    C.k = k;
+    C.n = n;
+    C.w = iw;
+    C.wq = iwq;
+    C.p = p_arr;
+    C.two_p = two_p_arr;
+    C.a = ninv_w;
+    C.b = ninv_q;
+    C.lazy = lazy;
+    run_rows(job_ntt_inverse, &C, batch * k, 12 * n);
+}
+
+/* ---------------------------------------------------------------------------
+ * Fused key-switch decompose (iNTT -> Barrett -> NTT in one call).
+ *
+ * Input poly is (level, n), row i the NTT-form residue of source prime
+ * q_i.  Output is (level, level+1, n): out[i, r] = NTT_r(Barrett_r(
+ * iNTT_i(poly[i]))) over the target rows (current primes + special
+ * prime) — the hoisting-shared half of _switch_key, without the two
+ * full-size intermediate tensors the three-call packed path writes.
+ * Source primes are independent, so the pool splits on i.  Scratch-free:
+ * out[i, 0] holds the canonical iNTT while rows 1.. are produced, then
+ * reduces/transforms itself in place.
+ * ------------------------------------------------------------------------- */
+
+typedef struct {
+    const u64 *poly;
+    u64 *out;
+    i64 level, n;
+    const u64 *iw, *iwq, *src_p, *src_two_p, *ninv_w, *ninv_q;
+    const u64 *fw, *fwq, *tgt_p, *tgt_two_p, *tgt_rhi;
+} ksctx;
+
+static void job_ks_decompose(void *vctx, i64 begin, i64 end) {
+    const ksctx *C = (const ksctx *)vctx;
+    const i64 n = C->n, tk = C->level + 1;
+    for (i64 i = begin; i < end; ++i) {
+        u64 *base = C->out + (size_t)i * tk * n;
+        memcpy(base, C->poly + (size_t)i * n, (size_t)n * sizeof(u64));
+        ntt_inv_row(base, n, C->iw + (size_t)i * n, C->iwq + (size_t)i * n,
+                    C->src_p[i], C->src_two_p[i],
+                    C->ninv_w[i], C->ninv_q[i], 0);
+        for (i64 r = 1; r < tk; ++r) {
+            u64 *orow = base + (size_t)r * n;
+            const u64 p = C->tgt_p[r], rhi = C->tgt_rhi[r];
+            for (i64 t = 0; t < n; ++t)
+                orow[t] = barrett64(base[t], p, rhi);
+            ntt_fwd_row(orow, n, C->fw + (size_t)r * n,
+                        C->fwq + (size_t)r * n, p, C->tgt_two_p[r], 0);
+        }
+        {
+            const u64 p = C->tgt_p[0], rhi = C->tgt_rhi[0];
+            for (i64 t = 0; t < n; ++t)
+                base[t] = barrett64(base[t], p, rhi);
+            ntt_fwd_row(base, n, C->fw, C->fwq, p, C->tgt_two_p[0], 0);
         }
     }
 }
 
+EXPORT void repro_ks_decompose(const u64 *poly, u64 *out, i64 level, i64 n,
+                               const u64 *iw, const u64 *iwq,
+                               const u64 *src_p, const u64 *src_two_p,
+                               const u64 *ninv_w, const u64 *ninv_q,
+                               const u64 *fw, const u64 *fwq,
+                               const u64 *tgt_p, const u64 *tgt_two_p,
+                               const u64 *tgt_rhi) {
+    ksctx C = {poly, out, level, n, iw, iwq, src_p, src_two_p,
+               ninv_w, ninv_q, fw, fwq, tgt_p, tgt_two_p, tgt_rhi};
+    run_rows(job_ks_decompose, &C, level, 12 * (level + 2) * n);
+}
+
 /* ---------------------------------------------------------------------------
- * Elementwise modular kernels over (rows, k, n) stacks.
+ * Elementwise modular kernels over (rows, k, n) stacks.  Every job
+ * walks flat (row, limb) indices [begin, end): limb j = index mod k.
  * ------------------------------------------------------------------------- */
 
-/* Variadic so comma-separated declarations survive preprocessing. */
-#define FOR_STACK(...)                                                      \
-    for (i64 r = 0; r < rows; ++r) {                                        \
-        for (i64 j = 0; j < k; ++j) {                                       \
-            const size_t off = ((size_t)r * k + j) * (size_t)n;             \
+/* Declares job_<name> over flat rows with the body run per row; the
+ * body sees j (limb), off (element offset) and the rowctx fields via C.
+ * Variadic so top-level commas in the body survive preprocessing. */
+#define ROW_JOB(name, ...)                                                  \
+    static void job_##name(void *vctx, i64 begin, i64 end) {                \
+        const rowctx *C = (const rowctx *)vctx;                             \
+        const i64 n = C->n;                                                 \
+        for (i64 r = begin; r < end; ++r) {                                 \
+            const i64 j = r % C->k;                                         \
+            const size_t off = (size_t)r * n;                               \
             __VA_ARGS__                                                     \
         }                                                                   \
     }
 
+ROW_JOB(add_mod, {
+    const u64 p = C->p[j];
+    for (i64 i = 0; i < n; ++i)
+        C->o0[off + i] = csub(C->a[off + i] + C->b[off + i], p);
+})
+
 EXPORT void repro_add_mod(const u64 *a, const u64 *b, u64 *out,
                           i64 rows, i64 k, i64 n, const u64 *p_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j];
-        for (i64 i = 0; i < n; ++i)
-            out[off + i] = csub(a[off + i] + b[off + i], p);
-    })
+    rowctx C = {0};
+    C.a = a;
+    C.b = b;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    run_rows(job_add_mod, &C, rows * k, n);
 }
+
+ROW_JOB(sub_mod, {
+    const u64 p = C->p[j];
+    for (i64 i = 0; i < n; ++i)
+        C->o0[off + i] = csub(C->a[off + i] + p - C->b[off + i], p);
+})
 
 EXPORT void repro_sub_mod(const u64 *a, const u64 *b, u64 *out,
                           i64 rows, i64 k, i64 n, const u64 *p_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j];
-        for (i64 i = 0; i < n; ++i)
-            out[off + i] = csub(a[off + i] + p - b[off + i], p);
-    })
+    rowctx C = {0};
+    C.a = a;
+    C.b = b;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    run_rows(job_sub_mod, &C, rows * k, n);
 }
+
+ROW_JOB(neg_mod, {
+    const u64 p = C->p[j];
+    for (i64 i = 0; i < n; ++i) {
+        const u64 v = C->a[off + i];
+        C->o0[off + i] = v ? p - v : 0;
+    }
+})
 
 EXPORT void repro_neg_mod(const u64 *a, u64 *out,
                           i64 rows, i64 k, i64 n, const u64 *p_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j];
-        for (i64 i = 0; i < n; ++i) {
-            const u64 v = a[off + i];
-            out[off + i] = v ? p - v : 0;
-        }
-    })
+    rowctx C = {0};
+    C.a = a;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    run_rows(job_neg_mod, &C, rows * k, n);
 }
+
+ROW_JOB(conditional_sub, {
+    const u64 p = C->p[j];
+    for (i64 i = 0; i < n; ++i)
+        C->o0[off + i] = csub(C->a[off + i], p);
+})
 
 EXPORT void repro_conditional_sub(const u64 *a, u64 *out,
                                   i64 rows, i64 k, i64 n, const u64 *p_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j];
-        for (i64 i = 0; i < n; ++i)
-            out[off + i] = csub(a[off + i], p);
-    })
+    rowctx C = {0};
+    C.a = a;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    run_rows(job_conditional_sub, &C, rows * k, n);
 }
+
+ROW_JOB(barrett64_rows, {
+    const u64 p = C->p[j], rhi = C->rhi[j];
+    for (i64 i = 0; i < n; ++i)
+        C->o0[off + i] = barrett64(C->a[off + i], p, rhi);
+})
 
 EXPORT void repro_barrett64(const u64 *a, u64 *out,
                             i64 rows, i64 k, i64 n,
                             const u64 *p_arr, const u64 *rhi_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j], rhi = rhi_arr[j];
-        for (i64 i = 0; i < n; ++i)
-            out[off + i] = barrett64(a[off + i], p, rhi);
-    })
+    rowctx C = {0};
+    C.a = a;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    C.rhi = rhi_arr;
+    run_rows(job_barrett64_rows, &C, rows * k, 2 * n);
 }
+
+ROW_JOB(barrett128_rows, {
+    const u64 p = C->p[j], two_p = C->two_p[j], rhi = C->rhi[j];
+    const u64 c64 = C->c64[j], c64q = C->c64q[j];
+    for (i64 i = 0; i < n; ++i)
+        C->o0[off + i] = reduce128(C->a[off + i], C->b[off + i],
+                                   p, two_p, rhi, c64, c64q);
+})
 
 EXPORT void repro_barrett128(const u64 *hi, const u64 *lo, u64 *out,
                              i64 rows, i64 k, i64 n,
                              const u64 *p_arr, const u64 *two_p_arr,
                              const u64 *rhi_arr, const u64 *c64_arr,
                              const u64 *c64q_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
-        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
-        for (i64 i = 0; i < n; ++i)
-            out[off + i] = reduce128(hi[off + i], lo[off + i],
-                                     p, two_p, rhi, c64, c64q);
-    })
+    rowctx C = {0};
+    C.a = hi;
+    C.b = lo;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    C.two_p = two_p_arr;
+    C.rhi = rhi_arr;
+    C.c64 = c64_arr;
+    C.c64q = c64q_arr;
+    run_rows(job_barrett128_rows, &C, rows * k, 3 * n);
 }
+
+ROW_JOB(mul_mod, {
+    const u64 p = C->p[j], two_p = C->two_p[j], rhi = C->rhi[j];
+    const u64 c64 = C->c64[j], c64q = C->c64q[j];
+    for (i64 i = 0; i < n; ++i) {
+        const u128 pr = (u128)C->a[off + i] * C->b[off + i];
+        C->o0[off + i] = reduce128((u64)(pr >> 64), (u64)pr,
+                                   p, two_p, rhi, c64, c64q);
+    }
+})
 
 EXPORT void repro_mul_mod(const u64 *a, const u64 *b, u64 *out,
                           i64 rows, i64 k, i64 n,
                           const u64 *p_arr, const u64 *two_p_arr,
                           const u64 *rhi_arr, const u64 *c64_arr,
                           const u64 *c64q_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
-        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
-        for (i64 i = 0; i < n; ++i) {
-            const u128 pr = (u128)a[off + i] * b[off + i];
-            out[off + i] = reduce128((u64)(pr >> 64), (u64)pr,
-                                     p, two_p, rhi, c64, c64q);
-        }
-    })
+    rowctx C = {0};
+    C.a = a;
+    C.b = b;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    C.two_p = two_p_arr;
+    C.rhi = rhi_arr;
+    C.c64 = c64_arr;
+    C.c64q = c64q_arr;
+    run_rows(job_mul_mod, &C, rows * k, 4 * n);
 }
 
 /* Fused multiply-add: one reduction after a*b + c (the paper's mad_mod).
  * The 128-bit sum wraps mod 2**128 exactly like the NumPy carry chain. */
+ROW_JOB(mad_mod, {
+    const u64 p = C->p[j], two_p = C->two_p[j], rhi = C->rhi[j];
+    const u64 c64 = C->c64[j], c64q = C->c64q[j];
+    for (i64 i = 0; i < n; ++i) {
+        const u128 pr = (u128)C->a[off + i] * C->b[off + i] + C->c[off + i];
+        C->o0[off + i] = reduce128((u64)(pr >> 64), (u64)pr,
+                                   p, two_p, rhi, c64, c64q);
+    }
+})
+
 EXPORT void repro_mad_mod(const u64 *a, const u64 *b, const u64 *c, u64 *out,
                           i64 rows, i64 k, i64 n,
                           const u64 *p_arr, const u64 *two_p_arr,
                           const u64 *rhi_arr, const u64 *c64_arr,
                           const u64 *c64q_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
-        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
-        for (i64 i = 0; i < n; ++i) {
-            const u128 pr = (u128)a[off + i] * b[off + i] + c[off + i];
-            out[off + i] = reduce128((u64)(pr >> 64), (u64)pr,
-                                     p, two_p, rhi, c64, c64q);
-        }
-    })
+    rowctx C = {0};
+    C.a = a;
+    C.b = b;
+    C.c = c;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    C.two_p = two_p_arr;
+    C.rhi = rhi_arr;
+    C.c64 = c64_arr;
+    C.c64q = c64q_arr;
+    run_rows(job_mad_mod, &C, rows * k, 4 * n);
 }
 
 /* Ciphertext tensor product (a0 b0, a0 b1 + a1 b0, a1 b1), each element
  * finished in one pass: three wide multiplies, three reductions.  Cross
  * products sum at 128 bits before the one reduction (valid for lazy NTT
  * operands < 2**63: the sum stays < 2**127). */
+ROW_JOB(dyadic_product, {
+    const u64 p = C->p[j], two_p = C->two_p[j], rhi = C->rhi[j];
+    const u64 c64 = C->c64[j], c64q = C->c64q[j];
+    for (i64 i = 0; i < n; ++i) {
+        const u64 x0 = C->a[off + i], x1 = C->b[off + i];
+        const u64 y0 = C->c[off + i], y1 = C->d[off + i];
+        const u128 p00 = (u128)x0 * y0;
+        const u128 p11 = (u128)x1 * y1;
+        const u128 px = (u128)x0 * y1 + (u128)x1 * y0;
+        C->o0[off + i] = reduce128((u64)(p00 >> 64), (u64)p00,
+                                   p, two_p, rhi, c64, c64q);
+        C->o1[off + i] = reduce128((u64)(px >> 64), (u64)px,
+                                   p, two_p, rhi, c64, c64q);
+        C->o2[off + i] = reduce128((u64)(p11 >> 64), (u64)p11,
+                                   p, two_p, rhi, c64, c64q);
+    }
+})
+
 EXPORT void repro_dyadic_product(const u64 *a0, const u64 *a1,
                                  const u64 *b0, const u64 *b1,
                                  u64 *o0, u64 *o1, u64 *o2,
@@ -274,24 +661,40 @@ EXPORT void repro_dyadic_product(const u64 *a0, const u64 *a1,
                                  const u64 *p_arr, const u64 *two_p_arr,
                                  const u64 *rhi_arr, const u64 *c64_arr,
                                  const u64 *c64q_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
-        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
-        for (i64 i = 0; i < n; ++i) {
-            const u64 x0 = a0[off + i], x1 = a1[off + i];
-            const u64 y0 = b0[off + i], y1 = b1[off + i];
-            const u128 p00 = (u128)x0 * y0;
-            const u128 p11 = (u128)x1 * y1;
-            const u128 px = (u128)x0 * y1 + (u128)x1 * y0;
-            o0[off + i] = reduce128((u64)(p00 >> 64), (u64)p00,
-                                    p, two_p, rhi, c64, c64q);
-            o1[off + i] = reduce128((u64)(px >> 64), (u64)px,
-                                    p, two_p, rhi, c64, c64q);
-            o2[off + i] = reduce128((u64)(p11 >> 64), (u64)p11,
-                                    p, two_p, rhi, c64, c64q);
-        }
-    })
+    rowctx C = {0};
+    C.a = a0;
+    C.b = a1;
+    C.c = b0;
+    C.d = b1;
+    C.o0 = o0;
+    C.o1 = o1;
+    C.o2 = o2;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    C.two_p = two_p_arr;
+    C.rhi = rhi_arr;
+    C.c64 = c64_arr;
+    C.c64q = c64q_arr;
+    run_rows(job_dyadic_product, &C, rows * k, 12 * n);
 }
+
+ROW_JOB(dyadic_square, {
+    const u64 p = C->p[j], two_p = C->two_p[j], rhi = C->rhi[j];
+    const u64 c64 = C->c64[j], c64q = C->c64q[j];
+    for (i64 i = 0; i < n; ++i) {
+        const u64 x0 = C->a[off + i], x1 = C->b[off + i];
+        const u128 p00 = (u128)x0 * x0;
+        const u128 p11 = (u128)x1 * x1;
+        const u128 px = ((u128)x0 * x1) << 1; /* wraps mod 2^128 */
+        C->o0[off + i] = reduce128((u64)(p00 >> 64), (u64)p00,
+                                   p, two_p, rhi, c64, c64q);
+        C->o1[off + i] = reduce128((u64)(px >> 64), (u64)px,
+                                   p, two_p, rhi, c64, c64q);
+        C->o2[off + i] = reduce128((u64)(p11 >> 64), (u64)p11,
+                                   p, two_p, rhi, c64, c64q);
+    }
+})
 
 EXPORT void repro_dyadic_square(const u64 *a0, const u64 *a1,
                                 u64 *o0, u64 *o1, u64 *o2,
@@ -299,81 +702,118 @@ EXPORT void repro_dyadic_square(const u64 *a0, const u64 *a1,
                                 const u64 *p_arr, const u64 *two_p_arr,
                                 const u64 *rhi_arr, const u64 *c64_arr,
                                 const u64 *c64q_arr) {
-    FOR_STACK({
-        const u64 p = p_arr[j], two_p = two_p_arr[j], rhi = rhi_arr[j];
-        const u64 c64 = c64_arr[j], c64q = c64q_arr[j];
-        for (i64 i = 0; i < n; ++i) {
-            const u64 x0 = a0[off + i], x1 = a1[off + i];
-            const u128 p00 = (u128)x0 * x0;
-            const u128 p11 = (u128)x1 * x1;
-            const u128 px = ((u128)x0 * x1) << 1; /* wraps mod 2^128 */
-            o0[off + i] = reduce128((u64)(p00 >> 64), (u64)p00,
-                                    p, two_p, rhi, c64, c64q);
-            o1[off + i] = reduce128((u64)(px >> 64), (u64)px,
-                                    p, two_p, rhi, c64, c64q);
-            o2[off + i] = reduce128((u64)(p11 >> 64), (u64)p11,
-                                    p, two_p, rhi, c64, c64q);
-        }
-    })
+    rowctx C = {0};
+    C.a = a0;
+    C.b = a1;
+    C.o0 = o0;
+    C.o1 = o1;
+    C.o2 = o2;
+    C.k = k;
+    C.n = n;
+    C.p = p_arr;
+    C.two_p = two_p_arr;
+    C.rhi = rhi_arr;
+    C.c64 = c64_arr;
+    C.c64q = c64q_arr;
+    run_rows(job_dyadic_square, &C, rows * k, 10 * n);
 }
 
 /* Canonical w*x mod p for a fixed per-limb Harvey operand w. */
+ROW_JOB(mul_operand, {
+    const u64 w = C->w[j], wq = C->wq[j], p = C->p[j];
+    for (i64 i = 0; i < n; ++i)
+        C->o0[off + i] = csub(harvey_lazy(C->a[off + i], w, wq, p), p);
+})
+
 EXPORT void repro_mul_operand(const u64 *x, u64 *out,
                               i64 rows, i64 k, i64 n,
                               const u64 *w_arr, const u64 *wq_arr,
                               const u64 *p_arr) {
-    FOR_STACK({
-        const u64 w = w_arr[j], wq = wq_arr[j], p = p_arr[j];
-        for (i64 i = 0; i < n; ++i)
-            out[off + i] = csub(harvey_lazy(x[off + i], w, wq, p), p);
-    })
+    rowctx C = {0};
+    C.a = x;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.w = w_arr;
+    C.wq = wq_arr;
+    C.p = p_arr;
+    run_rows(job_mul_operand, &C, rows * k, 2 * n);
 }
 
 /* The divide-round tail: w*(m - r) mod p with r lazy in [0, 4p) —
  * one pass over the data instead of packedops' ~12. */
+ROW_JOB(lazy_diff_mul_operand, {
+    const u64 w = C->w[j], wq = C->wq[j];
+    const u64 p = C->p[j], four_p = C->two_p[j] * 2;
+    for (i64 i = 0; i < n; ++i) {
+        const u64 y = C->a[off + i] + four_p - C->b[off + i];
+        C->o0[off + i] = csub(harvey_lazy(y, w, wq, p), p);
+    }
+})
+
 EXPORT void repro_lazy_diff_mul_operand(const u64 *m_arr, const u64 *r_arr,
                                         u64 *out, i64 rows, i64 k, i64 n,
                                         const u64 *w_arr, const u64 *wq_arr,
                                         const u64 *p_arr,
                                         const u64 *two_p_arr) {
-    FOR_STACK({
-        const u64 w = w_arr[j], wq = wq_arr[j];
-        const u64 p = p_arr[j], four_p = two_p_arr[j] * 2;
-        for (i64 i = 0; i < n; ++i) {
-            const u64 y = m_arr[off + i] + four_p - r_arr[off + i];
-            out[off + i] = csub(harvey_lazy(y, w, wq, p), p);
-        }
-    })
+    rowctx C = {0};
+    C.a = m_arr;
+    C.b = r_arr;
+    C.o0 = out;
+    C.k = k;
+    C.n = n;
+    C.w = w_arr;
+    C.wq = wq_arr;
+    C.p = p_arr;
+    C.two_p = two_p_arr;
+    run_rows(job_lazy_diff_mul_operand, &C, rows * k, 2 * n);
 }
 
 /* LastModulusScaler.divide_round fused: given the (k, n) residue matrix
  * whose last row holds the dropped modulus' residues, emit the (k-1, n)
  * divide-and-rounded kept rows.  Per element: Barrett64 of the dropped
  * residue into q_j, centered-representative correction, modular
- * difference, Harvey multiply by d^{-1} — one load/store per output. */
+ * difference, Harvey multiply by d^{-1} — one load/store per output.
+ * Kept rows are independent, so the pool splits on j (a/b double as the
+ * matrix/last-row pointers, w/wq as the d^{-1} Harvey operands, c64 as
+ * the d-mod-p column). */
+ROW_JOB(scaler_tail, {
+    const u64 p = C->p[j], rhi = C->rhi[j];
+    const u64 w = C->w[j], wq = C->wq[j], dm = C->c64[j];
+    const u64 *row = C->a + off;
+    u64 *orow = C->o0 + off;
+    for (i64 i = 0; i < n; ++i) {
+        const u64 lv = C->b[i];
+        u64 rr = barrett64(lv, p, rhi);
+        if (lv > C->half_d)
+            rr = csub(rr + p - dm, p);
+        const u64 diff = csub(row[i] + p - rr, p);
+        orow[i] = csub(harvey_lazy(diff, w, wq, p), p);
+    }
+})
+
 EXPORT void repro_scaler_tail(const u64 *matrix, u64 *out,
                               i64 k, i64 n, u64 half_d,
                               const u64 *p_arr, const u64 *rhi_arr,
                               const u64 *inv_w, const u64 *inv_wq,
                               const u64 *d_mod) {
-    const u64 *last = matrix + (size_t)(k - 1) * n;
-    for (i64 j = 0; j < k - 1; ++j) {
-        const u64 p = p_arr[j], rhi = rhi_arr[j];
-        const u64 w = inv_w[j], wq = inv_wq[j], dm = d_mod[j];
-        const u64 *row = matrix + (size_t)j * n;
-        u64 *orow = out + (size_t)j * n;
-        for (i64 i = 0; i < n; ++i) {
-            const u64 lv = last[i];
-            u64 r = barrett64(lv, p, rhi);
-            if (lv > half_d)
-                r = csub(r + p - dm, p);
-            const u64 diff = csub(row[i] + p - r, p);
-            orow[i] = csub(harvey_lazy(diff, w, wq, p), p);
-        }
-    }
+    rowctx C = {0};
+    C.a = matrix;
+    C.b = matrix + (size_t)(k - 1) * n; /* dropped modulus' residues */
+    C.o0 = out;
+    C.k = k - 1;
+    C.n = n;
+    C.p = p_arr;
+    C.rhi = rhi_arr;
+    C.w = inv_w;
+    C.wq = inv_wq;
+    C.c64 = d_mod;
+    C.half_d = half_d;
+    run_rows(job_scaler_tail, &C, k - 1, 4 * n);
 }
 
-/* Sanity hook: lets the loader verify the ABI after a cache hit. */
+/* Sanity hook: lets the loader verify the ABI after a cache hit.
+ * v2: threaded row pool + repro_ks_decompose + thread controls. */
 EXPORT i64 repro_native_abi_version(void) {
-    return 1;
+    return 2;
 }

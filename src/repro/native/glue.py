@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import ctypes
 import logging
+import os
 import threading
+from contextlib import contextmanager
 from typing import Optional
 
 import numpy as np
@@ -26,7 +28,8 @@ from .build import NativeBuildError, build
 
 __all__ = [
     "available", "availability_error", "library_path", "load", "reset",
-    "ntt_forward", "ntt_inverse",
+    "set_threads", "get_threads", "use_threads",
+    "ntt_forward", "ntt_inverse", "ks_decompose",
     "add_mod", "sub_mod", "neg_mod", "conditional_sub",
     "barrett_reduce_64", "barrett_reduce_128",
     "mul_mod", "mad_mod", "dyadic_product", "dyadic_square",
@@ -40,6 +43,11 @@ _LIB: Optional[ctypes.CDLL] = None
 _LIB_PATH = None
 _FAILED = False
 _FAIL_REASON: Optional[str] = None
+
+#: Thread width requested before/after load; None means "use the
+#: default" (REPRO_NATIVE_THREADS env, else os.cpu_count()).  Kept
+#: Python-side so get_threads() never forces a compile.
+_THREADS_REQUESTED: Optional[int] = None
 
 _PTR = ctypes.c_void_p
 _I64 = ctypes.c_int64
@@ -70,7 +78,28 @@ _SIGS = {
                                     _PTR, _PTR, _PTR, _PTR],
     "repro_scaler_tail": [_PTR, _PTR, _I64, _I64, _U64,
                           _PTR, _PTR, _PTR, _PTR, _PTR],
+    "repro_ks_decompose": [_PTR, _PTR, _I64, _I64, _PTR, _PTR, _PTR, _PTR,
+                           _PTR, _PTR, _PTR, _PTR, _PTR, _PTR, _PTR],
 }
+
+_ABI_VERSION = 2
+
+
+def _default_threads() -> int:
+    """REPRO_NATIVE_THREADS when valid, else os.cpu_count()."""
+    env = os.environ.get("REPRO_NATIVE_THREADS", "").strip()
+    if env:
+        try:
+            value = int(env)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+        logger.warning(
+            "ignoring invalid REPRO_NATIVE_THREADS=%r "
+            "(want a positive integer); auto-sizing from cpu_count", env,
+        )
+    return max(1, os.cpu_count() or 1)
 
 
 def load() -> Optional[ctypes.CDLL]:
@@ -91,10 +120,18 @@ def load() -> Optional[ctypes.CDLL]:
             abi = lib.repro_native_abi_version
             abi.argtypes = []
             abi.restype = _I64
-            if abi() != 1:
+            if abi() != _ABI_VERSION:
                 raise NativeBuildError(
-                    f"cached library {path} has ABI {abi()}, expected 1"
+                    f"cached library {path} has ABI {abi()}, "
+                    f"expected {_ABI_VERSION}"
                 )
+            lib.repro_native_set_threads.argtypes = [_I64]
+            lib.repro_native_set_threads.restype = _I64
+            lib.repro_native_get_threads.argtypes = []
+            lib.repro_native_get_threads.restype = _I64
+            lib.repro_native_set_threads(
+                _THREADS_REQUESTED or _default_threads()
+            )
         except (NativeBuildError, OSError, AttributeError) as exc:
             _FAILED = True
             _FAIL_REASON = str(exc)
@@ -124,13 +161,60 @@ def library_path():
 
 
 def reset() -> None:
-    """Forget the load state (tests; allows a retry after env changes)."""
+    """Forget the load state (tests; allows a retry after env changes).
+
+    The thread-width *request* survives a reset (it is caller intent,
+    not load state); a reload re-applies it to the library.
+    """
     global _LIB, _LIB_PATH, _FAILED, _FAIL_REASON
     with _LOCK:
         _LIB = None
         _LIB_PATH = None
         _FAILED = False
         _FAIL_REASON = None
+
+
+# -- thread-width control -----------------------------------------------------
+
+
+def set_threads(n: Optional[int]) -> int:
+    """Set the native worker-pool width; returns the width in effect.
+
+    ``None`` restores the default (``REPRO_NATIVE_THREADS`` env, else
+    ``os.cpu_count()``).  Applied immediately when the library is
+    loaded, else remembered and applied at load time — so configuring
+    threads never forces a compile.  The library clamps to its spawn
+    capacity, so the return value is authoritative.
+    """
+    global _THREADS_REQUESTED
+    if n is not None and int(n) < 1:
+        raise ValueError(f"thread count must be >= 1, got {n}")
+    with _LOCK:
+        _THREADS_REQUESTED = None if n is None else int(n)
+        want = _THREADS_REQUESTED or _default_threads()
+        if _LIB is not None:
+            return int(_LIB.repro_native_set_threads(want))
+        return want
+
+
+def get_threads() -> int:
+    """The native worker-pool width currently in effect (or pending)."""
+    with _LOCK:
+        if _LIB is not None:
+            return int(_LIB.repro_native_get_threads())
+        return _THREADS_REQUESTED or _default_threads()
+
+
+@contextmanager
+def use_threads(n: Optional[int]):
+    """Scoped thread width: restores the previous request on exit."""
+    with _LOCK:
+        previous = _THREADS_REQUESTED
+    set_threads(n)
+    try:
+        yield get_threads()
+    finally:
+        set_threads(previous)
 
 
 # -- shape/constant helpers ---------------------------------------------------
@@ -447,4 +531,43 @@ def ntt_inverse(x, st_tables, *, lazy: bool = False):
     lib.repro_ntt_inverse(_ptr(out), batch, k, n, _ptr(iw), _ptr(iwq),
                           _ptr(K["p"]), _ptr(K["two_p"]),
                           _ptr(K["ninv_w"]), _ptr(K["ninv_q"]), int(lazy))
+    return out
+
+
+def ks_decompose(poly_ntt, inv_tables, fwd_tables):
+    """Fused key-switch decompose: iNTT -> Barrett -> NTT in one call.
+
+    ``poly_ntt`` is the ``(level, n)`` NTT-form polynomial; ``inv_tables``
+    the source-prime tables (``stacked_tables.prefix(level)``) and
+    ``fwd_tables`` the target-row tables (current primes + special
+    prime, ``level + 1`` rows).  Returns the ``(level, level + 1, n)``
+    decomposition, bit-identical to the three-call packed sequence
+    ``ntt_forward(barrett64(ntt_inverse(poly)))``, or None when
+    ineligible.
+    """
+    lib = load()
+    if lib is None:
+        return None
+    level = len(inv_tables)
+    n = inv_tables.degree
+    poly = np.asarray(poly_ntt)
+    if poly.shape != (level, n):
+        return None
+    if len(fwd_tables) != level + 1 or fwd_tables.degree != n:
+        return None
+    iw, iwq = inv_tables.iw, inv_tables.iwq
+    fw, fwq = fwd_tables.w, fwd_tables.wq
+    for table in (iw, iwq, fw, fwq):
+        if not table.flags.c_contiguous:
+            return None
+    iK = _tables_consts(inv_tables)
+    fK = _tables_consts(fwd_tables)
+    rhi = _mod_consts(fwd_tables.modulus)["rhi"]
+    poly = np.ascontiguousarray(poly, dtype=np.uint64)
+    out = np.empty((level, level + 1, n), dtype=np.uint64)
+    lib.repro_ks_decompose(
+        _ptr(poly), _ptr(out), level, n,
+        _ptr(iw), _ptr(iwq), _ptr(iK["p"]), _ptr(iK["two_p"]),
+        _ptr(iK["ninv_w"]), _ptr(iK["ninv_q"]),
+        _ptr(fw), _ptr(fwq), _ptr(fK["p"]), _ptr(fK["two_p"]), _ptr(rhi))
     return out

@@ -24,12 +24,11 @@ laziness windows), which ``tests/test_packed_ab.py`` enforces.
 
 from __future__ import annotations
 
-import threading
-
 import numpy as np
 
 from ..modmath import Modulus
 from ..modmath.harvey import reduce_from_lazy
+from ..modmath.scratch import ScratchRegistry
 from ..modmath.uint128 import mul_high, mul_low, wrapping
 from ..native import backend as _backend
 from ..native import glue as _native
@@ -43,6 +42,8 @@ __all__ = [
     "forward_stage",
     "inverse_stage",
     "naive_ntt_rounds",
+    "scratch_pool_info",
+    "clear_scratch_pool",
 ]
 
 
@@ -179,31 +180,33 @@ class _StageScratch:
         self.flat = np.empty((7, count), dtype=np.uint64)
         self.mask = np.empty(count, dtype=bool)
 
+    @property
+    def nbytes(self) -> int:
+        return self.flat.nbytes + self.mask.nbytes
+
     def stage(self, shape):
         bufs = [b.reshape(shape) for b in self.flat]
         return bufs, self.mask.reshape(shape)
 
 
-_SCRATCH_POOL = threading.local()
-
-#: Keeps the insert/bounded-clear of the per-thread pools atomic (same
-#: rationale as ``packedops._POOL_LOCK``: concurrent evaluator lanes).
-_SCRATCH_LOCK = threading.Lock()
+#: Per-thread scratch caches so repeated transforms reuse warm pages,
+#: globally byte-bounded (LRU across threads) so long-lived worker pools
+#: cannot accumulate one unbounded pool per thread.
+_SCRATCH = ScratchRegistry("ntt-radix2")
 
 
 def _get_scratch(count: int) -> _StageScratch:
-    """Per-thread scratch cache so repeated transforms reuse warm pages."""
-    pool = getattr(_SCRATCH_POOL, "pool", None)
-    if pool is None:
-        pool = _SCRATCH_POOL.pool = {}
-    scratch = pool.get(count)
-    if scratch is None:
-        scratch = _StageScratch(count)
-        with _SCRATCH_LOCK:
-            if len(pool) >= 8:
-                pool.clear()
-            pool[count] = scratch
-    return scratch
+    return _SCRATCH.get(count, _StageScratch)
+
+
+def scratch_pool_info():
+    """Live scratch accounting: ``threads``, ``buffers``, ``bytes``."""
+    return _SCRATCH.info()
+
+
+def clear_scratch_pool():
+    """Drop every thread's cached stage buffers (tests, trim-memory)."""
+    _SCRATCH.clear()
 
 
 def _cond_sub_into(x, bound, mask, scratch, out) -> None:

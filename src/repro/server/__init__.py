@@ -40,6 +40,7 @@ from .request import (
     overloaded_response,
 )
 from .sessions import ClientSession, SessionManager
+from .workers import WorkerPool, WorkerStats
 from .traffic import (
     demo_deployment,
     mixed_square_multiply_traffic,
@@ -76,6 +77,8 @@ __all__ = [
     "ServerSession",
     "BatchDispatcher",
     "HEServer",
+    "WorkerPool",
+    "WorkerStats",
     "ServerClient",
     "demo_deployment",
     "mixed_square_multiply_traffic",

@@ -45,6 +45,7 @@ way, so results are bit-identical with the flag on or off.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -80,6 +81,7 @@ from .request import (
     overloaded_response,
 )
 from .sessions import SessionManager
+from .workers import WorkerPool
 
 __all__ = ["ArtifactCache", "ServerSession", "BatchDispatcher", "HEServer"]
 
@@ -110,25 +112,31 @@ class ArtifactCache:
     paper's point is precisely that reuse avoids the driver round-trip.
     Simulated allocation costs accumulate in ``pending_cost_us`` so the
     dispatcher can charge them to the epoch's clock.
+
+    Thread-safe: worker-pool evaluation can race lookups, so ``get``
+    holds a lock across the build — one build per artifact, and
+    hit/miss totals stay deterministic under any thread interleaving.
     """
 
     def __init__(self, memcache: MemoryCache):
         self.memcache = memcache
         self._store: Dict[str, tuple] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.pending_cost_us = 0.0
 
     def get(self, name: str, nbytes: int, builder: Callable[[], object]):
-        if name in self._store:
-            self.hits += 1
-            return self._store[name][0]
-        self.misses += 1
-        value = builder()
-        buf, cost_us = self.memcache.malloc(nbytes)
-        self.pending_cost_us += cost_us
-        self._store[name] = (value, buf)
-        return value
+        with self._lock:
+            if name in self._store:
+                self.hits += 1
+                return self._store[name][0]
+            self.misses += 1
+            value = builder()
+            buf, cost_us = self.memcache.malloc(nbytes)
+            self.pending_cost_us += cost_us
+            self._store[name] = (value, buf)
+            return value
 
     def invalidate(self, prefix: str) -> int:
         """Drop every artifact whose name starts with ``prefix``.
@@ -137,15 +145,17 @@ class ArtifactCache:
         computed from the stale cached copy; freed buffers return to the
         memory-cache pool.  Returns the number of artifacts dropped.
         """
-        victims = [k for k in self._store if k.startswith(prefix)]
-        for k in victims:
-            _value, buf = self._store.pop(k)
-            self.pending_cost_us += self.memcache.free(buf)
-        return len(victims)
+        with self._lock:
+            victims = [k for k in self._store if k.startswith(prefix)]
+            for k in victims:
+                _value, buf = self._store.pop(k)
+                self.pending_cost_us += self.memcache.free(buf)
+            return len(victims)
 
     def drain_pending_cost_us(self) -> float:
-        cost, self.pending_cost_us = self.pending_cost_us, 0.0
-        return cost
+        with self._lock:
+            cost, self.pending_cost_us = self.pending_cost_us, 0.0
+            return cost
 
     def __contains__(self, name: str) -> bool:
         return name in self._store
@@ -332,9 +342,19 @@ class ServerSession:
         out_level = level - 1 if op in ("square", "multiply") else level
         return 2 * out_level * self.context.degree * 8
 
-    def execute(self, req: ServeRequest,
-                profiler: GpuOpProfiler) -> Tuple[Ciphertext, List[KernelProfile]]:
-        """Compute the true result and the kernel chain for one request."""
+    def execute_plan(
+        self, req: ServeRequest, profiler: GpuOpProfiler,
+    ) -> Tuple[List[KernelProfile], Callable[[], Ciphertext]]:
+        """Split one request into (profiles, pure-math thunk).
+
+        Everything with bookkeeping side effects — artifact-cache gets
+        (hit/miss counters, simulated malloc costs) and request
+        validation — happens *here*, on the calling thread; the returned
+        thunk is pure evaluator math over the captured keys/plaintexts,
+        safe to run on any worker thread.  This is what lets the
+        dispatcher fan evaluation out while keeping every simulated-time
+        counter bit-identical to the inline run.
+        """
         ev = self.evaluator
         cid = req.client_id
         ct = req.cts[0]
@@ -343,28 +363,40 @@ class ServerSession:
                                  client_id=cid)
         if req.op == "square":
             rlk = self._relin_artifact(cid)
-            out = ev.rescale(ev.relinearize(ev.square(ct), rlk))
+            thunk = lambda: ev.rescale(ev.relinearize(ev.square(ct), rlk))
         elif req.op == "multiply":
             rlk = self._relin_artifact(cid)
-            out = ev.rescale(ev.relinearize(ev.multiply(ct, req.cts[1]), rlk))
+            other = req.cts[1]
+            thunk = lambda: ev.rescale(
+                ev.relinearize(ev.multiply(ct, other), rlk))
         elif req.op == "add":
-            out = ev.add(ct, req.cts[1])
+            other = req.cts[1]
+            thunk = lambda: ev.add(ct, other)
         elif req.op == "rotate":
             gk = self._galois_artifact(cid)
-            out = ev.rotate(ct, int(req.meta["steps"]), gk)
+            steps = int(req.meta["steps"])
+            thunk = lambda: ev.rotate(ct, steps, gk)
         elif req.op == "multiply_plain":
             pt, _dim = self.weight_plaintext(req.meta["weights"], lvl,
                                              client_id=cid)
-            out = ev.multiply_plain(ct, pt)
+            thunk = lambda: ev.multiply_plain(ct, pt)
         else:  # dot_plain (op_profiles already rejected anything else)
             gk = self._galois_artifact(cid)
             pt, dim = self.weight_plaintext(req.meta["weights"], lvl,
                                             client_id=cid)
-            acc = ev.multiply_plain(ct, pt)
-            for step in _rotation_steps(dim):
-                acc = ev.add(acc, ev.rotate(acc, step, gk))
-            out = acc
-        return out, profs
+
+            def thunk(ct=ct, pt=pt, gk=gk, dim=dim):
+                acc = ev.multiply_plain(ct, pt)
+                for step in _rotation_steps(dim):
+                    acc = ev.add(acc, ev.rotate(acc, step, gk))
+                return acc
+        return profs, thunk
+
+    def execute(self, req: ServeRequest,
+                profiler: GpuOpProfiler) -> Tuple[Ciphertext, List[KernelProfile]]:
+        """Compute the true result and the kernel chain for one request."""
+        profs, thunk = self.execute_plan(req, profiler)
+        return thunk(), profs
 
 
 class BatchDispatcher:
@@ -372,11 +404,16 @@ class BatchDispatcher:
 
     def __init__(self, session: ServerSession,
                  devices: Sequence[Tuple[DeviceSpec, int]],
-                 *, gpu_config: Optional[GpuConfig] = None):
+                 *, gpu_config: Optional[GpuConfig] = None,
+                 workers: Optional[WorkerPool] = None):
         if not devices:
             raise ValueError("need at least one device")
         self.session = session
         self.devices = list(devices)
+        #: Optional evaluation pool: when set, the real ciphertext math
+        #: of a device chunk fans out across it (bookkeeping stays on
+        #: the dispatching thread, so responses/timing are identical).
+        self.workers = workers
         # Pool labels stay unique even for homogeneous pools (two
         # identical GPUs serve independently).
         name_counts: Dict[str, int] = {}
@@ -492,6 +529,27 @@ class BatchDispatcher:
             responses.extend(self.dispatch(sub, free_at_us))
         return responses
 
+    def _evaluate(self, thunks: Sequence[Callable]) -> List[tuple]:
+        """Run the pure-math thunks; ``(result, error)`` per thunk, in order.
+
+        Fans out across the attached :class:`WorkerPool` when there is
+        one (and more than one thunk); executor-level rejections
+        (KeyError/ValueError from evaluator validation) come back as
+        error strings, anything else propagates.  Order and outcomes are
+        independent of the pool width.
+        """
+
+        def one(thunk):
+            try:
+                return thunk(), None
+            except (KeyError, ValueError) as exc:
+                return None, str(exc)
+
+        pool = self.workers
+        if pool is not None and not pool.closed and len(thunks) > 1:
+            return pool.map_ordered(one, thunks)
+        return [one(t) for t in thunks]
+
     def _dispatch_on_device(
         self, pool_idx: int, reqs: List[ServeRequest],
         batch: Batch, free_at_us: Dict[str, float],
@@ -520,23 +578,40 @@ class BatchDispatcher:
         profiler = self._profilers[pool_idx]
         session.ntt_tables_artifact(dev)
 
+        # Phase 1 (sequential): all bookkeeping side effects — scratch
+        # mallocs and artifact resolution — in request order, exactly as
+        # the inline loop interleaved them (the math between a request's
+        # artifact gets and the next request's malloc has no cache side
+        # effects, so hoisting it preserves every counter and cost).
         scratch = []
         alloc_cost_us = 0.0
         results: Dict[str, Ciphertext] = {}
         failures: Dict[str, str] = {}
         lanes: Dict[str, int] = {}  # request id -> lane (fusion off)
         chains: List[Tuple[ServeRequest, List[KernelProfile]]] = []
-        for lane, req in enumerate(live):
+        planned: List[Tuple[ServeRequest, List[KernelProfile], Callable]] = []
+        for req in live:
             buf, cost_us = session.memcache.malloc(max(req.wire_bytes, 1))
             alloc_cost_us += cost_us
             scratch.append(buf)
             try:
-                result, profs = session.execute(req, profiler)
+                profs, thunk = session.execute_plan(req, profiler)
             except (KeyError, ValueError) as exc:
                 failures[req.request_id] = str(exc)
                 continue
+            planned.append((req, profs, thunk))
+        # Phase 2 (parallel when a pool is attached): the pure ciphertext
+        # math.  map_ordered keeps submission order, so the lane/chain
+        # assembly below is identical to the inline run.
+        lane_of = {id(req): lane for lane, req in enumerate(live)}
+        evaluated = self._evaluate([t for _, _, t in planned])
+        for (req, profs, _thunk), outcome in zip(planned, evaluated):
+            result, err = outcome
+            if err is not None:
+                failures[req.request_id] = err
+                continue
             results[req.request_id] = result
-            lanes[req.request_id] = lane
+            lanes[req.request_id] = lane_of[id(req)]
             chains.append((req, profs))
 
         self.raw_launches += sum(p.launches for _, c in chains for p in c)
@@ -659,7 +734,8 @@ class HEServer:
                  policy: Optional[BatchPolicy] = None,
                  cache_enabled: bool = True,
                  gpu_config: Optional[GpuConfig] = None,
-                 admission: Optional[AdmissionPolicy] = None):
+                 admission: Optional[AdmissionPolicy] = None,
+                 workers: int = 0):
         params = (from_bytes(load_params, params_wire)
                   if isinstance(params_wire, (bytes, bytearray))
                   else params_wire)
@@ -667,8 +743,14 @@ class HEServer:
         self.devices = list(devices) if devices is not None else list(DEFAULT_DEVICES)
         self.policy = policy or BatchPolicy()
         self.batcher = RequestBatcher(self.policy)
+        # workers >= 2 attaches a real evaluation pool; 0/1 keep the
+        # inline path (a one-wide pool would only add handoff latency).
+        self.workers: Optional[WorkerPool] = (
+            WorkerPool(workers, name="he-worker") if workers >= 2 else None
+        )
         self.dispatcher = BatchDispatcher(self.session, self.devices,
-                                          gpu_config=gpu_config)
+                                          gpu_config=gpu_config,
+                                          workers=self.workers)
         self.sessions = SessionManager(self.session)
         self.admission = (AdmissionController(admission)
                           if admission is not None else None)
@@ -678,6 +760,12 @@ class HEServer:
         self._responses: Dict[str, ServeResponse] = {}
         self._seen_ids: set = set()
         self._request_log: List[ServeRequest] = []
+        # Coordination lock: concurrent submit()/stream() callers (the
+        # thread-safety hammer) mutate the batcher, clock, seen-ids and
+        # response map; the lock makes each such step atomic.  Simulated
+        # *timing* stays deterministic for a single coordinator; with
+        # several, arrival interleaving is the caller's nondeterminism.
+        self._mu = threading.RLock()
 
     # -- control plane ------------------------------------------------------------
 
@@ -699,6 +787,21 @@ class HEServer:
         """Simulate one pool device dying at ``at_us`` (failure testing)."""
         self.dispatcher.fail_device(label, at_us)
 
+    def close(self) -> None:
+        """Shut the evaluation worker pool down (idempotent).
+
+        After close the server still serves — evaluation just runs
+        inline again (``_evaluate`` skips a closed pool).
+        """
+        if self.workers is not None:
+            self.workers.close()
+
+    def __enter__(self) -> "HEServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- data plane ---------------------------------------------------------------
 
     def submit(self, request, *, arrival_us: Optional[float] = None) -> str:
@@ -713,32 +816,34 @@ class HEServer:
         """
         req = (decode_request(request)
                if isinstance(request, (bytes, bytearray)) else request)
-        if req.request_id in self._seen_ids:
-            raise ValueError(f"duplicate request id {req.request_id!r}")
-        if req.client_id and req.client_id not in self.sessions:
-            raise ValueError(
-                f"unknown session client {req.client_id!r}; handshake first"
-            )
-        self._seen_ids.add(req.request_id)
-        if arrival_us is not None:
-            self._clock_us = max(self._clock_us, arrival_us)
-            req.arrival_us = arrival_us
-        else:
-            req.arrival_us = self._clock_us
-        if self.admission is not None and not self.admission.admit(req.arrival_us):
-            resp = overloaded_response(req.request_id,
-                                       arrival_us=req.arrival_us,
-                                       priority=req.priority)
-            self._responses[req.request_id] = resp
-            self.metrics.observe_shed(req.priority)
-            self.sessions.note_shed(req.client_id)
+        with self._mu:
+            if req.request_id in self._seen_ids:
+                raise ValueError(f"duplicate request id {req.request_id!r}")
+            if req.client_id and req.client_id not in self.sessions:
+                raise ValueError(
+                    f"unknown session client {req.client_id!r}; handshake first"
+                )
+            self._seen_ids.add(req.request_id)
+            if arrival_us is not None:
+                self._clock_us = max(self._clock_us, arrival_us)
+                req.arrival_us = arrival_us
+            else:
+                req.arrival_us = self._clock_us
+            if (self.admission is not None
+                    and not self.admission.admit(req.arrival_us)):
+                resp = overloaded_response(req.request_id,
+                                           arrival_us=req.arrival_us,
+                                           priority=req.priority)
+                self._responses[req.request_id] = resp
+                self.metrics.observe_shed(req.priority)
+                self.sessions.note_shed(req.client_id)
+                return req.request_id
+            if self.admission is not None:
+                self.metrics.observe_admitted()
+            self.sessions.note_request(req.client_id)
+            self.batcher.add(req)
+            self._request_log.append(req)
             return req.request_id
-        if self.admission is not None:
-            self.metrics.observe_admitted()
-        self.sessions.note_request(req.client_id)
-        self.batcher.add(req)
-        self._request_log.append(req)
-        return req.request_id
 
     @property
     def request_log(self) -> List[ServeRequest]:
@@ -761,36 +866,44 @@ class HEServer:
         """
         heap: List[Tuple[float, int, ServeResponse]] = []
         seq = 0
-        batches = self.batcher.form_batches(drain=True,
-                                            now_us=self._clock_us)
+        with self._mu:
+            batches = self.batcher.form_batches(drain=True,
+                                                now_us=self._clock_us)
         undispatched = list(batches)
         try:
             for batch in batches:
                 while heap and heap[0][0] <= batch.dispatch_us:
                     _, _, resp = heapq.heappop(heap)
                     yield encode_response(resp) if wire else resp
-                undispatched.remove(batch)
-                self.metrics.observe_batch(batch.size)
-                ops = {r.request_id: r.op for r in batch.requests}
-                for resp in self.dispatcher.dispatch(batch, self._free_at_us):
-                    resp.yielded_at_us = max(resp.complete_us,
-                                             resp.arrival_us)
-                    self._record(resp, ops[resp.request_id])
-                    heapq.heappush(heap, (resp.yielded_at_us, seq, resp))
-                    seq += 1
+                # One batch's dispatch + bookkeeping is atomic w.r.t.
+                # concurrent submit()/stream() callers; yields happen
+                # outside the lock so a slow consumer never blocks them.
+                with self._mu:
+                    undispatched.remove(batch)
+                    self.metrics.observe_batch(batch.size)
+                    ops = {r.request_id: r.op for r in batch.requests}
+                    dispatched = self.dispatcher.dispatch(
+                        batch, self._free_at_us)
+                    for resp in dispatched:
+                        resp.yielded_at_us = max(resp.complete_us,
+                                                 resp.arrival_us)
+                        self._record(resp, ops[resp.request_id])
+                        heapq.heappush(heap, (resp.yielded_at_us, seq, resp))
+                        seq += 1
             while heap:
                 _, _, resp = heapq.heappop(heap)
                 yield encode_response(resp) if wire else resp
         finally:
-            for batch in undispatched:
-                for req in batch.requests:
-                    self.batcher.add(req)
-            self._clock_us = max(
-                [self._clock_us]
-                + [r.complete_us for r in self._responses.values()]
-            )
-            self.metrics.requeued_total = self.dispatcher.requeued
-            self._sync_cache_metrics()
+            with self._mu:
+                for batch in undispatched:
+                    for req in batch.requests:
+                        self.batcher.add(req)
+                self._clock_us = max(
+                    [self._clock_us]
+                    + [r.complete_us for r in self._responses.values()]
+                )
+                self.metrics.requeued_total = self.dispatcher.requeued
+                self._sync_cache_metrics()
 
     def drain(self, *, wire: bool = False) -> Dict[str, object]:
         """Serve everything pending; returns responses by request id.
@@ -837,6 +950,10 @@ class HEServer:
         self.metrics.memcache_requests = mc.requests
         self.metrics.raw_launches = self.dispatcher.raw_launches
         self.metrics.fused_launches = self.dispatcher.submitted_launches
+        if self.workers is not None:
+            self.metrics.worker_stats = [
+                s.as_dict() for s in self.workers.stats
+            ]
 
     # -- baseline -----------------------------------------------------------------
 

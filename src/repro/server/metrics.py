@@ -76,6 +76,10 @@ class ServerMetrics:
     #: Requests re-dispatched onto a surviving device after a device
     #: failure mid-stream.
     requeued_total: int = 0
+    #: Per-worker health/rate snapshots from the evaluation pool (empty
+    #: when the server runs inline): dicts with ``name``, ``tasks``,
+    #: ``failures``, ``busy_s``, ``rate_per_s``, ``restarts``.
+    worker_stats: List[Dict] = field(default_factory=list)
 
     def observe(self, record: RequestRecord) -> None:
         self.records.append(record)
@@ -235,6 +239,19 @@ class ServerMetrics:
             )
         if self.requeued_total:
             lines.append(f"requeued on failure  : {self.requeued_total}")
+        if self.worker_stats:
+            total = sum(w["tasks"] for w in self.worker_stats)
+            lines.append(
+                f"eval workers         : {len(self.worker_stats)} "
+                f"({total} tasks)"
+            )
+            for w in self.worker_stats:
+                lines.append(
+                    f"  {w['name']:<19}: {w['tasks']} tasks, "
+                    f"{w['failures']} failures, "
+                    f"{w['rate_per_s']:.0f}/s"
+                    + (f", {w['restarts']} restarts" if w["restarts"] else "")
+                )
         statuses = self.status_counts()
         if set(statuses) - {"ok"}:
             parts = ", ".join(f"{k}={v}" for k, v in sorted(statuses.items()))

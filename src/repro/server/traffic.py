@@ -159,6 +159,7 @@ def serve_traffic(
     window_us: float = 200.0,
     admission: Optional[AdmissionPolicy] = None,
     stream: bool = False,
+    workers: int = 0,
 ) -> HEServer:
     """Serve pre-framed traffic on a fresh server; returns it drained.
 
@@ -167,8 +168,9 @@ def serve_traffic(
     serving tests: one place defines the device pool, batching policy
     and GPU config, so the CLI self-tests and the CI benchmarks cannot
     silently diverge.  Call twice on the same ``frames`` with a knob
-    flipped (``kernel_fusion``, ``admission``, ``stream``) for a
-    bit-exact comparison.
+    flipped (``kernel_fusion``, ``admission``, ``stream``, ``workers``)
+    for a bit-exact comparison — ``workers >= 2`` fans the ciphertext
+    math across a real thread pool without changing any response.
     """
     server = HEServer(
         params,
@@ -177,14 +179,18 @@ def serve_traffic(
         gpu_config=GpuConfig(ntt_variant="local-radix-8", asm=True,
                              kernel_fusion=kernel_fusion),
         admission=admission,
+        workers=workers,
     )
     if relin_wire is not None:
         server.install_relin_key(relin_wire)
     for _rid, wire, arrival_us, _expected in frames:
         server.submit(wire, arrival_us=arrival_us)
-    if stream:
-        for _resp in server.stream():
-            pass
-    else:
-        server.drain()
+    try:
+        if stream:
+            for _resp in server.stream():
+                pass
+        else:
+            server.drain()
+    finally:
+        server.close()
     return server

@@ -1,0 +1,195 @@
+"""A bounded thread pool for concurrent batch evaluation.
+
+The dispatcher's per-device loop interleaves two very different kinds of
+work: *real* ciphertext math (``ServerSession.execute`` — NumPy/native
+kernels that release the GIL) and *simulated-time* bookkeeping (memory
+cache, schedulers, the epoch clock).  Only the first parallelizes; the
+second must stay sequential or the simulated clock stops being
+deterministic.  :class:`WorkerPool` carries exactly the first kind:
+:meth:`map_ordered` fans a list of independent evaluations across N
+long-lived worker threads and returns results in submission order, so
+the caller's bookkeeping — and therefore every response, timestamp and
+counter — is bit-identical to the inline (``workers=0``) run.
+
+Health/rate accounting is per worker (:class:`WorkerStats`): tasks run,
+failures (exceptions raised by the task — propagated to the caller, the
+worker itself survives), cumulative busy seconds, and tasks/sec.  A
+worker thread that dies anyway (e.g. interpreter teardown races) is
+respawned by the submitting thread, counted in ``restarts`` — the pool
+degrades, it does not deadlock.
+
+Thread safety: :meth:`submit`/:meth:`map_ordered` may be called from
+several coordinator threads at once; the task queue is the only shared
+mutable state and it is a :class:`queue.Queue`.  The pool never touches
+the simulated clock.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["WorkerStats", "WorkerPool"]
+
+
+class WorkerStats:
+    """Health/rate counters for one pool worker (updated by that worker)."""
+
+    __slots__ = ("name", "tasks", "failures", "busy_s", "restarts")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.tasks = 0
+        self.failures = 0
+        self.busy_s = 0.0
+        self.restarts = 0
+
+    @property
+    def rate(self) -> float:
+        """Tasks per busy second (0.0 until the worker has run anything)."""
+        return self.tasks / self.busy_s if self.busy_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tasks": self.tasks,
+            "failures": self.failures,
+            "busy_s": self.busy_s,
+            "rate_per_s": self.rate,
+            "restarts": self.restarts,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WorkerStats({self.name}: tasks={self.tasks} "
+                f"failures={self.failures} busy={self.busy_s:.3f}s)")
+
+
+class _Future:
+    """Minimal result slot: one producer (a worker), one consumer."""
+
+    __slots__ = ("_done", "_result", "_error")
+
+    def __init__(self):
+        self._done = threading.Event()
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    def _set(self, result, error) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def result(self):
+        self._done.wait()
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+_STOP = object()
+
+
+class WorkerPool:
+    """N long-lived daemon workers draining a bounded task queue."""
+
+    def __init__(self, workers: int, *, name: str = "worker",
+                 queue_depth: Optional[int] = None):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        # A bounded queue keeps a fast submitter from buffering the whole
+        # workload; by default depth tracks the pool width.
+        self._tasks: queue.Queue = queue.Queue(queue_depth or 2 * workers)
+        self.stats: List[WorkerStats] = [
+            WorkerStats(f"{name}-{i}") for i in range(workers)
+        ]
+        self._closed = False
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        for i in range(workers):
+            self._threads.append(self._spawn(i))
+
+    def _spawn(self, idx: int) -> threading.Thread:
+        t = threading.Thread(
+            target=self._run, args=(idx,),
+            name=self.stats[idx].name, daemon=True,
+        )
+        t.start()
+        return t
+
+    def _run(self, idx: int) -> None:
+        stats = self.stats[idx]
+        while True:
+            item = self._tasks.get()
+            if item is _STOP:
+                return
+            fn, args, fut = item
+            start = time.perf_counter()
+            try:
+                result, error = fn(*args), None
+            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                result, error = None, exc
+                stats.failures += 1
+            stats.busy_s += time.perf_counter() - start
+            stats.tasks += 1
+            fut._set(result, error)
+
+    # -- submission ----------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return len(self._threads)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_alive(self) -> None:
+        """Respawn dead workers (restart counted) so submits never hang."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            for i, t in enumerate(self._threads):
+                if not t.is_alive():
+                    self.stats[i].restarts += 1
+                    self._threads[i] = self._spawn(i)
+
+    def submit(self, fn: Callable, *args) -> _Future:
+        """Queue one task; returns a future whose ``result()`` re-raises."""
+        self._ensure_alive()
+        fut = _Future()
+        self._tasks.put((fn, args, fut))
+        return fut
+
+    def map_ordered(self, fn: Callable, items: Sequence) -> list:
+        """``[fn(item) for item in items]`` across the pool, order kept.
+
+        The submitting thread blocks until every result is in; the first
+        task exception (in submission order) re-raises here.  Results
+        are returned in submission order regardless of which worker
+        finished first — the property the dispatcher's deterministic
+        bookkeeping relies on.
+        """
+        futures = [self.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Stop accepting work and join the workers (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads = list(self._threads)
+        for _ in threads:
+            self._tasks.put(_STOP)
+        for t in threads:
+            t.join(timeout=timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

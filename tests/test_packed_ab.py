@@ -22,7 +22,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import native as repro_native
-from repro.native import use_backend
+from repro.native import use_backend, use_threads
 
 NATIVE_AVAILABLE = repro_native.available()
 
@@ -545,6 +545,102 @@ def test_native_evaluator_paper_shape_three_way():
     for x, y, z in zip(got_native, got_packed, got_serial):
         assert np.array_equal(x, y)
         assert np.array_equal(x, z)
+
+
+@needs_native
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    k=st.integers(1, 8),
+    degree=st.sampled_from(DEGREES),
+    lazy=st.booleans(),
+)
+def test_native_ntt_threaded_bit_identical(seed, k, degree, lazy):
+    """Kernel thread count never changes a native transform's output.
+
+    The row-parallel worker pool splits ``(batch, limb)`` rows across
+    threads; since rows are independent the 1-thread and N-thread runs
+    must agree bit for bit (and with the serial oracle).
+    """
+    rng = np.random.default_rng(seed)
+    base = _distinct_ntt_base(rng, k, degree)
+    stacked = NTTEngine(degree, base, packed=True)
+    serial = NTTEngine(degree, base, packed=False)
+    x = np.empty((2, k, degree), dtype=np.uint64)
+    for i, m in enumerate(base):
+        x[:, i, :] = rng.integers(0, m.value, (2, degree), dtype=np.uint64)
+
+    fwd_s = serial.forward(x, lazy=lazy)
+    with use_backend("native"):
+        with use_threads(1):
+            fwd_1 = stacked.forward(x, lazy=lazy)
+            inv_1 = stacked.inverse(fwd_s, lazy=lazy)
+        with use_threads(4):
+            fwd_4 = stacked.forward(x, lazy=lazy)
+            inv_4 = stacked.inverse(fwd_s, lazy=lazy)
+    assert np.array_equal(fwd_1, fwd_4)
+    assert np.array_equal(fwd_1, fwd_s)
+    assert np.array_equal(inv_1, inv_4)
+    assert np.array_equal(inv_1, serial.inverse(fwd_s, lazy=lazy))
+
+
+@needs_native
+def test_native_evaluator_threaded_bit_identical():
+    """N=4096 level-8 multiply/rescale/relinearize: threads 1 == 4."""
+    params = CkksParameters.default(
+        degree=4096, levels=7, scale_bits=23, first_bits=30, special_bits=30
+    )
+    ctx = CkksContext(params)
+    keygen = KeyGenerator(ctx, seed=123)
+    rlk = keygen.relin_key()
+    ev = Evaluator(ctx, packed=True)
+    rng = np.random.default_rng(3)
+    scale = float(params.scale)
+    a = _random_ct(rng, ctx, 2, 8, scale)
+    b = _random_ct(rng, ctx, 2, 8, scale)
+    t3 = _random_ct(rng, ctx, 3, 8, scale)
+    rs = Ciphertext(a.data, scale * scale)
+
+    def run(e):
+        return (
+            e.multiply(a, b).data,
+            e.rescale(rs).data,
+            e.relinearize(t3, rlk).data,
+        )
+
+    with use_backend("native"):
+        with use_threads(1):
+            got_1 = run(ev)
+        with use_threads(4):
+            got_4 = run(ev)
+    with use_backend("packed"):
+        got_packed = run(ev)
+    for x, y, z in zip(got_1, got_4, got_packed):
+        assert np.array_equal(x, y)
+        assert np.array_equal(x, z)
+
+
+@needs_native
+def test_native_thread_knobs():
+    """set_threads/get_threads/use_threads agree and validate input."""
+    import os
+
+    from repro import native
+
+    baseline = native.get_threads()
+    assert baseline >= 1
+    with use_threads(3):
+        assert native.get_threads() == 3
+        with use_threads(1):
+            assert native.get_threads() == 1
+        assert native.get_threads() == 3
+    assert native.get_threads() == baseline
+    with pytest.raises(ValueError):
+        native.set_threads(0)
+    # None restores the default (env override or cpu count).
+    native.set_threads(7)
+    native.set_threads(None)
+    assert native.get_threads() == baseline
 
 
 @needs_native

@@ -1,0 +1,234 @@
+"""WorkerPool unit suite + server-level pooled-vs-inline A/B identity.
+
+The evaluation worker pool must be an invisible execution detail: the
+unit tests pin its contract (ordered results, exception transport,
+respawn-on-death, idempotent close), and the A/B tests prove a pooled
+``HEServer`` returns byte-identical responses, metrics and artifact
+accounting to the inline server on the same wire frames.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.server import WorkerPool, WorkerStats
+
+
+class TestWorkerPool:
+    def test_submit_returns_result(self):
+        with WorkerPool(2) as pool:
+            fut = pool.submit(lambda: 41 + 1)
+            assert fut.result() == 42
+
+    def test_map_ordered_preserves_submission_order(self):
+        def slow_square(x):
+            # Earlier items sleep longer: completion order is reversed,
+            # result order must not be.
+            time.sleep(0.002 * (8 - x))
+            return x * x
+
+        with WorkerPool(4) as pool:
+            got = pool.map_ordered(slow_square, list(range(8)))
+        assert got == [x * x for x in range(8)]
+
+    def test_exceptions_transport_to_caller(self):
+        def boom():
+            raise ValueError("intentional")
+
+        with WorkerPool(2) as pool:
+            fut = pool.submit(boom)
+            with pytest.raises(ValueError, match="intentional"):
+                fut.result()
+            # The pool survives a task failure and keeps serving.
+            assert pool.submit(lambda: "ok").result() == "ok"
+            assert sum(s.failures for s in pool.stats) == 1
+
+    def test_map_ordered_reraises_first_exception(self):
+        def maybe_boom(x):
+            if x == 3:
+                raise KeyError("x3")
+            return x
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(KeyError):
+                pool.map_ordered(maybe_boom, list(range(6)))
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_worker_respawns_after_thread_death(self):
+        pool = WorkerPool(2)
+        try:
+            assert pool.submit(lambda: 1).result() == 1
+            # Kill a worker thread outright (simulates a hard crash the
+            # task-level catch cannot see); whichever worker dequeues
+            # the malformed item dies in its run loop.
+            pool._tasks.put(None)
+            deadline = time.time() + 5.0
+            while (all(t.is_alive() for t in pool._threads)
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            assert any(not t.is_alive() for t in pool._threads)
+            # Next submit heals the pool and still serves.
+            assert pool.submit(lambda: 2).result() == 2
+            assert sum(s.restarts for s in pool.stats) >= 1
+            assert all(t.is_alive() for t in pool._threads)
+        finally:
+            pool.close()
+
+    def test_close_idempotent_and_rejects_submit(self):
+        pool = WorkerPool(2)
+        assert pool.submit(lambda: 5).result() == 5
+        pool.close()
+        pool.close()  # second close is a no-op
+        assert pool.closed
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: 6)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_stats_shape(self):
+        with WorkerPool(3, name="w") as pool:
+            pool.map_ordered(lambda x: x, list(range(9)))
+            stats = pool.stats
+        assert len(stats) == 3
+        assert all(isinstance(s, WorkerStats) for s in stats)
+        assert sum(s.tasks for s in stats) == 9
+        d = stats[0].as_dict()
+        assert set(d) == {"name", "tasks", "failures", "busy_s",
+                          "rate_per_s", "restarts"}
+        assert d["name"].startswith("w-")
+
+    def test_concurrent_submitters(self):
+        results = {}
+        lock = threading.Lock()
+        with WorkerPool(3) as pool:
+            def submitter(base):
+                futs = [(base + i, pool.submit(lambda v=base + i: v * 2))
+                        for i in range(20)]
+                with lock:
+                    for v, fut in futs:
+                        results[v] = fut.result()
+
+            threads = [threading.Thread(target=submitter, args=(b,))
+                       for b in (0, 100, 200, 300)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results == {v: v * 2 for b in (0, 100, 200, 300)
+                           for v in range(b, b + 20)}
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    from repro.server import demo_deployment, mixed_square_multiply_traffic
+
+    params, encoder, encryptor, decryptor, relin_wire = demo_deployment(
+        degree=256, seed=2022)
+    frames = mixed_square_multiply_traffic(
+        encoder, encryptor, requests=24, rng=np.random.default_rng(3))
+    return {
+        "params": params,
+        "encoder": encoder,
+        "decryptor": decryptor,
+        "relin_wire": relin_wire,
+        "frames": frames,
+    }
+
+
+def _serve(deployment, *, workers, stream=False):
+    from repro.server import serve_traffic
+
+    return serve_traffic(
+        deployment["params"], deployment["frames"],
+        relin_wire=deployment["relin_wire"], workers=workers,
+        stream=stream)
+
+
+class TestPooledServerIdentity:
+    """workers=N must be byte-invisible next to the inline server."""
+
+    def test_pooled_matches_inline_exactly(self, deployment):
+        inline = _serve(deployment, workers=0)
+        pooled = _serve(deployment, workers=3)
+
+        for rid, _wire, _arrival, _expected in deployment["frames"]:
+            a, b = inline.response(rid), pooled.response(rid)
+            assert a.status == b.status == "ok", rid
+            assert np.array_equal(a.result.data, b.result.data), rid
+            assert a.result.scale == b.result.scale, rid
+            assert a.complete_us == b.complete_us, rid
+            assert a.dispatch_us == b.dispatch_us, rid
+            assert a.device == b.device, rid
+
+        ma, mb = inline.metrics, pooled.metrics
+        assert ma.span_us == mb.span_us
+        assert ma.batch_sizes == mb.batch_sizes
+        assert (ma.artifact_hits, ma.artifact_misses) == \
+            (mb.artifact_hits, mb.artifact_misses)
+        assert (ma.memcache_hits, ma.memcache_requests) == \
+            (mb.memcache_hits, mb.memcache_requests)
+        assert (ma.raw_launches, ma.fused_launches) == \
+            (mb.raw_launches, mb.fused_launches)
+
+    def test_pooled_stream_matches_inline(self, deployment):
+        inline = _serve(deployment, workers=0, stream=True)
+        pooled = _serve(deployment, workers=3, stream=True)
+        for rid, _wire, _arrival, _expected in deployment["frames"]:
+            a, b = inline.response(rid), pooled.response(rid)
+            assert np.array_equal(a.result.data, b.result.data), rid
+            assert a.yielded_at_us == b.yielded_at_us, rid
+
+    def test_pool_actually_fans_out(self, deployment):
+        pooled = _serve(deployment, workers=3)
+        tasks = [w["tasks"] for w in pooled.metrics.worker_stats]
+        assert len(tasks) == 3
+        assert sum(tasks) > 0
+        # More than one worker saw work (batches of >= 2 requests split).
+        assert sum(1 for t in tasks if t > 0) >= 2
+
+    def test_results_decrypt_correctly(self, deployment):
+        pooled = _serve(deployment, workers=2)
+        decryptor = deployment["decryptor"]
+        encoder = deployment["encoder"]
+        for rid, _wire, _arrival, expected in deployment["frames"]:
+            got = encoder.decode(
+                decryptor.decrypt(pooled.response(rid).result)).real
+            assert np.abs(got - expected).max() < 1e-3, rid
+
+    def test_workers_one_is_inline(self, deployment):
+        """workers <= 1 never builds a pool (no thread overhead)."""
+        inline = _serve(deployment, workers=1)
+        assert inline.workers is None
+        assert inline.metrics.worker_stats == []
+        pooled = _serve(deployment, workers=2)
+        assert pooled.metrics.worker_stats != []
+
+    def test_server_close_falls_back_to_inline(self, deployment):
+        from repro.server import BatchPolicy, HEServer
+        from repro.xesim import DEVICE1
+
+        server = HEServer(
+            deployment["params"],
+            devices=[(DEVICE1, 2)],
+            policy=BatchPolicy(max_batch=4, window_us=50.0),
+            workers=2,
+        )
+        server.install_relin_key(deployment["relin_wire"])
+        frames = deployment["frames"]
+        half = len(frames) // 2
+        for rid, wire, arrival_us, _expected in frames[:half]:
+            server.submit(wire, arrival_us=arrival_us)
+        server.drain()
+        server.close()
+        assert server.workers.closed
+        # Post-close the server still serves (inline).
+        for rid, wire, arrival_us, _expected in frames[half:]:
+            server.submit(wire, arrival_us=arrival_us)
+        server.drain()
+        for rid, _wire, _arrival, _expected in frames:
+            assert server.response(rid).status == "ok", rid

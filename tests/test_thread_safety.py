@@ -125,6 +125,111 @@ def test_concurrent_table_cache_churn():
     assert not errors, errors
 
 
+def test_scratch_registry_evicts_across_threads():
+    """The bounded registry caps total bytes across per-thread pools.
+
+    Regression for the worker-pool leak: per-thread scratch pools used
+    to live forever, so N long-lived workers held N full pools.  The
+    registry must evict LRU entries globally — including other threads'
+    — once the byte cap is crossed.
+    """
+    from repro.modmath.scratch import ScratchRegistry
+
+    class Buf:
+        def __init__(self, count):
+            self.arr = np.empty(count, dtype=np.uint8)
+
+        @property
+        def nbytes(self):
+            return self.arr.nbytes
+
+    reg = ScratchRegistry("test", max_bytes=4096)
+
+    def worker(_idx):
+        for _ in range(5):
+            reg.get(1024, Buf)
+
+    errors = _run_threads(worker, count=6)
+    assert not errors, errors
+    info = reg.info()
+    # Cap respected up to the just-inserted entry's exemption.
+    assert info["bytes"] <= 4096 + 1024, info
+    assert info["buffers"] <= 4, info
+
+    reg.clear()
+    assert reg.info()["buffers"] == 0
+    assert reg.info()["bytes"] == 0
+
+    # Per-thread entry cap: one thread cycling many shapes stays bounded.
+    reg2 = ScratchRegistry("test2", max_thread_entries=4,
+                           max_bytes=1 << 30)
+    for count in range(1, 20):
+        reg2.get(count, Buf)
+    assert reg2.info()["buffers"] <= 5  # cap + the post-clear insert
+
+
+def test_kernel_scratch_pools_bounded(monkeypatch):
+    """packedops/radix2 scratch never outgrows REPRO_SCRATCH_MAX_BYTES.
+
+    Many threads run packed kernels and stacked transforms at several
+    shapes; the live pools' total bytes must respect the (tiny) env cap
+    instead of accumulating one warm pool per thread forever.
+    """
+    from repro.modmath import Modulus as _Modulus
+    from repro.modmath import gen_ntt_primes as _gen
+    from repro.modmath import packedops
+    from repro.modmath.stacked import StackedModulus
+    from repro.native import use_backend
+    from repro.ntt import radix2
+    from repro.ntt.tables import get_stacked_tables
+
+    cap = 2 * 1024 * 1024
+    monkeypatch.setenv("REPRO_SCRATCH_MAX_BYTES", str(cap))
+    packedops.clear_scratch_pool()
+    radix2.clear_scratch_pool()
+
+    degree = 256
+    values = _gen([30, 28, 26], degree)
+    sm = StackedModulus(_Modulus(int(v)) for v in values)
+    st = get_stacked_tables(degree, values)
+    rng = np.random.default_rng(9)
+    xs = {
+        batch: np.stack([
+            rng.integers(0, int(v), (batch, degree), dtype=np.uint64)
+            for v in values
+        ], axis=1)
+        for batch in (1, 2, 3, 5)
+    }
+    # Pin the NumPy path: the native backend does not use these pools.
+    with use_backend("packed"):
+        ref = {
+            batch: (packedops.add_mod_stacked(x, x, sm),
+                    radix2.ntt_forward_stacked(x, st))
+            for batch, x in xs.items()
+        }
+
+        def worker(idx):
+            for i in range(8):
+                batch = (1, 2, 3, 5)[(idx + i) % 4]
+                x = xs[batch]
+                want_add, want_fwd = ref[batch]
+                assert np.array_equal(
+                    packedops.add_mod_stacked(x, x, sm), want_add)
+                assert np.array_equal(
+                    radix2.ntt_forward_stacked(x, st), want_fwd)
+
+        errors = _run_threads(worker)
+    assert not errors, errors
+    slack = cap  # one in-flight insert per registry is exempt
+    for info in (packedops.scratch_pool_info(),
+                 radix2.scratch_pool_info()):
+        assert info["bytes"] <= cap + slack, info
+    packedops.clear_scratch_pool()
+    radix2.clear_scratch_pool()
+    assert packedops.scratch_pool_info()["bytes"] == 0
+    assert radix2.scratch_pool_info()["bytes"] == 0
+
+
 def test_concurrent_stage_twiddle_and_prefix_memos():
     """Concurrent stage_twiddles/prefix on one shared tables object."""
     degree = 256
@@ -149,3 +254,91 @@ def test_concurrent_stage_twiddle_and_prefix_memos():
 
     errors = _run_threads(worker)
     assert not errors, errors
+
+
+def _pooled_overload_run(seed, *, workers, consumers=4, inject_failure=True):
+    """Serve one fixed-seed workload through concurrent stream()/drain().
+
+    Builds an ``HEServer`` with an evaluation worker pool, submits the
+    canonical mixed square/multiply traffic, optionally kills one pool
+    device mid-timeline, then lets ``consumers`` threads race
+    ``stream()`` and ``drain()`` on the same server.  Returns the
+    server, the submitted ids, and every terminal response each
+    consumer thread saw (a list of lists).
+    """
+    from repro.server import (
+        BatchPolicy,
+        HEServer,
+        demo_deployment,
+        mixed_square_multiply_traffic,
+    )
+    from repro.xesim import DEVICE1, DEVICE2
+
+    params, encoder, encryptor, _decryptor, relin_wire = demo_deployment(
+        degree=256, seed=seed)
+    frames = mixed_square_multiply_traffic(
+        encoder, encryptor, requests=18, rng=np.random.default_rng(seed))
+    server = HEServer(
+        params,
+        devices=[(DEVICE1, 2), (DEVICE2, 1)],
+        policy=BatchPolicy(max_batch=4, window_us=50.0),
+        workers=workers,
+    )
+    server.install_relin_key(relin_wire)
+    ids = []
+    for rid, wire, arrival_us, _expected in frames:
+        server.submit(wire, arrival_us=arrival_us)
+        ids.append(rid)
+    if inject_failure:
+        # Mid-timeline: some of the fast device's work is in flight and
+        # must be requeued onto the survivor, under pool evaluation.
+        server.inject_device_failure("Device1", 400.0)
+
+    seen = [[] for _ in range(consumers)]
+
+    def consume(idx):
+        if idx % 2 == 0:
+            seen[idx].extend(server.stream())
+        else:
+            seen[idx].extend(server.drain().values())
+
+    errors = _run_threads(consume, count=consumers)
+    server.close()
+    assert not errors, errors
+    return server, ids, seen
+
+
+def test_worker_pool_hammer_exactly_one_terminal():
+    """Racing stream()/drain() consumers on a pooled server under an
+    injected device failure: every request gets exactly one terminal
+    response across all consumers — none lost, none duplicated."""
+    server, ids, seen = _pooled_overload_run(31, workers=3)
+
+    yielded = [r.request_id for consumer in seen for r in consumer]
+    assert sorted(yielded) == sorted(ids)  # exactly once, across threads
+    assert all(r.status == "ok" for consumer in seen for r in consumer)
+    for rid in ids:
+        assert server.response(rid).status == "ok", rid
+    # The pool really ran the math.
+    tasks = sum(w["tasks"] for w in server.metrics.worker_stats)
+    assert tasks > 0
+    assert all(w["failures"] == 0 for w in server.metrics.worker_stats)
+
+
+def test_worker_pool_hammer_deterministic():
+    """Two hammer runs with the same seed produce identical results,
+    and match a serial (inline, single-consumer) run of the same
+    traffic — concurrency must be invisible in the data."""
+    server_a, ids, _seen_a = _pooled_overload_run(47, workers=3)
+    server_b, _ids_b, _seen_b = _pooled_overload_run(47, workers=3)
+    server_c, _ids_c, _seen_c = _pooled_overload_run(
+        47, workers=0, consumers=1)
+
+    for rid in ids:
+        a = server_a.response(rid)
+        b = server_b.response(rid)
+        c = server_c.response(rid)
+        assert a.status == b.status == c.status == "ok", rid
+        assert np.array_equal(a.result.data, b.result.data), rid
+        assert np.array_equal(a.result.data, c.result.data), rid
+        assert a.complete_us == b.complete_us == c.complete_us, rid
