@@ -1,9 +1,17 @@
 """Shared timing helpers for the BENCH_wallclock.json emitters."""
 
+import json
 import os
+import pathlib
 import time
+from datetime import datetime, timezone
 
 import numpy as np
+
+#: History entries kept per (section, backends, shape) key — oldest first
+#: out.  A per-key bound (instead of one global cap) means a chatty new
+#: section can never evict another section's whole trajectory.
+HISTORY_MAX_PER_KEY = 200
 
 
 def host_meta():
@@ -183,6 +191,102 @@ def paper_shape_context():
     context = CkksContext(params)
     assert context.max_level == 8
     return params, context
+
+
+def history_key(entry):
+    """The bounding key of one history entry: (section, backends, shape)."""
+    meta = entry.get("meta") or {}
+    return (
+        entry.get("section"),
+        tuple(entry.get("backends") or ()),
+        (meta.get("degree"), meta.get("level")),
+    )
+
+
+def trim_history(history, max_per_key=None):
+    """Bound ``history`` to the newest ``max_per_key`` entries per key.
+
+    Walks newest-to-oldest counting per :func:`history_key`, then keeps
+    the survivors in their original (oldest-first) order so trajectory
+    plots and the regression gate keep reading chronologically.
+    """
+    if max_per_key is None:  # late-bound so tests can patch the module cap
+        max_per_key = HISTORY_MAX_PER_KEY
+    counts = {}
+    keep = []
+    for entry in reversed(history):
+        key = history_key(entry)
+        counts[key] = counts.get(key, 0) + 1
+        keep.append(counts[key] <= max_per_key)
+    keep.reverse()
+    return [entry for entry, ok in zip(history, keep) if ok]
+
+
+def write_json_atomic(path, data):
+    """Serialize ``data`` next to ``path`` and atomically rename over it.
+
+    An interrupted benchmark run (ctrl-C mid-dump, OOM kill) must never
+    leave a half-written BENCH_wallclock.json: the report and the CI
+    gate both parse it, and truncated JSON would poison every later run.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
+
+
+def record(path, section, payload, meta):
+    """Merge one bench section into ``path`` and append to its history.
+
+    The top-level ``section`` key holds the *latest* payload; rows with
+    ``<leg>_ops_per_s`` values additionally append a history entry
+    (timestamp, per-op ops/sec per backend leg, host metadata) so the
+    perf trajectory across runs is trackable instead of overwritten.
+    History is bounded per (section, backends, shape) key and the file
+    is replaced atomically.
+    """
+    path = pathlib.Path(path)
+    # Host context (cpu count, native threads, compiler) rides along on
+    # every entry so scaling numbers stay interpretable; explicit
+    # per-bench meta wins on key collisions.
+    meta = {**host_meta(), **meta}
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data.setdefault("meta", {}).update(meta)
+    data[section] = payload
+    rows = {
+        name: row for name, row in payload.items() if isinstance(row, dict)
+    }
+    ops = {
+        name: {
+            key: val for key, val in row.items()
+            if key.endswith("_ops_per_s")
+        }
+        for name, row in rows.items()
+    }
+    backends = sorted({
+        key[: -len("_ops_per_s")]
+        for row in rows.values()
+        for key in row
+        if key.endswith("_ops_per_s")
+    })
+    if backends:  # sections without per-op ops/sec rows (e.g. the
+        # serving-overload counters) keep only their latest snapshot: an
+        # all-empty history entry would just evict real trajectory.
+        history = data.setdefault("history", [])
+        history.append({
+            "ts": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "section": section,
+            "backends": backends,
+            "ops_per_s": {n: r for n, r in ops.items() if r},
+            "meta": dict(meta),
+        })
+        data["history"] = trim_history(history)
+    return write_json_atomic(path, data)
 
 
 def random_ciphertext(rng, context, size, level, scale):

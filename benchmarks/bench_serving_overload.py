@@ -10,6 +10,12 @@ records the shed/latency counters into
 behaviour per run alongside the packed-path wall clocks.  The pooled
 leg must return byte-identical responses to the serial leg with exactly
 one terminal status per request.
+
+Two further legs feed the perf report (``python -m repro report``): a
+priority-mixed run behind admission control (per-priority latency
+percentiles, ``priorities``/``by_priority``) and a kernel-fusion A/B on
+the unguarded frames (``fusion``: raw vs fused launches plus simulated
+device time).
 """
 
 import numpy as np
@@ -50,6 +56,20 @@ def test_serving_overload_wallclock_json(quick, wallclock_record):
     # 2-thread evaluation pool: responses must be identical to the
     # serial leg and every request still gets exactly one terminal.
     pooled = serve_traffic(params, frames, workers=2, **common)
+    # Priority-mixed overload behind the gate: alternating urgent/normal
+    # requests, so the per-priority percentile split is populated.
+    frames_prio = mixed_square_multiply_traffic(
+        encoder, encryptor, requests=requests,
+        rng=np.random.default_rng(2024),
+        mean_gap_us=1e6 / (2.0 * capacity_rps),
+        priority_cycle=(1, 0))
+    prio = serve_traffic(
+        params, frames_prio,
+        admission=AdmissionPolicy(rate_rps=capacity_rps, burst=max_batch,
+                                  max_backlog=2 * max_batch),
+        **common)
+    # Kernel-fusion A/B on the identical unguarded frames.
+    fused = serve_traffic(params, frames, kernel_fusion=True, **common)
 
     def row(server):
         m = server.metrics
@@ -64,6 +84,23 @@ def test_serving_overload_wallclock_json(quick, wallclock_record):
             "throughput_rps": round(m.throughput_rps, 1),
         }
 
+    def priority_row(server, p):
+        m = server.metrics
+        served = sum(1 for r in m.records
+                     if r.priority == p and r.status == "ok")
+        out = {"served": served, "shed": m.shed_by_priority.get(p, 0)}
+        if served:
+            out.update({
+                "p50_us": round(m.latency_percentile_us(
+                    50, priority=p, status="ok"), 1),
+                "p95_us": round(m.latency_percentile_us(
+                    95, priority=p, status="ok"), 1),
+                "p99_us": round(m.latency_percentile_us(
+                    99, priority=p, status="ok"), 1),
+            })
+        return out
+
+    fu = fused.metrics
     payload = {
         "capacity_rps": round(capacity_rps, 1),
         "offered_x_capacity": 2.0,
@@ -73,6 +110,17 @@ def test_serving_overload_wallclock_json(quick, wallclock_record):
         "workers2": {**row(pooled),
                      "worker_tasks": [w["tasks"]
                                       for w in pooled.metrics.worker_stats]},
+        "priorities": {**row(prio),
+                       "by_priority": {str(p): priority_row(prio, p)
+                                       for p in prio.metrics.priorities()}},
+        "fusion": {
+            "raw_launches": fu.raw_launches,
+            "fused_launches": fu.fused_launches,
+            "launch_reduction": round(fu.raw_launches / fu.fused_launches, 2)
+            if fu.fused_launches else None,
+            "baseline_time_ms": round(unguarded.metrics.span_us / 1e3, 3),
+            "fused_time_ms": round(fu.span_us / 1e3, 3),
+        },
     }
     # Namespaced meta keys: the wallclock JSON's meta block is shared
     # with the he_ops/ntt benches, so this bench must not clobber their
@@ -97,5 +145,19 @@ def test_serving_overload_wallclock_json(quick, wallclock_record):
     assert sum(payload["workers2"]["worker_tasks"]) > 0
     for rid, _wire, _arrival, _expected in frames:
         a, b = unguarded.response(rid), pooled.response(rid)
+        assert a.status == b.status == "ok", rid
+        assert np.array_equal(a.result.data, b.result.data), rid
+    # Priority leg: exactly-one-terminal accounting holds per class and
+    # both classes produced latency percentiles for the report.
+    prow = payload["priorities"]
+    assert prow["served"] + prow["shed"] == requests
+    assert set(prow["by_priority"]) == {"0", "1"}
+    for cls in prow["by_priority"].values():
+        assert cls["served"] > 0 and "p99_us" in cls
+    # Fusion leg: fewer launches for byte-identical responses.
+    assert payload["fusion"]["fused_launches"] \
+        < payload["fusion"]["raw_launches"]
+    for rid, _wire, _arrival, _expected in frames:
+        a, b = unguarded.response(rid), fused.response(rid)
         assert a.status == b.status == "ok", rid
         assert np.array_equal(a.result.data, b.result.data), rid

@@ -148,6 +148,70 @@ def test_wallclock_json(quick, wallclock_record):
             assert row[f"{b}_ops_per_s"] > 0, (name, b)
 
 
+def test_wallclock_tracing_overhead_json(quick, wallclock_record):
+    """A/B the span-tracing probes on the ciphertext multiply.
+
+    Tracing must be free when disabled (the probes reduce to one global
+    ``None`` check) and cost < 5% when enabled — the instrumented path
+    emits a few dozen kernel spans per multiply at the paper shape.
+    The two legs interleave rep-by-rep toggling one long-lived tracer so
+    allocator/cache drift hits both equally and tracer construction is
+    not measured as span cost; minimums (the standard microbenchmark
+    estimator) keep one-sided scheduler noise out of the ratio.
+    """
+    import time
+
+    from repro.core import Evaluator
+    from repro.obs import tracing
+
+    params, context = paper_shape_context()
+    ev = Evaluator(context, packed=True)
+    rng = np.random.default_rng(99)
+    scale = float(params.scale)
+    level = context.max_level
+    a = random_ciphertext(rng, context, 2, level, scale)
+    b = random_ciphertext(rng, context, 2, level, scale)
+
+    def clocked():
+        t0 = time.perf_counter()
+        ev.multiply(a, b)
+        return time.perf_counter() - t0
+
+    assert tracing.get_tracer() is None, "tracing must start disabled"
+    reps = 15 if quick else 40
+    tracer = tracing.Tracer(capacity=128)
+    clocked()  # warmup: buffers, backend resolution
+    tracing.enable(tracer=tracer)
+    clocked()  # warmup: tracer thread-locals
+    tracing.disable()
+    off, on = [], []
+    try:
+        for _ in range(reps):
+            off.append(clocked())
+            tracing.enable(tracer=tracer)
+            on.append(clocked())
+            tracing.disable()
+    finally:
+        tracing.disable()
+    t_off = float(np.min(off))
+    t_on = float(np.min(on))
+    overhead = t_on / t_off - 1.0
+    payload = {
+        "multiply": {
+            "off_ms": round(t_off * 1e3, 4),
+            "on_ms": round(t_on * 1e3, 4),
+            "off_ops_per_s": round(1.0 / t_off, 2),
+            "on_ops_per_s": round(1.0 / t_on, 2),
+            "overhead_pct": round(100.0 * overhead, 2),
+        }
+    }
+    wallclock_record(
+        "tracing_overhead", payload,
+        {"degree": 4096, "level": 8, "reps": reps, "quick": bool(quick)},
+    )
+    assert overhead < 0.05, payload
+
+
 def test_wallclock_scaling_json(quick, wallclock_record):
     """Cores-vs-throughput curve for the threaded ciphertext multiply.
 

@@ -46,66 +46,22 @@ def record_figure(results_dir):
     return _record
 
 
-#: History entries kept in BENCH_wallclock.json (oldest dropped first).
-WALLCLOCK_HISTORY_MAX = 400
-
-
 @pytest.fixture(scope="session")
 def wallclock_record(results_dir):
     """Merge one section into ``benchmarks/results/BENCH_wallclock.json``.
 
     The wall-clock benches (he_ops, ntt, serving) each contribute their
-    ops/sec table.  The top-level sections hold the *latest* run (as
-    before), and every call additionally appends to an append-only
-    ``history`` list — timestamp, per-op ops/sec for each backend leg,
-    and run metadata — so the perf trajectory across PRs is trackable
-    instead of being overwritten.
+    ops/sec table.  The top-level sections hold the *latest* run, and
+    every call additionally appends to a bounded ``history`` list (see
+    ``_wallclock.record``) so the perf trajectory across PRs is
+    trackable instead of being overwritten.
     """
-    import json
-    from datetime import datetime, timezone
-
     path = results_dir / "BENCH_wallclock.json"
 
     def _record(section, payload, meta):
-        from _wallclock import host_meta
+        from _wallclock import record
 
-        # Host context (cpu count, native threads, compiler) rides along
-        # on every entry so scaling numbers stay interpretable; explicit
-        # per-bench meta wins on key collisions.
-        meta = {**host_meta(), **meta}
-        data = json.loads(path.read_text()) if path.exists() else {}
-        data.setdefault("meta", {}).update(meta)
-        data[section] = payload
-        rows = {
-            name: row for name, row in payload.items() if isinstance(row, dict)
-        }
-        ops = {
-            name: {
-                key: val
-                for key, val in row.items()
-                if key.endswith("_ops_per_s")
-            }
-            for name, row in rows.items()
-        }
-        backends = sorted({
-            key[: -len("_ops_per_s")]
-            for row in rows.values()
-            for key in row
-            if key.endswith("_ops_per_s")
-        })
-        if backends:  # sections without per-op ops/sec rows (e.g. the
-            # serving-overload counters) keep only their latest snapshot:
-            # an all-empty history entry would just evict real trajectory.
-            history = data.setdefault("history", [])
-            history.append({
-                "ts": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-                "section": section,
-                "backends": backends,
-                "ops_per_s": {n: r for n, r in ops.items() if r},
-                "meta": dict(meta),
-            })
-            del history[:-WALLCLOCK_HISTORY_MAX]
-        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        record(path, section, payload, meta)
         print(f"\n[wallclock] {section} -> {path}")
         return path
 

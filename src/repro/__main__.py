@@ -33,6 +33,15 @@ Commands
     bit-identicality at the paper shape (N=4096, level 8) plus a native
     speedup on the stacked NTT, and exits non-zero on failure or when
     no toolchain is available.
+``metrics``
+    Serve a small synthetic workload (workers + admission on) and print
+    the full observability snapshot — Prometheus text by default,
+    ``--json`` for the structured form.
+``report``
+    Render the perf-trajectory report (``benchmarks/results/report.html``)
+    from the committed wall-clock history.  ``--check`` additionally runs
+    the regression gate and exits non-zero when any backend/op/shape
+    series dropped more than the threshold vs its rolling baseline.
 ``info``
     Version and package inventory.
 """
@@ -103,6 +112,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         Encryptor,
         KeyGenerator,
     )
+    from .obs import tracing
     from .server import AdmissionPolicy, BatchPolicy, HEServer, ServerClient
     from .xesim import DEVICE1, DEVICE2
 
@@ -118,6 +128,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 0:
         print("serve: --workers must be >= 0")
         return 2
+
+    if args.trace:
+        tracing.enable()
 
     pools = {
         "device1": [(DEVICE1, 2)],
@@ -230,6 +243,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"{barrier_us / 1e3:.3f} ms")
     print(f"worst decrypt error  : {worst:.2e} "
           f"({failures} failures, {shed} shed)")
+    if args.trace:
+        from pathlib import Path
+
+        tracer = tracing.get_tracer()
+        Path(args.trace).write_text(tracer.chrome_trace_json())
+        print(f"trace                : {len(tracer)} spans -> {args.trace} "
+              f"(chrome://tracing / ui.perfetto.dev)")
+        print()
+        print(tracer.summary())
+        tracing.disable()
 
     if args.self_test:
         ok = (failures == 0 and worst < 1e-3
@@ -455,12 +478,84 @@ def cmd_native(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from .server import (
+        AdmissionPolicy,
+        demo_deployment,
+        mixed_square_multiply_traffic,
+        serve_traffic,
+    )
+
+    if args.requests < 1:
+        print("metrics: --requests must be >= 1")
+        return 2
+
+    params, encoder, encryptor, _decryptor, relin_wire = demo_deployment(
+        degree=args.degree, seed=args.seed)
+    frames = mixed_square_multiply_traffic(
+        encoder, encryptor, requests=args.requests,
+        rng=np.random.default_rng(args.seed), priority_cycle=(1, 0),
+    )
+    # Generous admission: the gate is armed (so its series exist) but the
+    # demo traffic is all admitted.
+    admission = AdmissionPolicy(rate_rps=100_000.0,
+                                burst=max(args.requests, 8),
+                                max_backlog=max(2 * args.requests, 16))
+    server = serve_traffic(params, frames, relin_wire=relin_wire,
+                           admission=admission, workers=args.workers)
+    try:
+        if args.json:
+            print(json.dumps(server.metrics_snapshot("json"),
+                             indent=2, sort_keys=True))
+        else:
+            print(server.metrics_snapshot("prometheus"), end="")
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import report as obs_report
+
+    path = Path(args.history) if args.history else obs_report.DEFAULT_RESULTS
+    try:
+        data = obs_report.load_results(path)
+    except FileNotFoundError:
+        print(f"report: no benchmark results at {path}; run the wall-clock "
+              f"benchmarks first (pytest benchmarks/ -m wallclock)")
+        return 2
+
+    check = None
+    if args.check:
+        threshold = args.threshold
+        if threshold is None:
+            # --quick runs ride noisy few-rep benchmarks; relax the gate.
+            threshold = 0.35 if args.quick else 0.2
+        check = obs_report.check_regressions(data, threshold=threshold)
+
+    out = Path(args.out) if args.out else path.parent / "report.html"
+    obs_report.write_report(out, data, check=check)
+    print(f"report: {len(obs_report.build_figures(data))} figures -> {out}")
+    if check is not None:
+        print()
+        print(obs_report.render_check(check))
+        return 0 if check.ok else 1
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from . import __version__
 
     print(f"repro {__version__} — reproduction of 'Accelerating Encrypted "
           f"Computing on Intel GPUs' (IPDPS 2022, arXiv:2109.14704)")
-    print("packages: modmath rns ntt native xesim runtime core gpu server apps analysis")
+    print("packages: modmath rns ntt native xesim runtime core gpu server "
+          "apps analysis obs")
     print("docs: README.md DESIGN.md EXPERIMENTS.md")
     return 0
 
@@ -514,6 +609,10 @@ def main(argv: list | None = None) -> int:
     p_srv.add_argument("--workers", type=int, default=0,
                        help="evaluation worker threads (0/1 = inline; "
                             ">=2 fans batch math across a pool)")
+    p_srv.add_argument("--trace", metavar="PATH", default=None,
+                       help="enable span tracing and write a Chrome "
+                            "trace_event JSON to PATH (load in "
+                            "chrome://tracing or ui.perfetto.dev)")
     p_srv.add_argument("--self-test", action="store_true",
                        help="verify results + speedup; nonzero exit on failure")
     p_srv.set_defaults(fn=cmd_serve)
@@ -542,6 +641,40 @@ def main(argv: list | None = None) -> int:
                        help="verify three-way bit-identicality and a "
                             "native NTT speedup; nonzero exit on failure")
     p_nat.set_defaults(fn=cmd_native)
+
+    p_met = sub.add_parser("metrics", help="serve a demo workload and print "
+                                           "the metrics snapshot")
+    p_met.add_argument("--requests", type=int, default=16,
+                       help="synthetic requests to serve (default 16)")
+    p_met.add_argument("--workers", type=int, default=2,
+                       help="evaluation worker threads (default 2)")
+    p_met.add_argument("--degree", type=int, default=1024,
+                       help="CKKS ring degree (default 1024; test-scale)")
+    p_met.add_argument("--seed", type=int, default=2022)
+    p_met.add_argument("--json", action="store_true",
+                       help="structured JSON snapshot instead of "
+                            "Prometheus text")
+    p_met.set_defaults(fn=cmd_metrics)
+
+    p_rep = sub.add_parser("report", help="render the perf-trajectory report "
+                                          "and optionally gate on it")
+    p_rep.add_argument("--check", action="store_true",
+                       help="run the regression gate; nonzero exit when any "
+                            "series dropped more than the threshold")
+    p_rep.add_argument("--quick", action="store_true",
+                       help="quick-bench mode: relax the default gate "
+                            "threshold to 35%% (noisy few-rep runs)")
+    p_rep.add_argument("--threshold", type=float, default=None,
+                       help="max allowed fractional ops/sec drop vs the "
+                            "rolling baseline (default 0.2; 0.35 with "
+                            "--quick)")
+    p_rep.add_argument("--history", metavar="PATH", default=None,
+                       help="results JSON to read (default "
+                            "benchmarks/results/BENCH_wallclock.json)")
+    p_rep.add_argument("--out", metavar="PATH", default=None,
+                       help="HTML output path (default report.html next to "
+                            "the history file)")
+    p_rep.set_defaults(fn=cmd_report)
 
     p_info = sub.add_parser("info", help="version and inventory")
     p_info.set_defaults(fn=cmd_info)

@@ -27,7 +27,10 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Callable, Dict, List, Tuple
+import weakref
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs import metrics as obs_metrics
 
 __all__ = ["ScratchRegistry", "default_max_bytes"]
 
@@ -63,6 +66,7 @@ class ScratchRegistry:
         self._entries: Dict[Tuple[int, object], List] = {}
         self._bytes = 0
         self._tick = 0
+        self.register_metrics()
 
     @property
     def max_bytes(self) -> int:
@@ -142,6 +146,41 @@ class ScratchRegistry:
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
             }
+
+    def register_metrics(
+        self, registry: Optional["obs_metrics.MetricsRegistry"] = None,
+    ) -> None:
+        """Register pull gauges for this pool into a metrics registry.
+
+        Called at construction against the process-global registry and
+        again by snapshot exporters against theirs.  The callbacks hold
+        a weakref: when the registry instance is garbage-collected its
+        series return ``None`` and drop out of exports instead of
+        pinning the pool alive.
+        """
+        reg = registry or obs_metrics.get_registry()
+        ref = weakref.ref(self)
+
+        def field(name: str):
+            def read() -> Optional[float]:
+                inst = ref()
+                return None if inst is None else float(inst.info()[name])
+
+            return read
+
+        labels = {"pool": self.name}
+        reg.gauge("repro_scratch_bytes",
+                  "Bytes cached across all threads of a scratch pool.",
+                  labels=labels, fn=field("bytes"))
+        reg.gauge("repro_scratch_buffers",
+                  "Cached buffers across all threads of a scratch pool.",
+                  labels=labels, fn=field("buffers"))
+        reg.gauge("repro_scratch_threads",
+                  "Threads holding live entries in a scratch pool.",
+                  labels=labels, fn=field("threads"))
+        reg.gauge("repro_scratch_max_bytes",
+                  "Byte cap of a scratch pool.",
+                  labels=labels, fn=field("max_bytes"))
 
     def clear(self) -> None:
         """Drop every cached buffer in every thread's pool."""

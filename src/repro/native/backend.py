@@ -91,6 +91,9 @@ def _resolve_locked() -> str:
                 "%s requested the native backend but it is unavailable; "
                 "using the packed NumPy backend", source,
             )
+            from . import glue
+
+            glue.note_fallback()
         return "packed"
     return choice
 

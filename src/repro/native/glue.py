@@ -24,10 +24,13 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from .build import NativeBuildError, build
 
 __all__ = [
     "available", "availability_error", "library_path", "load", "reset",
+    "note_fallback", "fallback_count", "register_metrics",
     "set_threads", "get_threads", "use_threads",
     "ntt_forward", "ntt_inverse", "ks_decompose",
     "add_mod", "sub_mod", "neg_mod", "conditional_sub",
@@ -48,6 +51,82 @@ _FAIL_REASON: Optional[str] = None
 #: default" (REPRO_NATIVE_THREADS env, else os.cpu_count()).  Kept
 #: Python-side so get_threads() never forces a compile.
 _THREADS_REQUESTED: Optional[int] = None
+
+#: Width currently in effect on the loaded library, mirrored Python-side
+#: so per-kernel trace spans can annotate it without a lock or an FFI
+#: round-trip on every call.  Maintained by load() and set_threads().
+_THREADS_ACTIVE = 0
+
+#: Process-lifetime count of backend downgrades (native requested or
+#: expected but unavailable).  Monotone across reset() — it counts
+#: events, not state — and exported as ``repro_native_fallback_total``.
+_FALLBACKS = 0
+
+
+def note_fallback() -> None:
+    """Count one backend downgrade in the metrics registry.
+
+    Called from the exactly-once warning paths (the load failure here,
+    the auto-degrade in :mod:`.backend`) so silent fallbacks surface in
+    serving snapshots.
+    """
+    global _FALLBACKS
+    _FALLBACKS += 1
+    obs_metrics.get_registry().counter(
+        "repro_native_fallback_total",
+        "Backend downgrades from native to the NumPy paths.",
+    ).inc()
+
+
+def fallback_count() -> int:
+    return _FALLBACKS
+
+
+def register_metrics(registry: Optional[obs_metrics.MetricsRegistry] = None) -> None:
+    """Register the native backend's pull series into ``registry``.
+
+    Never forces a build: availability/threads report the *current*
+    load state.
+    """
+    reg = registry or obs_metrics.get_registry()
+    reg.counter(
+        "repro_native_fallback_total",
+        "Backend downgrades from native to the NumPy paths.",
+        fn=lambda: float(_FALLBACKS),
+    )
+    reg.gauge(
+        "repro_native_available",
+        "1 when the compiled kernel library is loaded.",
+        fn=lambda: 1.0 if _LIB is not None else 0.0,
+    )
+    reg.gauge(
+        "repro_native_threads",
+        "Native kernel worker-pool width in effect (or pending).",
+        fn=lambda: float(get_threads()),
+    )
+
+
+class _TracedKernel:
+    """Callable wrapper around one ctypes kernel entry point.
+
+    The indirection exists so every native call can be traced
+    per-kernel (wall time + thread width) without touching the call
+    sites; with tracing disabled it costs one global check.
+    """
+
+    __slots__ = ("_fn", "_label")
+
+    def __init__(self, fn, name: str):
+        self._fn = fn
+        self._label = "kernel:" + name
+
+    def __call__(self, *args):
+        tracer = tracing.get_tracer()
+        if tracer is None:
+            return self._fn(*args)
+        with tracer.span(self._label, cat="kernel",
+                         threads=_THREADS_ACTIVE):
+            return self._fn(*args)
 
 _PTR = ctypes.c_void_p
 _I64 = ctypes.c_int64
@@ -104,7 +183,7 @@ def _default_threads() -> int:
 
 def load() -> Optional[ctypes.CDLL]:
     """The loaded kernel library, building it on first use; None if unavailable."""
-    global _LIB, _LIB_PATH, _FAILED, _FAIL_REASON
+    global _LIB, _LIB_PATH, _FAILED, _FAIL_REASON, _THREADS_ACTIVE
     if _LIB is not None or _FAILED:
         return _LIB
     with _LOCK:
@@ -117,6 +196,7 @@ def load() -> Optional[ctypes.CDLL]:
                 fn = getattr(lib, name)
                 fn.argtypes = argtypes
                 fn.restype = None
+                setattr(lib, name, _TracedKernel(fn, name[len("repro_"):]))
             abi = lib.repro_native_abi_version
             abi.argtypes = []
             abi.restype = _I64
@@ -129,9 +209,9 @@ def load() -> Optional[ctypes.CDLL]:
             lib.repro_native_set_threads.restype = _I64
             lib.repro_native_get_threads.argtypes = []
             lib.repro_native_get_threads.restype = _I64
-            lib.repro_native_set_threads(
+            _THREADS_ACTIVE = int(lib.repro_native_set_threads(
                 _THREADS_REQUESTED or _default_threads()
-            )
+            ))
         except (NativeBuildError, OSError, AttributeError) as exc:
             _FAILED = True
             _FAIL_REASON = str(exc)
@@ -139,6 +219,7 @@ def load() -> Optional[ctypes.CDLL]:
                 "native kernel backend unavailable (%s); "
                 "falling back to the packed NumPy path", _FAIL_REASON,
             )
+            note_fallback()
             return None
         _LIB = lib
         _LIB_PATH = path
@@ -186,14 +267,15 @@ def set_threads(n: Optional[int]) -> int:
     threads never forces a compile.  The library clamps to its spawn
     capacity, so the return value is authoritative.
     """
-    global _THREADS_REQUESTED
+    global _THREADS_REQUESTED, _THREADS_ACTIVE
     if n is not None and int(n) < 1:
         raise ValueError(f"thread count must be >= 1, got {n}")
     with _LOCK:
         _THREADS_REQUESTED = None if n is None else int(n)
         want = _THREADS_REQUESTED or _default_threads()
         if _LIB is not None:
-            return int(_LIB.repro_native_set_threads(want))
+            _THREADS_ACTIVE = int(_LIB.repro_native_set_threads(want))
+            return _THREADS_ACTIVE
         return want
 
 

@@ -352,3 +352,39 @@ def clear_tables_cache() -> None:
     with _TABLES_LOCK:
         _cached_stacked_tables.cache_clear()
         _cached_tables.cache_clear()
+
+
+def register_metrics(registry=None) -> None:
+    """Register pull series for both NTT table caches into a registry.
+
+    Sampled at export time from the ``lru_cache`` statistics, so the
+    series track the live caches with no bookkeeping on the hot path.
+    """
+    from ..obs import metrics as obs_metrics
+
+    reg = registry or obs_metrics.get_registry()
+
+    def stat(which: int, field_name: str):
+        def read() -> float:
+            info = tables_cache_info()[which]
+            return float(getattr(info, field_name))
+
+        return read
+
+    for which, cache in ((0, "per_prime"), (1, "stacked")):
+        labels = {"cache": cache}
+        reg.counter("repro_ntt_tables_cache_hits_total",
+                    "NTT twiddle-table cache hits.",
+                    labels=labels, fn=stat(which, "hits"))
+        reg.counter("repro_ntt_tables_cache_misses_total",
+                    "NTT twiddle-table cache misses (table builds).",
+                    labels=labels, fn=stat(which, "misses"))
+        reg.gauge("repro_ntt_tables_cache_size",
+                  "NTT twiddle tables currently memoized.",
+                  labels=labels, fn=stat(which, "currsize"))
+        reg.gauge("repro_ntt_tables_cache_max",
+                  "NTT twiddle-table cache capacity.",
+                  labels=labels, fn=stat(which, "maxsize"))
+
+
+register_metrics()

@@ -1,0 +1,561 @@
+"""Lightweight span tracing with a bounded in-memory buffer.
+
+Two clocks coexist in this repo and both need a home on one timeline:
+
+* **wall** spans time real execution (worker threads, native kernels)
+  with ``time.perf_counter()`` relative to the tracer's epoch;
+* **sim** spans replay the *simulated-microsecond* request lifecycle the
+  server computes (arrival → queue → batch → dispatch → complete), which
+  is deterministic and has nothing to do with the host's clock.
+
+The Chrome ``trace_event`` export keeps them apart as two processes
+(``pid`` 1 = wall clock, one lane per real thread; ``pid`` 2 = simulated
+clock, one lane per request), so ``chrome://tracing`` / Perfetto renders
+both without interleaving incomparable timestamps.
+
+Tracing is **off by default**.  The module-level probes —
+:func:`span`, :func:`sim_span`, :func:`capture` — cost a single global
+``None`` check when disabled, so instrumented hot paths (native kernel
+wrappers, worker loops) pay nothing until :func:`enable` is called.
+
+Thread-safety: the buffer is a ``deque(maxlen=capacity)`` guarded by one
+lock; span parenting uses a per-thread stack (``threading.local``), so
+concurrent recorders never contend except on the final append.  Spans
+started on one thread and finished on another use the explicit
+:meth:`Tracer.begin` / :meth:`Tracer.end` pair; a parent context can be
+shipped across threads with :func:`capture` (see ``server.workers``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "span",
+    "sim_span",
+    "capture",
+    "enable",
+    "disable",
+    "enabled",
+    "get_tracer",
+    "use_tracing",
+]
+
+#: (span_id, request_id) pair identifying an open span; the cross-thread
+#: parent-context token returned by :func:`capture`.
+Context = Tuple[int, Optional[str]]
+
+
+class Span:
+    """One finished span in the trace buffer."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "cat",
+        "clock",
+        "start_us",
+        "dur_us",
+        "thread",
+        "request_id",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        cat: str,
+        clock: str,
+        start_us: float,
+        dur_us: float,
+        thread: str,
+        request_id: Optional[str],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.clock = clock
+        self.start_us = start_us
+        self.dur_us = dur_us
+        self.thread = thread
+        self.request_id = request_id
+        self.attrs = attrs
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.dur_us
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "cat": self.cat,
+            "clock": self.clock,
+            "start_us": self.start_us,
+            "dur_us": self.dur_us,
+            "thread": self.thread,
+            "request_id": self.request_id,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"clock={self.clock}, start={self.start_us:.1f}us, "
+            f"dur={self.dur_us:.1f}us, rid={self.request_id})"
+        )
+
+
+class SpanHandle:
+    """Open span returned by :meth:`Tracer.begin`; finish with :meth:`Tracer.end`."""
+
+    __slots__ = ("span_id", "parent_id", "name", "cat", "request_id", "attrs", "start_us", "thread")
+
+    def __init__(self, span_id, parent_id, name, cat, request_id, attrs, start_us, thread):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.cat = cat
+        self.request_id = request_id
+        self.attrs = attrs
+        self.start_us = start_us
+        self.thread = thread
+
+
+class _ActiveSpan:
+    """Context manager for an in-thread span; lives on the thread-local stack."""
+
+    __slots__ = ("_tracer", "name", "cat", "request_id", "parent_id", "attrs", "span_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, request_id, parent, attrs) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.request_id = request_id
+        self.parent_id = parent
+        self.attrs = attrs
+        self.span_id = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        t = self._tracer
+        stack = t._stack()
+        if stack:
+            top = stack[-1]
+            if self.parent_id is None:
+                self.parent_id = top.span_id
+            if self.request_id is None:
+                self.request_id = top.request_id
+        self.span_id = t._new_id()
+        stack.append(self)
+        self._start = t.now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t = self._tracer
+        end = t.now_us()
+        stack = t._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # unbalanced exit; drop everything above us too
+            del stack[stack.index(self):]
+        # Record the raw field tuple: Span objects are materialized
+        # lazily at query time, keeping the hot path allocation-light.
+        t._record((
+            self.span_id,
+            self.parent_id,
+            self.name,
+            self.cat,
+            "wall",
+            self._start,
+            max(0.0, end - self._start),
+            t._local.thread_name,
+            self.request_id,
+            self.attrs,
+        ))
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Bounded, thread-safe trace buffer plus the span API."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=self.capacity)
+        # itertools.count is a single C-level op per draw: span ids need
+        # no lock, which matters on the per-kernel hot path.
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._t0 = time.perf_counter()
+        self.evicted = 0
+
+    # -- clock / ids ----------------------------------------------------
+
+    def now_us(self) -> float:
+        """Microseconds of wall time since this tracer was created."""
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def _new_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+            # Cache the thread name alongside: current_thread() is a
+            # surprisingly costly lookup to repeat per span.
+            self._local.thread_name = threading.current_thread().name
+        return stack
+
+    def _record(self, fields: tuple) -> None:
+        """Append one span's raw field tuple (see :class:`Span` slot order)."""
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self.evicted += 1
+            self._spans.append(fields)
+
+    # -- recording API --------------------------------------------------
+
+    def span(self, name: str, *, cat: str = "", request_id: Optional[str] = None,
+             parent: Optional[Context] = None, **attrs: Any):
+        """Context manager timing a wall-clock span on the current thread.
+
+        ``parent`` accepts a :func:`capture` token (or a bare span id) to
+        graft under a span owned by another thread; otherwise the
+        innermost open span on this thread is the parent and the
+        ``request_id`` is inherited from it.
+        """
+        if parent is None:
+            pid = None
+        else:
+            pid, rid = _normalize_parent(parent)
+            if request_id is None:
+                request_id = rid
+        return _ActiveSpan(self, name, cat, request_id, pid, attrs)
+
+    def begin(self, name: str, *, cat: str = "", request_id: Optional[str] = None,
+              parent: Optional[Context] = None, **attrs: Any) -> SpanHandle:
+        """Start a span that may be finished by :meth:`end` on any thread.
+
+        Unlike :meth:`span` the handle is *not* pushed on the thread-local
+        stack, so nested ``span()`` calls on this thread do not parent to
+        it implicitly — pass ``parent=(handle.span_id, handle.request_id)``
+        where that is wanted.
+        """
+        pid, rid = _normalize_parent(parent)
+        if request_id is None:
+            request_id = rid
+        return SpanHandle(
+            self._new_id(), pid, name, cat, request_id, attrs,
+            self.now_us(), threading.current_thread().name,
+        )
+
+    def end(self, handle: SpanHandle, **attrs: Any) -> None:
+        """Finish a :meth:`begin` handle, recording the span."""
+        if attrs:
+            handle.attrs.update(attrs)
+        self._record((
+            handle.span_id,
+            handle.parent_id,
+            handle.name,
+            handle.cat,
+            "wall",
+            handle.start_us,
+            max(0.0, self.now_us() - handle.start_us),
+            handle.thread,
+            handle.request_id,
+            handle.attrs,
+        ))
+
+    def add_sim_span(self, name: str, start_us: float, end_us: float, *,
+                     cat: str = "sim", request_id: Optional[str] = None,
+                     parent: Optional[int] = None, **attrs: Any) -> int:
+        """Record a span on the *simulated* clock (timestamps supplied by caller)."""
+        sid = self._new_id()
+        self._record((
+            sid,
+            parent,
+            name,
+            cat,
+            "sim",
+            float(start_us),
+            max(0.0, float(end_us) - float(start_us)),
+            "sim",
+            request_id,
+            attrs,
+        ))
+        return sid
+
+    def current(self) -> Optional[Context]:
+        """Parent-context token for the innermost open span on this thread."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        top = stack[-1]
+        return (top.span_id, top.request_id)
+
+    # -- queries / export ----------------------------------------------
+
+    def spans(self, *, request_id: Optional[str] = None,
+              name: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            raw = list(self._spans)
+        out = [Span(*fields) for fields in raw]
+        if request_id is not None:
+            out = [s for s in out if s.request_id == request_id]
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.evicted = 0
+
+    def request_tree(self, request_id: str) -> List[Dict[str, Any]]:
+        """Span tree(s) for one request: roots with nested ``children`` lists."""
+        spans = self.spans(request_id=request_id)
+        by_id = {s.span_id: {"span": s, "children": []} for s in spans}
+        roots = []
+        for s in sorted(spans, key=lambda s: (s.start_us, s.span_id)):
+            node = by_id[s.span_id]
+            parent = by_id.get(s.parent_id) if s.parent_id is not None else None
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Export the buffer in Chrome ``trace_event`` JSON format.
+
+        Load the result (saved as ``.json``) in ``chrome://tracing`` or
+        https://ui.perfetto.dev.  Wall spans land in pid 1 (one lane per
+        real thread); simulated request-lifecycle spans land in pid 2
+        (one lane per request, plus lane 0 for batch-level spans).
+        """
+        spans = self.spans()
+        events: List[Dict[str, Any]] = [
+            {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+             "args": {"name": "execution (wall clock)"}},
+            {"ph": "M", "pid": 2, "tid": 0, "name": "process_name",
+             "args": {"name": "request lifecycle (simulated clock)"}},
+        ]
+        wall_tids: Dict[str, int] = {}
+        sim_tids: Dict[str, int] = {}
+        for s in sorted(spans, key=lambda s: (s.start_us, s.span_id)):
+            if s.clock == "wall":
+                pid = 1
+                tid = wall_tids.get(s.thread)
+                if tid is None:
+                    tid = wall_tids[s.thread] = len(wall_tids) + 1
+                    events.append({"ph": "M", "pid": 1, "tid": tid,
+                                   "name": "thread_name", "args": {"name": s.thread}})
+            else:
+                pid = 2
+                lane = s.request_id if s.request_id is not None else "(batches)"
+                tid = sim_tids.get(lane)
+                if tid is None:
+                    tid = sim_tids[lane] = len(sim_tids) + 1
+                    events.append({"ph": "M", "pid": 2, "tid": tid,
+                                   "name": "thread_name", "args": {"name": lane}})
+            args: Dict[str, Any] = {"span_id": s.span_id}
+            if s.parent_id is not None:
+                args["parent_id"] = s.parent_id
+            if s.request_id is not None:
+                args["request_id"] = s.request_id
+            for k, v in s.attrs.items():
+                args[k] = v if isinstance(v, (int, float, bool, str, type(None))) else str(v)
+            events.append({
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": round(s.start_us, 3),
+                "dur": round(s.dur_us, 3),
+                "name": s.name,
+                "cat": s.cat or s.clock,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"evicted_spans": self.evicted, "capacity": self.capacity}}
+
+    def chrome_trace_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.chrome_trace(), indent=indent, sort_keys=False)
+
+    def summary(self) -> str:
+        """Text flamegraph-style summary: spans aggregated by call path.
+
+        Rows are name-paths (``parent;child``) with call count, total and
+        self time, indented by depth and ordered so children follow their
+        parent (each subtree sorted by total time, descending).
+        """
+        spans = self.spans()
+        by_id = {s.span_id: s for s in spans}
+
+        def path_of(s: Span) -> Tuple[str, ...]:
+            names: List[str] = []
+            seen = set()
+            cur: Optional[Span] = s
+            while cur is not None and cur.span_id not in seen:
+                seen.add(cur.span_id)
+                names.append(cur.name)
+                cur = by_id.get(cur.parent_id) if cur.parent_id is not None else None
+            return tuple(reversed(names))
+
+        # path -> [count, total_us, child_us, clock]
+        agg: Dict[Tuple[str, ...], List[Any]] = {}
+        for s in spans:
+            p = path_of(s)
+            row = agg.setdefault(p, [0, 0.0, 0.0, s.clock])
+            row[0] += 1
+            row[1] += s.dur_us
+            if len(p) > 1:
+                parent_row = agg.setdefault(p[:-1], [0, 0.0, 0.0, s.clock])
+                parent_row[2] += s.dur_us
+        if not agg:
+            return "trace: no spans recorded\n"
+
+        def subtree(prefix: Tuple[str, ...]) -> Iterator[Tuple[str, ...]]:
+            kids = sorted(
+                (p for p in agg if len(p) == len(prefix) + 1 and p[:-1] == prefix),
+                key=lambda p: -agg[p][1],
+            )
+            for k in kids:
+                yield k
+                yield from subtree(k)
+
+        ordered: List[Tuple[str, ...]] = []
+        for root in sorted((p for p in agg if len(p) == 1), key=lambda p: -agg[p][1]):
+            ordered.append(root)
+            ordered.extend(subtree(root))
+
+        name_w = max(2 + 2 * (len(p) - 1) + len(p[-1]) for p in ordered)
+        name_w = max(name_w, len("span"))
+        lines = [
+            f"trace summary: {len(spans)} spans"
+            + (f" ({self.evicted} evicted)" if self.evicted else ""),
+            f"{'span':<{name_w}}  {'count':>6}  {'total_ms':>10}  {'self_ms':>10}  clock",
+        ]
+        for p in ordered:
+            count, total, child, clock = agg[p]
+            self_us = max(0.0, total - child)
+            label = "  " * (len(p) - 1) + p[-1]
+            lines.append(
+                f"{label:<{name_w}}  {count:>6}  {total / 1000.0:>10.3f}  "
+                f"{self_us / 1000.0:>10.3f}  {clock}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def _normalize_parent(parent) -> Tuple[Optional[int], Optional[str]]:
+    if parent is None:
+        return None, None
+    if isinstance(parent, tuple):
+        return parent[0], parent[1]
+    return int(parent), None
+
+
+# -- module-level switch -----------------------------------------------
+
+_STATE: Optional[Tracer] = None
+
+
+def enable(capacity: int = 8192, *, tracer: Optional[Tracer] = None) -> Tracer:
+    """Turn tracing on (replacing any active tracer); returns the new tracer.
+
+    Pass ``tracer`` to re-install an existing instance — e.g. an A/B
+    bench toggling the same buffer on and off, where rebuilding the
+    tracer (and its thread-locals) every toggle would be measured as
+    tracing cost.
+    """
+    global _STATE
+    _STATE = tracer if tracer is not None else Tracer(capacity)
+    return _STATE
+
+
+def disable() -> None:
+    """Turn tracing off; probes return to their zero-cost path."""
+    global _STATE
+    _STATE = None
+
+
+def enabled() -> bool:
+    return _STATE is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _STATE
+
+
+def span(name: str, **kwargs: Any):
+    """Module-level probe: a real span when tracing is on, else a shared no-op."""
+    t = _STATE
+    if t is None:
+        return _NOOP
+    return t.span(name, **kwargs)
+
+
+def sim_span(name: str, start_us: float, end_us: float, **kwargs: Any) -> Optional[int]:
+    """Module-level probe for simulated-clock spans; no-op when disabled."""
+    t = _STATE
+    if t is None:
+        return None
+    return t.add_sim_span(name, start_us, end_us, **kwargs)
+
+
+def capture() -> Optional[Context]:
+    """Snapshot the current span context for hand-off to another thread."""
+    t = _STATE
+    if t is None:
+        return None
+    return t.current()
+
+
+@contextmanager
+def use_tracing(capacity: int = 8192) -> Iterator[Tracer]:
+    """Enable tracing for a ``with`` block, restoring the prior state after."""
+    global _STATE
+    prev = _STATE
+    tracer = Tracer(capacity)
+    _STATE = tracer
+    try:
+        yield tracer
+    finally:
+        _STATE = prev

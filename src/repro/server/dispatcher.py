@@ -63,6 +63,8 @@ from ..core.serialize import (
 )
 from ..fusion import LaunchGroup, batch_chains, plan_profiles
 from ..gpu.profiles import GpuConfig, GpuOpProfiler
+from ..obs import metrics as obs_metrics
+from ..obs import register_process_metrics, tracing
 from ..runtime.memcache import MemoryCache
 from ..runtime.pipeline import AsyncPipeline
 from ..runtime.scheduler import MultiTileScheduler
@@ -529,26 +531,31 @@ class BatchDispatcher:
             responses.extend(self.dispatch(sub, free_at_us))
         return responses
 
-    def _evaluate(self, thunks: Sequence[Callable]) -> List[tuple]:
-        """Run the pure-math thunks; ``(result, error)`` per thunk, in order.
+    def _evaluate(self, jobs: Sequence[Tuple[str, Callable]]) -> List[tuple]:
+        """Run ``(request_id, thunk)`` jobs; ``(result, error)`` per job, in order.
 
         Fans out across the attached :class:`WorkerPool` when there is
-        one (and more than one thunk); executor-level rejections
+        one (and more than one job); executor-level rejections
         (KeyError/ValueError from evaluator validation) come back as
         error strings, anything else propagates.  Order and outcomes are
-        independent of the pool width.
+        independent of the pool width.  Each job's math runs under an
+        ``execute`` trace span tagged with its request id, so kernel
+        spans recorded inside the thunk attach to the right request even
+        on a pool thread.
         """
 
-        def one(thunk):
-            try:
-                return thunk(), None
-            except (KeyError, ValueError) as exc:
-                return None, str(exc)
+        def one(job):
+            rid, thunk = job
+            with tracing.span("execute", cat="server", request_id=rid):
+                try:
+                    return thunk(), None
+                except (KeyError, ValueError) as exc:
+                    return None, str(exc)
 
         pool = self.workers
-        if pool is not None and not pool.closed and len(thunks) > 1:
-            return pool.map_ordered(one, thunks)
-        return [one(t) for t in thunks]
+        if pool is not None and not pool.closed and len(jobs) > 1:
+            return pool.map_ordered(one, jobs)
+        return [one(j) for j in jobs]
 
     def _dispatch_on_device(
         self, pool_idx: int, reqs: List[ServeRequest],
@@ -590,21 +597,26 @@ class BatchDispatcher:
         lanes: Dict[str, int] = {}  # request id -> lane (fusion off)
         chains: List[Tuple[ServeRequest, List[KernelProfile]]] = []
         planned: List[Tuple[ServeRequest, List[KernelProfile], Callable]] = []
-        for req in live:
-            buf, cost_us = session.memcache.malloc(max(req.wire_bytes, 1))
-            alloc_cost_us += cost_us
-            scratch.append(buf)
-            try:
-                profs, thunk = session.execute_plan(req, profiler)
-            except (KeyError, ValueError) as exc:
-                failures[req.request_id] = str(exc)
-                continue
-            planned.append((req, profs, thunk))
+        with tracing.span("dispatch.plan", cat="server", device=label,
+                          requests=len(live)):
+            for req in live:
+                buf, cost_us = session.memcache.malloc(max(req.wire_bytes, 1))
+                alloc_cost_us += cost_us
+                scratch.append(buf)
+                try:
+                    profs, thunk = session.execute_plan(req, profiler)
+                except (KeyError, ValueError) as exc:
+                    failures[req.request_id] = str(exc)
+                    continue
+                planned.append((req, profs, thunk))
         # Phase 2 (parallel when a pool is attached): the pure ciphertext
         # math.  map_ordered keeps submission order, so the lane/chain
         # assembly below is identical to the inline run.
         lane_of = {id(req): lane for lane, req in enumerate(live)}
-        evaluated = self._evaluate([t for _, _, t in planned])
+        with tracing.span("dispatch.execute", cat="server", device=label,
+                          requests=len(planned)):
+            evaluated = self._evaluate(
+                [(req.request_id, t) for req, _, t in planned])
         for (req, profs, _thunk), outcome in zip(planned, evaluated):
             result, err = outcome
             if err is not None:
@@ -735,7 +747,8 @@ class HEServer:
                  cache_enabled: bool = True,
                  gpu_config: Optional[GpuConfig] = None,
                  admission: Optional[AdmissionPolicy] = None,
-                 workers: int = 0):
+                 workers: int = 0,
+                 registry: Optional[obs_metrics.MetricsRegistry] = None):
         params = (from_bytes(load_params, params_wire)
                   if isinstance(params_wire, (bytes, bytearray))
                   else params_wire)
@@ -755,6 +768,9 @@ class HEServer:
         self.admission = (AdmissionController(admission)
                           if admission is not None else None)
         self.metrics = ServerMetrics()
+        # None follows the process-global default registry at snapshot
+        # time; pass an explicit MetricsRegistry to isolate (tests).
+        self._registry = registry
         self._free_at_us: Dict[str, float] = {}
         self._clock_us = 0.0
         self._responses: Dict[str, ServeResponse] = {}
@@ -837,6 +853,16 @@ class HEServer:
                 self._responses[req.request_id] = resp
                 self.metrics.observe_shed(req.priority)
                 self.sessions.note_shed(req.client_id)
+                tracer = tracing.get_tracer()
+                if tracer is not None:
+                    root = tracer.add_sim_span(
+                        "request", req.arrival_us, req.arrival_us,
+                        request_id=req.request_id, op=req.op,
+                        status="overloaded", priority=req.priority)
+                    tracer.add_sim_span(
+                        "admission", req.arrival_us, req.arrival_us,
+                        request_id=req.request_id, parent=root,
+                        admitted=False)
                 return req.request_id
             if self.admission is not None:
                 self.metrics.observe_admitted()
@@ -867,8 +893,9 @@ class HEServer:
         heap: List[Tuple[float, int, ServeResponse]] = []
         seq = 0
         with self._mu:
-            batches = self.batcher.form_batches(drain=True,
-                                                now_us=self._clock_us)
+            with tracing.span("batch.form", cat="server"):
+                batches = self.batcher.form_batches(drain=True,
+                                                    now_us=self._clock_us)
         undispatched = list(batches)
         try:
             for batch in batches:
@@ -882,12 +909,19 @@ class HEServer:
                     undispatched.remove(batch)
                     self.metrics.observe_batch(batch.size)
                     ops = {r.request_id: r.op for r in batch.requests}
-                    dispatched = self.dispatcher.dispatch(
-                        batch, self._free_at_us)
+                    with tracing.span("batch.dispatch", cat="server",
+                                      batch_size=batch.size,
+                                      closed_by=batch.closed_by):
+                        dispatched = self.dispatcher.dispatch(
+                            batch, self._free_at_us)
+                    tracing.sim_span("batch", batch.open_us,
+                                     batch.dispatch_us, size=batch.size,
+                                     closed_by=batch.closed_by)
                     for resp in dispatched:
                         resp.yielded_at_us = max(resp.complete_us,
                                                  resp.arrival_us)
-                        self._record(resp, ops[resp.request_id])
+                        self._record(resp, ops[resp.request_id],
+                                     open_us=batch.open_us)
                         heapq.heappush(heap, (resp.yielded_at_us, seq, resp))
                         seq += 1
             while heap:
@@ -928,7 +962,8 @@ class HEServer:
         except KeyError:
             raise KeyError(f"no response for {request_id!r} (drained?)") from None
 
-    def _record(self, resp: ServeResponse, op: str) -> None:
+    def _record(self, resp: ServeResponse, op: str,
+                open_us: Optional[float] = None) -> None:
         self._responses[resp.request_id] = resp
         self.metrics.observe(RequestRecord(
             request_id=resp.request_id,
@@ -941,6 +976,29 @@ class HEServer:
             priority=resp.priority,
             status=resp.status,
         ))
+        tracer = tracing.get_tracer()
+        if tracer is None:
+            return
+        # Replay the request's simulated lifecycle as a span tree:
+        # request > admission (instantaneous gate decision), queue >
+        # batch (open window overlap), dispatch (device residency).
+        rid = resp.request_id
+        arrival, dispatch = resp.arrival_us, resp.dispatch_us
+        complete = max(resp.complete_us, dispatch)
+        root = tracer.add_sim_span(
+            "request", arrival, complete, request_id=rid, op=op,
+            device=resp.device, status=resp.status, priority=resp.priority,
+            batch_size=resp.batch_size)
+        tracer.add_sim_span("admission", arrival, arrival, request_id=rid,
+                            parent=root, admitted=True,
+                            gated=self.admission is not None)
+        queue = tracer.add_sim_span("queue", arrival, dispatch,
+                                    request_id=rid, parent=root)
+        if open_us is not None:
+            tracer.add_sim_span("batch", max(arrival, open_us), dispatch,
+                                request_id=rid, parent=queue)
+        tracer.add_sim_span("dispatch", dispatch, complete, request_id=rid,
+                            parent=root, device=resp.device)
 
     def _sync_cache_metrics(self) -> None:
         art, mc = self.session.artifacts, self.session.memcache.stats
@@ -954,6 +1012,69 @@ class HEServer:
             self.metrics.worker_stats = [
                 s.as_dict() for s in self.workers.stats
             ]
+
+    @property
+    def registry(self) -> obs_metrics.MetricsRegistry:
+        """The metrics registry snapshots publish into.
+
+        The one passed at construction, else the process-global default
+        (resolved per call, so ``use_registry`` blocks behave).
+        """
+        return self._registry or obs_metrics.get_registry()
+
+    def metrics_snapshot(self, fmt: str = "json"):
+        """Export the full serving telemetry through the metrics registry.
+
+        Syncs the current :class:`ServerMetrics` aggregates, admission
+        gate state, batcher depth and worker-pool health into
+        :attr:`registry` (set-style, idempotent), re-registers the
+        process-wide cache/native series, and returns the registry's
+        Prometheus text exposition (``fmt="prometheus"``) or JSON-safe
+        snapshot dict (``fmt="json"``).
+        """
+        with self._mu:
+            self._sync_cache_metrics()
+            reg = self.registry
+            self.metrics.export_into(reg)
+            g = reg.gauge
+            if self.admission is not None:
+                g("repro_admission_tokens",
+                  "Token-bucket fill of the admission gate.").set(
+                    self.admission.tokens)
+                g("repro_admission_backlog",
+                  "Modelled backlog the admission gate tracks.").set(
+                    self.admission.backlog)
+            g("repro_batcher_depth",
+              "Requests queued in the batcher right now.").set(
+                self.batcher.depth)
+            g("repro_worker_pool_width",
+              "Evaluation pool width (0 = inline).").set(
+                self.workers.width if self.workers is not None
+                and not self.workers.closed else 0)
+            if self.workers is not None:
+                for s in self.workers.stats:
+                    labels = {"worker": s.name}
+                    reg.counter("repro_worker_tasks_total",
+                                "Tasks executed per pool worker.",
+                                labels=labels).set_total(s.tasks)
+                    reg.counter("repro_worker_failures_total",
+                                "Task exceptions per pool worker.",
+                                labels=labels).set_total(s.failures)
+                    reg.counter("repro_worker_restarts_total",
+                                "Respawns after a worker thread died.",
+                                labels=labels).set_total(s.restarts)
+                    g("repro_worker_busy_seconds",
+                      "Cumulative busy wall time per pool worker.",
+                      labels=labels).set(s.busy_s)
+                    g("repro_worker_rate_per_s",
+                      "Tasks per busy second per pool worker.",
+                      labels=labels).set(s.rate)
+            register_process_metrics(reg)
+        if fmt == "prometheus":
+            return reg.render_prometheus()
+        if fmt in ("json", "dict"):
+            return reg.snapshot()
+        raise ValueError(f"unknown snapshot format {fmt!r}")
 
     # -- baseline -----------------------------------------------------------------
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.metrics import MetricsRegistry, percentile as _percentile
+
 __all__ = ["RequestRecord", "ServerMetrics"]
 
 
@@ -39,15 +41,6 @@ class RequestRecord:
     @property
     def queue_wait_us(self) -> float:
         return self.dispatch_us - self.arrival_us
-
-
-def _percentile(sorted_vals: List[float], q: float) -> float:
-    """Nearest-rank percentile on a pre-sorted list."""
-    if not sorted_vals:
-        return 0.0
-    k = max(0, min(len(sorted_vals) - 1,
-                   int(round(q / 100.0 * (len(sorted_vals) - 1)))))
-    return sorted_vals[k]
 
 
 @dataclass
@@ -207,6 +200,61 @@ class ServerMetrics:
         if not self.raw_launches:
             return 0.0
         return 1.0 - self.fused_launches / self.raw_launches
+
+    # -- registry export -------------------------------------------------------
+
+    def export_into(self, registry: MetricsRegistry) -> None:
+        """Publish the aggregate serving series into a metrics registry.
+
+        Set-style sync (idempotent): values are recomputed from the
+        stored records on every call, so repeated snapshots never double
+        count.  The per-priority latency histogram is rebuilt from the
+        ``ok`` records with the registry's fixed deterministic buckets.
+        """
+        c, g = registry.counter, registry.gauge
+        for status in ("ok", "failed", "expired", "device_failed", "overloaded"):
+            c("repro_server_requests_total",
+              "Terminal responses by typed status.",
+              labels={"status": status}).set_total(self.status_counts().get(status, 0))
+        c("repro_server_batches_total", "Batches dispatched.").set_total(len(self.batch_sizes))
+        g("repro_server_mean_batch_size", "Mean formed batch size.").set(self.mean_batch_size)
+        g("repro_server_throughput_rps",
+          "Served requests per simulated second.").set(self.throughput_rps)
+        g("repro_server_span_us",
+          "First arrival to last completion (simulated us).").set(self.span_us)
+        g("repro_server_max_inflight",
+          "Peak arrived-but-not-completed requests.").set(self.max_inflight())
+        c("repro_artifact_cache_hits_total",
+          "Server-side artifact (key/plan) cache hits.").set_total(self.artifact_hits)
+        c("repro_artifact_cache_misses_total",
+          "Server-side artifact (key/plan) cache misses.").set_total(self.artifact_misses)
+        c("repro_memcache_hits_total",
+          "Device memory cache hits.").set_total(self.memcache_hits)
+        c("repro_memcache_requests_total",
+          "Device memory cache lookups.").set_total(self.memcache_requests)
+        c("repro_launches_total", "Kernel launches before/after fusion.",
+          labels={"kind": "raw"}).set_total(self.raw_launches)
+        c("repro_launches_total", labels={"kind": "fused"}).set_total(self.fused_launches)
+        c("repro_admission_admitted_total",
+          "Requests the admission gate let through.").set_total(self.admitted_total)
+        c("repro_admission_shed_total",
+          "Requests shed with a typed overloaded response.").set_total(self.shed_total)
+        for prio, n in sorted(self.shed_by_priority.items()):
+            c("repro_admission_shed_by_priority_total",
+              "Shed requests split by priority class.",
+              labels={"priority": str(prio)}).set_total(n)
+        c("repro_requeued_total",
+          "Requests re-dispatched after device failure.").set_total(self.requeued_total)
+        prios = self.priorities() or [0]
+        for prio in prios:
+            h = registry.histogram(
+                "repro_server_latency_us",
+                "End-to-end simulated latency of served (ok) requests.",
+                labels={"priority": str(prio)})
+            h.reset()
+            for r in self.records:
+                if r.status == "ok" and r.priority == prio:
+                    h.observe(r.latency_us)
 
     # -- reporting -------------------------------------------------------------
 

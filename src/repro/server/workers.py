@@ -31,6 +31,8 @@ import threading
 import time
 from typing import Callable, List, Optional, Sequence
 
+from ..obs import tracing
+
 __all__ = ["WorkerStats", "WorkerPool"]
 
 
@@ -124,13 +126,18 @@ class WorkerPool:
             item = self._tasks.get()
             if item is _STOP:
                 return
-            fn, args, fut = item
+            fn, args, fut, ctx = item
             start = time.perf_counter()
-            try:
-                result, error = fn(*args), None
-            except BaseException as exc:  # noqa: BLE001 - relayed to caller
-                result, error = None, exc
-                stats.failures += 1
+            # The ctx captured at submit() re-parents this worker span
+            # under the submitting thread's open span, so a request's
+            # trace tree crosses the pool handoff intact.
+            with tracing.span("worker", cat="server", parent=ctx,
+                              worker=stats.name):
+                try:
+                    result, error = fn(*args), None
+                except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                    result, error = None, exc
+                    stats.failures += 1
             stats.busy_s += time.perf_counter() - start
             stats.tasks += 1
             fut._set(result, error)
@@ -156,10 +163,14 @@ class WorkerPool:
                     self._threads[i] = self._spawn(i)
 
     def submit(self, fn: Callable, *args) -> _Future:
-        """Queue one task; returns a future whose ``result()`` re-raises."""
+        """Queue one task; returns a future whose ``result()`` re-raises.
+
+        The submitting thread's current trace context rides along with
+        the task, so the worker's span parents under the caller's.
+        """
         self._ensure_alive()
         fut = _Future()
-        self._tasks.put((fn, args, fut))
+        self._tasks.put((fn, args, fut, tracing.capture()))
         return fut
 
     def map_ordered(self, fn: Callable, items: Sequence) -> list:

@@ -1,0 +1,238 @@
+"""Tests for the perf report, the regression gate, and history bounding."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import report as obs_report
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+def _entry(section="he_ops", op="multiply", leg="packed", ops=1000.0,
+           degree=4096, level=8, cpu=1, threads=1, ts="2026-01-01T00:00:00+00:00"):
+    return {
+        "ts": ts,
+        "section": section,
+        "backends": [leg],
+        "ops_per_s": {op: {f"{leg}_ops_per_s": ops}},
+        "meta": {"degree": degree, "level": level,
+                 "cpu_count": cpu, "native_threads": threads},
+    }
+
+
+def _data(history):
+    return {"meta": {}, "history": history}
+
+
+# ----------------------------------------------------------------------
+# regression gate
+# ----------------------------------------------------------------------
+
+def test_gate_fails_on_synthetic_regression():
+    """>20% drop vs the rolling median baseline must fail the gate."""
+    history = [_entry(ops=1000.0) for _ in range(5)] + [_entry(ops=700.0)]
+    report = obs_report.check_regressions(_data(history), threshold=0.2)
+    assert not report.ok
+    assert len(report.failures) == 1
+    res = report.failures[0]
+    assert res.status == "fail"
+    assert res.latest == 700.0
+    assert res.baseline == 1000.0
+    assert res.drop == pytest.approx(0.3)
+
+
+def test_gate_passes_below_threshold():
+    history = [_entry(ops=1000.0) for _ in range(5)] + [_entry(ops=850.0)]
+    report = obs_report.check_regressions(_data(history), threshold=0.2)
+    assert report.ok
+    assert len(report.checked) == 1
+    assert report.checked[0].drop == pytest.approx(0.15)
+
+
+def test_gate_improvement_never_fails():
+    history = [_entry(ops=1000.0), _entry(ops=5000.0)]
+    report = obs_report.check_regressions(_data(history), threshold=0.2)
+    assert report.ok and len(report.checked) == 1
+
+
+def test_gate_single_run_skipped_loudly():
+    report = obs_report.check_regressions(_data([_entry()]), threshold=0.2)
+    assert report.ok
+    assert not report.checked
+    assert len(report.skipped) == 1
+    assert "no baseline" in report.skipped[0]
+
+
+def test_gate_host_signatures_never_compare():
+    """A 2-cpu run must not gate against 1-cpu history — and the stale
+    1-cpu group is skipped, not checked."""
+    history = [_entry(ops=1000.0, cpu=1), _entry(ops=400.0, cpu=2)]
+    report = obs_report.check_regressions(_data(history), threshold=0.2)
+    assert report.ok
+    assert not report.checked  # both groups are single-point
+    stale = [s for s in report.skipped if "stale" in s]
+    single = [s for s in report.skipped if "no baseline" in s]
+    assert len(stale) == 1 and len(single) == 1
+
+
+def test_gate_stale_group_with_baseline_still_skipped():
+    """Even a multi-point old-host group is skipped once a newer host
+    signature has taken over the series."""
+    history = ([_entry(ops=1000.0, cpu=1) for _ in range(3)]
+               + [_entry(ops=100.0, cpu=1)]  # would fail if gated
+               + [_entry(ops=500.0, cpu=2), _entry(ops=500.0, cpu=2)])
+    report = obs_report.check_regressions(_data(history), threshold=0.2)
+    assert report.ok
+    assert len(report.checked) == 1  # the cpu=2 group
+    assert report.checked[0].host_sig == (2, 1)
+    assert any("stale" in s for s in report.skipped)
+
+
+def test_gate_window_bounds_baseline():
+    """Only the last ``window`` prior points feed the median."""
+    history = ([_entry(ops=10_000.0) for _ in range(10)]
+               + [_entry(ops=1000.0) for _ in range(5)]
+               + [_entry(ops=900.0)])
+    report = obs_report.check_regressions(_data(history), threshold=0.2,
+                                          window=5)
+    assert report.ok, obs_report.render_check(report)
+    assert report.checked[0].baseline == 1000.0
+
+
+def test_render_check_text():
+    history = [_entry(ops=1000.0) for _ in range(3)] + [_entry(ops=100.0)]
+    report = obs_report.check_regressions(_data(history), threshold=0.2)
+    text = obs_report.render_check(report)
+    assert "FAIL" in text
+    assert "he_ops:multiply:packed" in text
+
+
+def test_report_cli_exits_nonzero_on_regression(tmp_path):
+    """The CLI surface: ``repro report --check`` is the CI gate."""
+    from repro.__main__ import main
+
+    data = _data([_entry(ops=1000.0) for _ in range(4)] + [_entry(ops=10.0)])
+    hist = tmp_path / "hist.json"
+    hist.write_text(json.dumps(data))
+    out = tmp_path / "report.html"
+    rc = main(["report", "--check", "--history", str(hist), "--out", str(out)])
+    assert rc == 1
+    assert out.exists()  # the report is still written on failure
+
+    good = _data([_entry(ops=1000.0) for _ in range(5)])
+    hist.write_text(json.dumps(good))
+    assert main(["report", "--check", "--history", str(hist),
+                 "--out", str(out)]) == 0
+
+
+# ----------------------------------------------------------------------
+# figures / HTML
+# ----------------------------------------------------------------------
+
+def test_committed_results_build_four_figures():
+    """The acceptance criterion: the checked-in benchmark data renders
+    at least 4 registry figures into one self-contained page."""
+    data = obs_report.load_results()
+    figs = obs_report.build_figures(data)
+    assert len(figs) >= 4, [f.name for f in figs]
+    names = {f.name for f in figs}
+    assert {"backend_trajectory", "thread_scaling",
+            "serving_percentiles", "fusion_breakdown"} <= names
+
+
+def test_rendered_html_self_contained(tmp_path):
+    data = obs_report.load_results()
+    out = tmp_path / "report.html"
+    obs_report.write_report(out, data)
+    html = out.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html and "</html>" in html
+    # Self-contained: no external scripts, stylesheets, or images.
+    assert "<script" not in html
+    assert "<link" not in html
+    assert 'src="http' not in html and 'href="http' not in html
+    # Dark mode + data tables present per figure.
+    assert "prefers-color-scheme: dark" in html
+    assert html.count("<details") >= 4
+
+
+def test_figures_degrade_on_empty_data():
+    figs = obs_report.build_figures({"meta": {}, "history": []})
+    assert figs == []  # every builder returns None, none crashes
+    html = obs_report.render_report({"meta": {}, "history": []})
+    assert "</html>" in html
+
+
+# ----------------------------------------------------------------------
+# history bounding + atomic writes (benchmarks/_wallclock.py)
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def wallclock_mod(monkeypatch):
+    monkeypatch.syspath_prepend(str(BENCH_DIR))
+    import _wallclock
+
+    return _wallclock
+
+
+def test_trim_history_bounds_per_key(wallclock_mod):
+    history = ([_entry(section="he_ops", ops=float(i)) for i in range(250)]
+               + [_entry(section="ntt", ops=float(i)) for i in range(10)])
+    trimmed = wallclock_mod.trim_history(history, max_per_key=200)
+    he = [e for e in trimmed if e["section"] == "he_ops"]
+    ntt = [e for e in trimmed if e["section"] == "ntt"]
+    assert len(he) == 200
+    assert len(ntt) == 10  # other keys untouched
+    # Oldest-first eviction: the survivors are the newest 200.
+    assert he[0]["ops_per_s"]["multiply"]["packed_ops_per_s"] == 50.0
+    assert he[-1]["ops_per_s"]["multiply"]["packed_ops_per_s"] == 249.0
+    # Chronological order preserved across interleaved keys.
+    assert trimmed[-1]["section"] == "ntt"
+
+
+def test_trim_history_distinguishes_shapes(wallclock_mod):
+    history = ([_entry(degree=4096, ops=1.0) for _ in range(30)]
+               + [_entry(degree=8192, ops=2.0) for _ in range(30)])
+    trimmed = wallclock_mod.trim_history(history, max_per_key=25)
+    by_shape = {}
+    for e in trimmed:
+        by_shape.setdefault(e["meta"]["degree"], []).append(e)
+    assert len(by_shape[4096]) == 25
+    assert len(by_shape[8192]) == 25
+
+
+def test_write_json_atomic(wallclock_mod, tmp_path):
+    path = tmp_path / "out.json"
+    wallclock_mod.write_json_atomic(path, {"a": 1})
+    assert json.loads(path.read_text()) == {"a": 1}
+    wallclock_mod.write_json_atomic(path, {"a": 2})
+    assert json.loads(path.read_text()) == {"a": 2}
+    # No temp files left behind.
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_record_appends_history_and_trims(wallclock_mod, tmp_path, monkeypatch):
+    monkeypatch.setattr(wallclock_mod, "HISTORY_MAX_PER_KEY", 3)
+    path = tmp_path / "bench.json"
+    for i in range(5):
+        wallclock_mod.record(
+            path, "he_ops",
+            {"multiply": {"packed_ops_per_s": float(i), "packed_ms": 1.0}},
+            {"degree": 4096, "level": 8},
+        )
+    data = json.loads(path.read_text())
+    assert data["he_ops"]["multiply"]["packed_ops_per_s"] == 4.0  # latest wins
+    hist = data["history"]
+    assert len(hist) == 3
+    assert [h["ops_per_s"]["multiply"]["packed_ops_per_s"] for h in hist] \
+        == [2.0, 3.0, 4.0]
+    assert hist[0]["meta"]["cpu_count"]  # host meta rides along
+    # Sections without ops/sec rows update in place, no history entry.
+    wallclock_mod.record(path, "serving_overload", {"capacity_rps": 5.0},
+                         {"serving_requests": 4})
+    data = json.loads(path.read_text())
+    assert data["serving_overload"] == {"capacity_rps": 5.0}
+    assert len(data["history"]) == 3

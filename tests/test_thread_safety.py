@@ -256,6 +256,73 @@ def test_concurrent_stage_twiddle_and_prefix_memos():
     assert not errors, errors
 
 
+def test_concurrent_span_recording_bounded_and_consistent():
+    """N threads hammering one tracer: ids unique, eviction adds up.
+
+    The trace buffer is the one piece of observability state every
+    worker thread writes on every kernel call; a race here would corrupt
+    traces exactly when they are most interesting (pooled runs).
+    """
+    from repro.obs import tracing
+
+    capacity = 64
+    per_thread = 25
+    tracer = tracing.Tracer(capacity=capacity)
+    assert tracing.get_tracer() is None, "tracing must start disabled"
+    tracing.enable(tracer=tracer)
+    try:
+        def worker(idx):
+            for i in range(per_thread):
+                with tracing.span(f"outer-{idx}", cat="test", iter=i):
+                    with tracing.span(f"inner-{idx}", cat="test"):
+                        pass
+
+        errors = _run_threads(worker)
+    finally:
+        tracing.disable()
+    assert not errors, errors
+    spans = tracer.spans()
+    # Bounded buffer: exactly `capacity` survivors, the rest counted.
+    total = THREADS * per_thread * 2
+    assert len(spans) == capacity
+    assert tracer.evicted == total - capacity
+    assert len({s.span_id for s in spans}) == capacity  # no id reuse
+    # Every surviving inner span parents its own thread's outer span.
+    by_id = {s.span_id: s for s in spans}
+    for s in spans:
+        assert s.cat == "test"
+        if s.name.startswith("inner-") and s.parent_id in by_id:
+            parent = by_id[s.parent_id]
+            assert parent.name == "outer-" + s.name.split("-")[1]
+            assert parent.thread == s.thread
+    # The export paths hold up on a buffer written by 8 threads.
+    tracer.chrome_trace_json()
+    tracer.summary()
+
+
+def test_worker_pool_spans_parent_under_submitters():
+    """Pool workers re-parent their spans under each submitting thread."""
+    from repro.obs import tracing
+    from repro.server.workers import WorkerPool
+
+    with tracing.use_tracing(capacity=4096) as tracer:
+        with WorkerPool(3, name="ts") as pool:
+            def submit(idx):
+                with tracing.span(f"submit-{idx}", cat="test"):
+                    pool.map_ordered(lambda x: x * x, list(range(6)))
+
+            errors = _run_threads(submit, count=4)
+    assert not errors, errors
+    by_id = {s.span_id: s for s in tracer.spans()}
+    workers = [s for s in by_id.values() if s.name == "worker"]
+    assert len(workers) == 4 * 6
+    for w in workers:
+        assert w.thread.startswith("ts-")
+        parent = by_id[w.parent_id]
+        assert parent.name.startswith("submit-")
+        assert parent.thread != w.thread  # genuinely crossed the handoff
+
+
 def _pooled_overload_run(seed, *, workers, consumers=4, inject_failure=True):
     """Serve one fixed-seed workload through concurrent stream()/drain().
 
