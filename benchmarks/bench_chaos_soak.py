@@ -1,0 +1,44 @@
+"""Chaos-soak bench: resilience counters under the seeded fault plan.
+
+Runs the :mod:`repro.faults.chaos` soak (the same harness behind
+``python -m repro chaos``) and records its outcome counters — statuses,
+injections, watchdog/requeue activity, dedup absorption, breaker state —
+into ``benchmarks/results/BENCH_wallclock.json`` (section ``chaos``), so
+the perf report tracks the serving stack's behaviour under faults per
+run, next to its behaviour under load.  The soak's invariants must all
+pass: this bench doubles as the repo-level resilience gate.
+"""
+
+import time
+
+
+def test_chaos_soak_wallclock_json(quick, wallclock_record):
+    from repro.faults.chaos import ChaosConfig, run_chaos
+
+    cfg = ChaosConfig.quick() if quick else ChaosConfig()
+    t0 = time.perf_counter()
+    report = run_chaos(cfg)
+    wall_s = time.perf_counter() - t0
+    print("\n" + report.render())
+
+    payload = {
+        "requests": report.requests,
+        "wall_s": round(wall_s, 3),
+        "statuses": report.statuses,
+        "lost": report.lost,
+        "deduped": report.deduped,
+        "injections": report.injections,
+        "pool": report.pool,
+        "dispatcher_requeued": report.dispatcher_requeued,
+        "native_armed": report.native_armed,
+        "breaker_degraded_to": report.breaker.get("degraded_to"),
+        "fallback_delta": report.fallback_delta,
+        "invariants_passed": sum(1 for i in report.invariants if i["ok"]),
+        "invariants_total": len(report.invariants),
+        "ok": report.ok,
+    }
+    wallclock_record(
+        "chaos", payload,
+        {"chaos_seed": cfg.seed, "chaos_quick": bool(quick)},
+    )
+    assert report.ok, report.render()

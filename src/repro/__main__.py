@@ -518,6 +518,34 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .faults.chaos import ChaosConfig, run_chaos
+
+    if args.quick:
+        cfg = ChaosConfig.quick(seed=args.seed)
+    else:
+        cfg = ChaosConfig(seed=args.seed)
+    overrides = {}
+    if args.requests is not None:
+        overrides["requests"] = args.requests
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if overrides:
+        from dataclasses import replace
+
+        cfg = replace(cfg, **overrides)
+    report = run_chaos(cfg)
+    print(report.render())
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report.to_json() + "\n")
+        print(f"chaos: summary -> {out}")
+    return 0 if report.ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -655,6 +683,21 @@ def main(argv: list | None = None) -> int:
                        help="structured JSON snapshot instead of "
                             "Prometheus text")
     p_met.set_defaults(fn=cmd_metrics)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection soak: serve mixed traffic under a "
+                      "seeded fault plan and assert resilience invariants")
+    p_chaos.add_argument("--seed", type=int, default=8,
+                         help="fault plan + traffic seed (default 8)")
+    p_chaos.add_argument("--requests", type=int, default=None,
+                         help="override the request count")
+    p_chaos.add_argument("--workers", type=int, default=None,
+                         help="override the evaluation pool width")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="CI-sized soak (200 requests, degree 256)")
+    p_chaos.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the summary JSON to PATH")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_rep = sub.add_parser("report", help="render the perf-trajectory report "
                                           "and optionally gate on it")

@@ -32,6 +32,7 @@ __all__ = [
     "save_relin_key", "load_relin_key",
     "save_galois_keys", "load_galois_keys",
     "SessionTicket", "save_session_ticket", "load_session_ticket",
+    "TicketError", "StaleTicketError",
 ]
 
 FORMAT_VERSION = 1
@@ -185,6 +186,20 @@ def load_galois_keys(fp: PathOrFile) -> GaloisKeys:
 # --- serving sessions -------------------------------------------------------
 
 
+class TicketError(ValueError):
+    """A session ticket failed to load or validate (corrupt/malformed).
+
+    The typed wire-boundary error for resumable tickets: whatever a
+    mutated or stale ticket blob does internally (zip errors, missing
+    fields, bad types), callers see this — never a raw serializer or
+    ``KeyError`` internal.
+    """
+
+
+class StaleTicketError(TicketError):
+    """A well-formed ticket that no longer matches a live session."""
+
+
 @dataclass(frozen=True)
 class SessionTicket:
     """Opaque resumable handle for a serving session (no key material).
@@ -217,12 +232,42 @@ def save_session_ticket(ticket: SessionTicket, fp: PathOrFile) -> None:
 
 
 def load_session_ticket(fp: PathOrFile) -> SessionTicket:
-    with np.load(fp) as npz:
-        meta = _read_meta(npz, "session_ticket")
+    """Load + validate a ticket; raises :class:`TicketError` when bad.
+
+    Validation is strict — version/kind via ``_read_meta``, then field
+    bounds: non-empty string ids, no ``':'`` in the client id (the
+    server-side keyspace separator), a finite non-negative issue
+    instant.  A ticket is client-presented input, so it fails closed.
+    """
+    import math
+
+    try:
+        with np.load(fp) as npz:
+            meta = _read_meta(npz, "session_ticket")
+    except ValueError as exc:
+        raise TicketError(str(exc)) from None
+    except Exception as exc:  # zip/npz internals on corrupt bytes
+        raise TicketError(f"corrupt session ticket: {exc}") from None
+    client_id = meta.get("client_id")
+    session_id = meta.get("session_id")
+    issued_us = meta.get("issued_us", 0.0)
+    if not isinstance(client_id, str) or not client_id:
+        raise TicketError("session ticket needs a non-empty client_id")
+    if ":" in client_id:
+        raise TicketError("session ticket client_id must not contain ':'")
+    if not isinstance(session_id, str) or not session_id:
+        raise TicketError("session ticket needs a non-empty session_id")
+    if (isinstance(issued_us, bool)
+            or not isinstance(issued_us, (int, float))
+            or not math.isfinite(issued_us) or issued_us < 0):
+        raise TicketError(
+            f"session ticket issued_us must be a finite non-negative "
+            f"number, got {issued_us!r}"
+        )
     return SessionTicket(
-        client_id=meta["client_id"],
-        session_id=meta["session_id"],
-        issued_us=meta.get("issued_us", 0.0),
+        client_id=client_id,
+        session_id=session_id,
+        issued_us=float(issued_us),
     )
 
 

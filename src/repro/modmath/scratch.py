@@ -30,9 +30,17 @@ import threading
 import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import faults as _faults
 from ..obs import metrics as obs_metrics
 
 __all__ = ["ScratchRegistry", "default_max_bytes"]
+
+_FP_ALLOC = _faults.faultpoint(
+    "scratch.alloc",
+    "Scratch-buffer miss path (fresh allocation); kernel_exception "
+    "raises InjectedFault from the allocating kernel, slow_execution "
+    "stalls the allocation.",
+)
 
 #: Process-wide default cap on scratch bytes *per registry*.
 _DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -94,6 +102,14 @@ class ScratchRegistry:
                 if entry is not None:
                     entry[2] = self._tick
             return buf
+        event = _faults.check(_FP_ALLOC)
+        if event is not None:
+            if event.mode == "kernel_exception":
+                raise _faults.InjectedFault(
+                    f"injected scratch allocation failure "
+                    f"({self.name}, key={key!r})"
+                )
+            _faults.sleep_event(event)
         buf = factory(key)
         nbytes = int(buf.nbytes)
         with self._lock:

@@ -38,6 +38,8 @@ __all__ = [
     "set_backend", "get_backend", "use_backend",
     "resolve", "is_native", "is_serial", "packed_default",
     "invalidate",
+    "note_kernel_fault", "degrade", "breaker_state", "reset_breaker",
+    "kernel_fault_threshold",
 ]
 
 logger = logging.getLogger("repro.native")
@@ -174,6 +176,107 @@ def invalidate() -> None:
         _RESOLVED = None
         _ENV_WARNED = False
         _DEGRADE_WARNED = False
+
+
+# -- kernel-fault circuit breaker ---------------------------------------------
+#
+# Repeated faults inside the compiled kernels (real crashes would take
+# the process down, so in practice these are the injected faults of
+# repro.faults plus any per-call glue failure) trip a breaker that
+# *downgrades* the backend one tier — native -> packed -> serial — at
+# runtime.  All three tiers are bit-identical, so degradation trades
+# speed for stability without changing a single result.
+
+_BREAKER_FAULTS = 0        # consecutive kernel faults since last trip/reset
+_BREAKER_DEGRADED: Optional[str] = None   # tier the breaker moved to
+_DEFAULT_FAULT_THRESHOLD = 3
+
+
+def kernel_fault_threshold() -> int:
+    """Faults that trip the breaker (``REPRO_KERNEL_FAULT_THRESHOLD``)."""
+    env = os.environ.get("REPRO_KERNEL_FAULT_THRESHOLD", "").strip()
+    if env:
+        try:
+            value = int(env)
+            if value >= 1:
+                return value
+        except ValueError:
+            pass
+    return _DEFAULT_FAULT_THRESHOLD
+
+
+def note_kernel_fault(reason: str = "") -> Optional[str]:
+    """Count one kernel-level fault; trips :func:`degrade` at threshold.
+
+    Returns the tier degraded to when the breaker tripped on this call,
+    else ``None``.  Called by the glue layer when a native kernel call
+    faults (the caller then falls back to NumPy for that one call, so a
+    single fault costs a pass, not correctness).
+    """
+    global _BREAKER_FAULTS
+    with _LOCK:
+        _BREAKER_FAULTS += 1
+        tripped = _BREAKER_FAULTS >= kernel_fault_threshold()
+    if tripped:
+        return degrade(reason=reason or "repeated kernel faults")
+    return None
+
+
+def degrade(*, reason: str = "") -> str:
+    """Downgrade the backend one tier; returns the new tier.
+
+    ``native -> packed`` counts in ``repro_native_fallback_total`` (the
+    same counter every other native downgrade uses); every trip counts
+    in ``repro_backend_degraded_total``.  Already at ``serial`` this is
+    a no-op.
+    """
+    global _EXPLICIT, _RESOLVED, _BREAKER_FAULTS, _BREAKER_DEGRADED
+    with _LOCK:
+        current = _RESOLVED
+        if current is None:
+            current = _resolve_locked()
+        if current == "serial":
+            _BREAKER_FAULTS = 0
+            return "serial"
+        nxt = "packed" if current == "native" else "serial"
+        _EXPLICIT = nxt
+        _RESOLVED = None
+        _BREAKER_DEGRADED = nxt
+        _BREAKER_FAULTS = 0
+    logger.warning(
+        "backend circuit breaker: degrading %s -> %s%s",
+        current, nxt, f" ({reason})" if reason else "",
+    )
+    if current == "native":
+        from . import glue
+
+        glue.note_fallback()
+    from ..obs import metrics as obs_metrics
+
+    obs_metrics.get_registry().counter(
+        "repro_backend_degraded_total",
+        "Circuit-breaker backend downgrades after repeated kernel faults.",
+        labels={"from": current, "to": nxt},
+    ).inc()
+    return nxt
+
+
+def breaker_state() -> dict:
+    """Snapshot of the circuit breaker (for tests/chaos assertions)."""
+    with _LOCK:
+        return {
+            "faults": _BREAKER_FAULTS,
+            "threshold": kernel_fault_threshold(),
+            "degraded_to": _BREAKER_DEGRADED,
+        }
+
+
+def reset_breaker() -> None:
+    """Clear fault counts and the trip record (backend stays as set)."""
+    global _BREAKER_FAULTS, _BREAKER_DEGRADED
+    with _LOCK:
+        _BREAKER_FAULTS = 0
+        _BREAKER_DEGRADED = None
 
 
 def is_native() -> bool:

@@ -32,6 +32,8 @@ import tempfile
 from pathlib import Path
 from typing import List
 
+from .. import faults as _faults
+
 __all__ = ["NativeBuildError", "find_compiler", "cache_dir", "build",
            "source_files", "cflags", "SO_BASENAME"]
 
@@ -51,6 +53,13 @@ def cflags() -> List[str]:
 
 class NativeBuildError(RuntimeError):
     """The native kernel library could not be built or located."""
+
+
+_FP_BUILD = _faults.faultpoint(
+    "native.build",
+    "Native toolchain compile step; build_failure injects a "
+    "NativeBuildError so the load path pins the NumPy fallback.",
+)
 
 
 def source_files() -> List[Path]:
@@ -106,6 +115,9 @@ def build(*, force: bool = False) -> Path:
     The compile lands in the cache atomically (temp file + ``os.replace``)
     so concurrent builders from several processes are safe.
     """
+    event = _faults.check(_FP_BUILD)
+    if event is not None and event.mode == "build_failure":
+        raise NativeBuildError("injected toolchain failure (fault plan)")
     cc = find_compiler()
     flags = _cflags()
     out = cache_dir() / f"{SO_BASENAME}-{_digest(cc, flags)}.so"

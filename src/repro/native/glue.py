@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import faults as _faults
 from ..obs import metrics as obs_metrics
 from ..obs import tracing
 from .build import NativeBuildError, build
@@ -80,6 +81,36 @@ def note_fallback() -> None:
 
 def fallback_count() -> int:
     return _FALLBACKS
+
+
+_FP_KERNEL = _faults.faultpoint(
+    "native.kernel",
+    "Entry of every fused native kernel glue call (setup eligibility "
+    "checks); kernel_exception forces the per-call NumPy fallback and "
+    "feeds the backend circuit breaker, slow_execution stalls the call.",
+)
+
+
+def _kernel_fault() -> bool:
+    """Check the ``native.kernel`` faultpoint; True = fall back to NumPy.
+
+    A ``kernel_exception`` injection never raises here: a real in-kernel
+    failure would surface as a bad return, and the glue contract is
+    "``None`` means take the NumPy path" — so the injected fault counts
+    against the backend circuit breaker (possibly tripping the
+    native -> packed downgrade) and the call degrades, bit-identically.
+    ``slow_execution`` stalls the call on wall time and proceeds.
+    """
+    event = _faults.check(_FP_KERNEL)
+    if event is None:
+        return False
+    if event.mode == "slow_execution":
+        _faults.sleep_event(event)
+        return False
+    from . import backend
+
+    backend.note_kernel_fault(reason=f"injected {event.mode}")
+    return True
 
 
 def register_metrics(registry: Optional[obs_metrics.MetricsRegistry] = None) -> None:
@@ -367,6 +398,8 @@ def _setup(st, *operands):
     """(lib, arrays, out, dims, consts) or None when ineligible."""
     if getattr(st, "trailing", 1) != 1:
         return None  # non-standard limb-axis placement: NumPy handles it
+    if _kernel_fault():
+        return None
     lib = load()
     if lib is None:
         return None
@@ -531,6 +564,8 @@ def lazy_diff_mul_operand(m, r_lazy, w, wq_hi, wq_lo, st):
 
 def scaler_tail(matrix, half_d, kept_st, inv_w, inv_wq, d_mod):
     """Fused LastModulusScaler.divide_round over a ``(k, n)`` matrix."""
+    if _kernel_fault():
+        return None
     lib = load()
     if lib is None:
         return None
@@ -570,6 +605,8 @@ def _tables_consts(st_tables):
 
 
 def _ntt_setup(x, st_tables):
+    if _kernel_fault():
+        return None
     lib = load()
     if lib is None:
         return None
@@ -627,6 +664,8 @@ def ks_decompose(poly_ntt, inv_tables, fwd_tables):
     ``ntt_forward(barrett64(ntt_inverse(poly)))``, or None when
     ineligible.
     """
+    if _kernel_fault():
+        return None
     lib = load()
     if lib is None:
         return None

@@ -89,6 +89,7 @@ def register_process_metrics(registry=None):
     Imports lazily so :mod:`repro.obs` itself stays a leaf dependency.
     """
     reg = registry or get_registry()
+    from .. import faults
     from ..modmath import packedops
     from ..native import glue
     from ..ntt import radix2, tables
@@ -97,4 +98,5 @@ def register_process_metrics(registry=None):
     radix2._SCRATCH.register_metrics(reg)
     tables.register_metrics(reg)
     glue.register_metrics(reg)
+    faults.register_metrics(reg)
     return reg

@@ -19,12 +19,13 @@ Entry points: :class:`HEServer` (in-process server), :class:`ServerClient`
 
 from .admission import AdmissionController, AdmissionPolicy
 from .batcher import Batch, BatchPolicy, RequestBatcher
-from .client import ServerClient
+from .client import RetryPolicy, ServerClient, submit_with_retry
 from .dispatcher import ArtifactCache, BatchDispatcher, HEServer, ServerSession
 from .metrics import RequestRecord, ServerMetrics
 from .request import (
     RESPONSE_STATUSES,
     SUPPORTED_OPS,
+    FrameError,
     ServeRequest,
     ServeResponse,
     SessionAck,
@@ -51,6 +52,7 @@ from .traffic import (
 __all__ = [
     "SUPPORTED_OPS",
     "RESPONSE_STATUSES",
+    "FrameError",
     "ServeRequest",
     "ServeResponse",
     "SessionHello",
@@ -80,6 +82,8 @@ __all__ = [
     "WorkerPool",
     "WorkerStats",
     "ServerClient",
+    "RetryPolicy",
+    "submit_with_retry",
     "demo_deployment",
     "mixed_square_multiply_traffic",
     "modelled_capacity_rps",

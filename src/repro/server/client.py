@@ -24,6 +24,8 @@ server's tiles drain).
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
+from random import Random
 from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -42,6 +44,7 @@ from ..core.serialize import (
 )
 from .dispatcher import HEServer
 from .request import (
+    FrameError,
     ServeRequest,
     ServeResponse,
     SessionAck,
@@ -51,7 +54,74 @@ from .request import (
     encode_session_hello,
 )
 
-__all__ = ["ServerClient"]
+__all__ = ["RetryPolicy", "ServerClient", "submit_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side resubmission policy for transient transport faults.
+
+    A submit that fails with :class:`FrameError` (the frame was
+    corrupted or truncated in transit) is retried up to ``max_attempts``
+    times with capped exponential backoff plus deterministic jitter —
+    the backoff advances the resubmission's *simulated* arrival time, so
+    retried traffic still replays bit-identically under a seed.
+
+    ``timeout_ms`` is the per-request latency budget: it stamps
+    ``deadline_ms`` on requests submitted through
+    :meth:`ServerClient.submit` that don't carry their own, so a request
+    the server cannot serve in time is shed with a typed ``expired``
+    response instead of waiting forever.  Retries reuse the request id;
+    the server's dedup cache keeps resubmission idempotent.
+    """
+
+    max_attempts: int = 4
+    base_backoff_us: float = 200.0
+    multiplier: float = 2.0
+    cap_backoff_us: float = 10_000.0
+    jitter: float = 0.25
+    timeout_ms: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def backoff_us(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered, capped."""
+        base = min(self.base_backoff_us * self.multiplier ** attempt,
+                   self.cap_backoff_us)
+        if self.jitter == 0.0:
+            return base
+        # Deterministic per (seed, attempt): reruns replay exactly.
+        r = Random(f"{self.seed}:{attempt}").random()
+        return base * (1.0 + self.jitter * (2.0 * r - 1.0))
+
+
+def submit_with_retry(server: HEServer, wire: bytes, *,
+                      arrival_us: Optional[float] = None,
+                      policy: Optional[RetryPolicy] = None) -> str:
+    """Submit a wire frame, retrying transport-level decode failures.
+
+    Each retry pushes the simulated arrival forward by the policy's
+    backoff.  Raises the last :class:`FrameError` once attempts are
+    exhausted.  Duplicate-safe: the server dedups request ids, so a
+    retry racing its original can never double-execute.
+    """
+    policy = policy or RetryPolicy()
+    t_us = arrival_us
+    last: Optional[FrameError] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return server.submit(wire, arrival_us=t_us)
+        except FrameError as exc:
+            last = exc
+            if t_us is not None:
+                t_us += policy.backoff_us(attempt)
+    assert last is not None
+    raise last
 
 
 class ServerClient:
@@ -64,13 +134,19 @@ class ServerClient:
                  decryptor: Decryptor,
                  relin_key: Optional[RelinKey] = None,
                  galois_keys: Optional[GaloisKeys] = None,
-                 client_id: str = "client"):
+                 client_id: str = "client",
+                 retry: Optional[RetryPolicy] = None):
         self.server = server
         self.encoder = encoder
         self.encryptor = encryptor
         self.decryptor = decryptor
         self._ids = itertools.count()
         self.client_id = client_id
+        #: Default retry/timeout policy for :meth:`submit` (None = one
+        #: attempt, no stamped timeout).
+        self.retry = retry
+        #: Resubmissions performed after transport-level decode failures.
+        self.retries = 0
         self.session_id = ""
         self.ticket_wire: Optional[bytes] = None
         self._in_session = False
@@ -134,16 +210,40 @@ class ServerClient:
                arrival_us: Optional[float] = None,
                priority: int = 0,
                deadline_ms: Optional[float] = None,
+               retry: Optional[RetryPolicy] = None,
                **meta) -> str:
-        """Frame and submit one operation; returns the request id."""
+        """Frame and submit one operation; returns the request id.
+
+        With a :class:`RetryPolicy` (per call, or the client default),
+        transport-level decode failures are retried with backoff and the
+        policy's ``timeout_ms`` stamps ``deadline_ms`` when the call
+        doesn't pass its own.
+        """
+        policy = retry if retry is not None else self.retry
+        if (deadline_ms is None and policy is not None
+                and policy.timeout_ms is not None):
+            deadline_ms = policy.timeout_ms
         rid = f"{self.client_id}-{next(self._ids)}"
         req = ServeRequest(
             request_id=rid, op=op, cts=cts, meta=meta,
             priority=priority, deadline_ms=deadline_ms,
             client_id=self.client_id if self._in_session else "",
         )
-        self.server.submit(encode_request(req), arrival_us=arrival_us)
-        return rid
+        wire = encode_request(req)
+        if policy is None:
+            self.server.submit(wire, arrival_us=arrival_us)
+            return rid
+        for attempt in range(policy.max_attempts):
+            try:
+                self.server.submit(wire, arrival_us=arrival_us)
+                return rid
+            except FrameError:
+                if attempt + 1 >= policy.max_attempts:
+                    raise
+                self.retries += 1
+                if arrival_us is not None:
+                    arrival_us += policy.backoff_us(attempt)
+        return rid  # pragma: no cover - loop always returns or raises
 
     def submit_square(self, values, *, arrival_us=None, priority=0,
                       deadline_ms=None) -> str:

@@ -49,6 +49,7 @@ import threading
 from dataclasses import replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .. import faults as _faults
 from ..core.ciphertext import Ciphertext
 from ..core.context import CkksContext
 from ..core.encoder import CkksEncoder
@@ -91,6 +92,15 @@ __all__ = ["ArtifactCache", "ServerSession", "BatchDispatcher", "HEServer"]
 DEFAULT_DEVICES: Tuple[Tuple[DeviceSpec, int], ...] = (
     (DEVICE1, 2),
     (DEVICE2, 1),
+)
+
+_FP_EXECUTE = _faults.faultpoint(
+    "dispatcher.execute",
+    "raise a kernel exception or slow one request's evaluation",
+)
+_FP_DEVICE = _faults.faultpoint(
+    "dispatcher.device",
+    "fail one pool device shortly after a batch dispatches",
 )
 
 
@@ -481,6 +491,15 @@ class BatchDispatcher:
         reqs = batch.requests
         if not reqs:
             return []
+        event = _faults.check(_FP_DEVICE)
+        if event is not None and event.mode == "device_failure":
+            label = event.match or self.labels[0]
+            if label in self.labels and label not in self._failed:
+                # Default failure instant: just after this dispatch, so
+                # the device takes its chunk and loses the in-flight
+                # results — the requeue path, not a pre-dispatch skip.
+                at_us = event.param if event.param > 0 else batch.dispatch_us + 1.0
+                self.fail_device(label, at_us)
         alive = self._alive(batch.dispatch_us)
         if not alive:
             fail_us = max(self._failed.values(), default=batch.dispatch_us)
@@ -547,8 +566,16 @@ class BatchDispatcher:
         def one(job):
             rid, thunk = job
             with tracing.span("execute", cat="server", request_id=rid):
+                event = _faults.check(_FP_EXECUTE, request_id=rid)
+                if event is not None and event.mode == "kernel_exception":
+                    # Typed executor failure, same path a bad input takes
+                    # — the request gets an "error" terminal response.
+                    return None, f"injected kernel fault ({rid})"
+                _faults.sleep_event(event)
                 try:
                     return thunk(), None
+                except _faults.InjectedFault as exc:
+                    return None, str(exc)
                 except (KeyError, ValueError) as exc:
                     return None, str(exc)
 
@@ -748,6 +775,7 @@ class HEServer:
                  gpu_config: Optional[GpuConfig] = None,
                  admission: Optional[AdmissionPolicy] = None,
                  workers: int = 0,
+                 watchdog_s: Optional[float] = None,
                  registry: Optional[obs_metrics.MetricsRegistry] = None):
         params = (from_bytes(load_params, params_wire)
                   if isinstance(params_wire, (bytes, bytearray))
@@ -758,8 +786,11 @@ class HEServer:
         self.batcher = RequestBatcher(self.policy)
         # workers >= 2 attaches a real evaluation pool; 0/1 keep the
         # inline path (a one-wide pool would only add handoff latency).
+        # watchdog_s arms the pool's hung-task watchdog (abandon +
+        # respawn + requeue past the deadline).
         self.workers: Optional[WorkerPool] = (
-            WorkerPool(workers, name="he-worker") if workers >= 2 else None
+            WorkerPool(workers, name="he-worker", watchdog_s=watchdog_s)
+            if workers >= 2 else None
         )
         self.dispatcher = BatchDispatcher(self.session, self.devices,
                                           gpu_config=gpu_config,
@@ -834,7 +865,13 @@ class HEServer:
                if isinstance(request, (bytes, bytearray)) else request)
         with self._mu:
             if req.request_id in self._seen_ids:
-                raise ValueError(f"duplicate request id {req.request_id!r}")
+                # Idempotent resubmission (a client retry after a lost
+                # or timed-out response): the request is already queued
+                # or answered, so the duplicate is absorbed — it must
+                # not enqueue a second execution or a second terminal
+                # status.
+                self.metrics.observe_deduped()
+                return req.request_id
             if req.client_id and req.client_id not in self.sessions:
                 raise ValueError(
                     f"unknown session client {req.client_id!r}; handshake first"
@@ -1063,6 +1100,15 @@ class HEServer:
                     reg.counter("repro_worker_restarts_total",
                                 "Respawns after a worker thread died.",
                                 labels=labels).set_total(s.restarts)
+                    reg.counter("repro_worker_hung_total",
+                                "Tasks the watchdog abandoned as hung.",
+                                labels=labels).set_total(s.hung)
+                    reg.counter("repro_worker_crashes_total",
+                                "Injected worker crashes.",
+                                labels=labels).set_total(s.crashes)
+                    reg.counter("repro_worker_leaked_total",
+                                "Threads leaked (failed to join) at close.",
+                                labels=labels).set_total(s.leaked)
                     g("repro_worker_busy_seconds",
                       "Cumulative busy wall time per pool worker.",
                       labels=labels).set(s.busy_s)

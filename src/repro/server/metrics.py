@@ -69,6 +69,10 @@ class ServerMetrics:
     #: Requests re-dispatched onto a surviving device after a device
     #: failure mid-stream.
     requeued_total: int = 0
+    #: Duplicate submissions absorbed by the request-id dedup cache
+    #: (idempotent client retries) — each got no second execution and
+    #: no second terminal status.
+    deduped_total: int = 0
     #: Per-worker health/rate snapshots from the evaluation pool (empty
     #: when the server runs inline): dicts with ``name``, ``tasks``,
     #: ``failures``, ``busy_s``, ``rate_per_s``, ``restarts``.
@@ -88,6 +92,9 @@ class ServerMetrics:
 
     def observe_admitted(self) -> None:
         self.admitted_total += 1
+
+    def observe_deduped(self) -> None:
+        self.deduped_total += 1
 
     # -- aggregates ------------------------------------------------------------
 
@@ -245,6 +252,9 @@ class ServerMetrics:
               labels={"priority": str(prio)}).set_total(n)
         c("repro_requeued_total",
           "Requests re-dispatched after device failure.").set_total(self.requeued_total)
+        c("repro_server_deduped_total",
+          "Duplicate request-id submissions absorbed (idempotent "
+          "retries).").set_total(self.deduped_total)
         prios = self.priorities() or [0]
         for prio in prios:
             h = registry.histogram(
@@ -287,6 +297,8 @@ class ServerMetrics:
             )
         if self.requeued_total:
             lines.append(f"requeued on failure  : {self.requeued_total}")
+        if self.deduped_total:
+            lines.append(f"deduped resubmits    : {self.deduped_total}")
         if self.worker_stats:
             total = sum(w["tasks"] for w in self.worker_stats)
             lines.append(
@@ -294,11 +306,15 @@ class ServerMetrics:
                 f"({total} tasks)"
             )
             for w in self.worker_stats:
+                extras = "".join(
+                    f", {w[k]} {k}" for k in ("restarts", "hung", "crashes",
+                                              "leaked")
+                    if w.get(k)
+                )
                 lines.append(
                     f"  {w['name']:<19}: {w['tasks']} tasks, "
                     f"{w['failures']} failures, "
-                    f"{w['rate_per_s']:.0f}/s"
-                    + (f", {w['restarts']} restarts" if w["restarts"] else "")
+                    f"{w['rate_per_s']:.0f}/s{extras}"
                 )
         statuses = self.status_counts()
         if set(statuses) - {"ok"}:

@@ -27,6 +27,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import faults as _faults
 from ..core.ciphertext import Ciphertext
 from ..core.serialize import (
     FORMAT_VERSION,
@@ -39,6 +40,8 @@ from ..core.serialize import (
 __all__ = [
     "SUPPORTED_OPS",
     "RESPONSE_STATUSES",
+    "FrameError",
+    "MAX_FRAME_BYTES",
     "ServeRequest",
     "ServeResponse",
     "SessionHello",
@@ -58,6 +61,27 @@ REQUEST_MAGIC = b"RPRQ"
 RESPONSE_MAGIC = b"RPRS"
 HELLO_MAGIC = b"RPRH"
 ACK_MAGIC = b"RPRA"
+
+#: Upper bound on an accepted serving frame — a length prefix pointing
+#: past this is rejected before any allocation or parse attempt.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+#: Upper bound on the JSON header inside a frame.
+MAX_HEADER_BYTES = 1024 * 1024
+
+_FP_DECODE = _faults.faultpoint(
+    "wire.decode",
+    "corrupt or truncate a serving frame's bytes before decoding",
+)
+
+
+class FrameError(ValueError):
+    """A serving frame failed to decode (truncated/corrupted/oversized).
+
+    The typed error the wire boundary guarantees: no matter how the
+    bytes are mutated in transit, decoding raises this (a
+    ``ValueError``) — never ``struct.error``, ``IndexError`` or a
+    serializer internal — so callers can retry or refuse uniformly.
+    """
 
 #: Operations the dispatcher executes.  All of them need only public
 #: material server-side (evaluation keys and plaintext weights).
@@ -224,30 +248,94 @@ def _frame(magic: bytes, header: dict, blobs: List[bytes]) -> bytes:
     return b"".join(out)
 
 
+def _inject_wire_fault(data: bytes, event) -> bytes:
+    """Apply an armed ``wire.decode`` fault to the raw frame bytes.
+
+    ``corrupt_frame`` flips the high byte of the header-length prefix (a
+    guaranteed structural failure — a data-byte flip could silently
+    alter QoS fields instead of failing); ``truncate_frame`` cuts the
+    frame in half.  Both must surface as :class:`FrameError` from the
+    hardened parser below.
+    """
+    if event.mode == "corrupt_frame" and len(data) >= 8:
+        mutated = bytearray(data)
+        mutated[7] ^= 0xFF
+        return bytes(mutated)
+    if event.mode == "truncate_frame":
+        return data[: len(data) // 2]
+    return data
+
+
 def _unframe(magic: bytes, data: bytes) -> tuple:
+    event = _faults.check(_FP_DECODE)
+    if event is not None:
+        data = _inject_wire_fault(bytes(data), event)
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise FrameError(
+            f"serving frame must be bytes, got {type(data).__name__}"
+        )
+    data = bytes(data)
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"oversized serving frame: {len(data)} bytes "
+            f"(cap {MAX_FRAME_BYTES})"
+        )
+    if len(data) < 8:
+        raise FrameError(
+            f"short serving frame: {len(data)} bytes (need at least 8)"
+        )
     if data[:4] != magic:
-        raise ValueError(
+        raise FrameError(
             f"bad magic {data[:4]!r} (expected {magic!r}): not a serving frame"
         )
     (head_len,) = struct.unpack_from("<I", data, 4)
+    if head_len > MAX_HEADER_BYTES or 8 + head_len > len(data):
+        raise FrameError(
+            f"header length {head_len} out of bounds for a "
+            f"{len(data)}-byte frame"
+        )
     off = 8
-    header = json.loads(data[off:off + head_len].decode())
+    try:
+        header = json.loads(data[off:off + head_len].decode())
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"undecodable frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise FrameError(
+            f"frame header must be a JSON object, got "
+            f"{type(header).__name__}"
+        )
     off += head_len
     if header.get("v") != FORMAT_VERSION:
-        raise ValueError(
+        raise FrameError(
             f"serving frame version {header.get('v')} unsupported "
             f"(expected {FORMAT_VERSION})"
         )
     blobs = []
     while off < len(data):
+        if off + 8 > len(data):
+            raise FrameError(
+                "truncated serving frame: dangling blob length prefix"
+            )
         (blob_len,) = struct.unpack_from("<Q", data, off)
         off += 8
-        blob = data[off:off + blob_len]
-        if len(blob) != blob_len:
-            raise ValueError("truncated serving frame")
-        blobs.append(blob)
+        if blob_len > len(data) - off:
+            raise FrameError(
+                f"truncated serving frame: blob promises {blob_len} bytes, "
+                f"{len(data) - off} remain"
+            )
+        blobs.append(data[off:off + blob_len])
         off += blob_len
     return header, blobs
+
+
+def _header_str(header: dict, key: str) -> str:
+    value = header.get(key)
+    if not isinstance(value, str):
+        raise FrameError(
+            f"frame header field {key!r} must be a string, "
+            f"got {type(value).__name__}"
+        )
+    return value
 
 
 def encode_request(req: ServeRequest) -> bytes:
@@ -268,19 +356,36 @@ def encode_request(req: ServeRequest) -> bytes:
 def decode_request(data: bytes) -> ServeRequest:
     header, blobs = _unframe(REQUEST_MAGIC, data)
     if header.get("n_cts") != len(blobs):
-        raise ValueError(
+        raise FrameError(
             f"header promises {header.get('n_cts')} ciphertexts, "
             f"frame carries {len(blobs)}"
         )
-    return ServeRequest(
-        request_id=header["id"],
-        op=header["op"],
-        cts=[from_bytes(load_ciphertext, b) for b in blobs],
-        meta=header.get("meta", {}),
-        priority=header.get("priority", 0),
-        deadline_ms=header.get("deadline_ms"),
-        client_id=header.get("client", ""),
-    )
+    cts = []
+    for blob in blobs:
+        # The blob serializer has its own integrity checks (npz CRCs,
+        # format/kind metadata); whatever it raises on a mutated blob is
+        # still a decode failure of *this frame*.
+        try:
+            cts.append(from_bytes(load_ciphertext, blob))
+        except Exception as exc:
+            raise FrameError(f"corrupt ciphertext blob: {exc}") from exc
+    meta = header.get("meta", {})
+    if not isinstance(meta, dict):
+        raise FrameError("frame header field 'meta' must be an object")
+    try:
+        return ServeRequest(
+            request_id=_header_str(header, "id"),
+            op=_header_str(header, "op"),
+            cts=cts,
+            meta=meta,
+            priority=header.get("priority", 0),
+            deadline_ms=header.get("deadline_ms"),
+            client_id=header.get("client", ""),
+        )
+    except FrameError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"invalid request header: {exc}") from exc
 
 
 def encode_response(resp: ServeResponse) -> bytes:
@@ -306,11 +411,20 @@ def encode_response(resp: ServeResponse) -> bytes:
 
 def decode_response(data: bytes) -> ServeResponse:
     header, blobs = _unframe(RESPONSE_MAGIC, data)
-    ok = header["ok"]
+    ok = header.get("ok")
+    if not isinstance(ok, bool):
+        raise FrameError("response frame header lacks a boolean 'ok'")
+    if blobs:
+        try:
+            result = from_bytes(load_ciphertext, blobs[0])
+        except Exception as exc:
+            raise FrameError(f"corrupt result blob: {exc}") from exc
+    else:
+        result = None
     return ServeResponse(
-        request_id=header["id"],
+        request_id=_header_str(header, "id"),
         ok=ok,
-        result=from_bytes(load_ciphertext, blobs[0]) if blobs else None,
+        result=result,
         error=header.get("error", ""),
         arrival_us=header.get("arrival_us", 0.0),
         dispatch_us=header.get("dispatch_us", 0.0),
@@ -339,13 +453,15 @@ def encode_session_hello(hello: SessionHello) -> bytes:
 def decode_session_hello(data: bytes) -> SessionHello:
     header, blobs = _unframe(HELLO_MAGIC, data)
     keys = header.get("keys", [])
+    if not isinstance(keys, list):
+        raise FrameError("hello frame header field 'keys' must be a list")
     if len(keys) != len(blobs):
-        raise ValueError(
+        raise FrameError(
             f"hello promises {len(keys)} key blobs, frame carries {len(blobs)}"
         )
     by_kind = dict(zip(keys, blobs))
     return SessionHello(
-        client_id=header["client"],
+        client_id=_header_str(header, "client"),
         relin_wire=by_kind.get("relin"),
         galois_wire=by_kind.get("galois"),
     )
@@ -365,9 +481,12 @@ def encode_session_ack(ack: SessionAck) -> bytes:
 
 def decode_session_ack(data: bytes) -> SessionAck:
     header, blobs = _unframe(ACK_MAGIC, data)
+    ok = header.get("ok")
+    if not isinstance(ok, bool):
+        raise FrameError("ack frame header lacks a boolean 'ok'")
     return SessionAck(
-        client_id=header["client"],
-        ok=header["ok"],
+        client_id=_header_str(header, "client"),
+        ok=ok,
         session_id=header.get("session_id", ""),
         error=header.get("error", ""),
         ticket_wire=blobs[0] if blobs else None,

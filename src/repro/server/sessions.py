@@ -26,6 +26,8 @@ from typing import Dict, Optional
 
 from ..core.serialize import (
     SessionTicket,
+    StaleTicketError,
+    TicketError,
     from_bytes,
     load_galois_keys,
     load_relin_key,
@@ -137,11 +139,27 @@ class SessionManager:
         return encode_session_ack(ack)
 
     def resume(self, ticket_wire: bytes) -> ClientSession:
-        """Validate a ticket against the live session table."""
-        ticket = from_bytes(load_session_ticket, ticket_wire)
-        sess = self.get(ticket.client_id)
+        """Validate a ticket against the live session table.
+
+        Raises :class:`~repro.core.serialize.TicketError` for a corrupt
+        or malformed ticket and :class:`StaleTicketError` (a subclass)
+        for a well-formed ticket that names no live session — never a
+        raw serializer exception or ``KeyError``.
+        """
+        try:
+            ticket = from_bytes(load_session_ticket, ticket_wire)
+        except TicketError:
+            raise
+        except Exception as exc:
+            raise TicketError(f"unreadable session ticket: {exc}") from exc
+        sess = self._sessions.get(ticket.client_id)
+        if sess is None:
+            raise StaleTicketError(
+                f"session ticket names unknown client "
+                f"{ticket.client_id!r}; known: {sorted(self._sessions)}"
+            )
         if sess.session_id != ticket.session_id:
-            raise ValueError(
+            raise StaleTicketError(
                 f"stale session ticket for client {ticket.client_id!r} "
                 f"(ticket {ticket.session_id!r}, live {sess.session_id!r})"
             )

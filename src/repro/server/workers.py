@@ -14,9 +14,27 @@ counter — is bit-identical to the inline (``workers=0``) run.
 Health/rate accounting is per worker (:class:`WorkerStats`): tasks run,
 failures (exceptions raised by the task — propagated to the caller, the
 worker itself survives), cumulative busy seconds, and tasks/sec.  A
-worker thread that dies anyway (e.g. interpreter teardown races) is
-respawned by the submitting thread, counted in ``restarts`` — the pool
-degrades, it does not deadlock.
+worker thread that dies anyway (a crash fault, interpreter teardown
+races) is respawned by the submitting thread, counted in ``restarts`` —
+the pool degrades, it does not deadlock.
+
+Resilience:
+
+* **Watchdog** (``watchdog_s``): :meth:`map_ordered` polls its futures
+  on the watchdog period; a worker whose in-flight task has been
+  running past the deadline is *abandoned* (its generation is bumped so
+  it exits after the stall), a replacement thread is spawned, and the
+  stuck task is requeued.  Requeueing is safe because the dispatcher
+  only submits pure thunks (all bookkeeping stays on the coordinator),
+  and :class:`_Future` is first-write-wins, so the abandoned worker
+  eventually finishing the same task changes nothing.
+* **Crash/hang faults**: the ``worker.execute`` faultpoint
+  (:mod:`repro.faults`) can kill a worker before it runs a task (the
+  task goes back on the queue) or stall it for the watchdog to catch.
+* **Leak detection**: :meth:`close` no longer ignores the ``join``
+  timeout — a worker that fails to join is logged loudly and counted in
+  ``WorkerStats.leaked`` (and the pool-level :attr:`leaked` total), so
+  thread leaks surface in metrics instead of accumulating silently.
 
 Thread safety: :meth:`submit`/:meth:`map_ordered` may be called from
 several coordinator threads at once; the task queue is the only shared
@@ -26,20 +44,30 @@ the simulated clock.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
 from typing import Callable, List, Optional, Sequence
 
+from .. import faults as _faults
 from ..obs import tracing
 
 __all__ = ["WorkerStats", "WorkerPool"]
+
+logger = logging.getLogger("repro.server")
+
+_FP_EXECUTE = _faults.faultpoint(
+    "worker.execute",
+    "crash, hang or slow a pool worker as it picks up a task",
+)
 
 
 class WorkerStats:
     """Health/rate counters for one pool worker (updated by that worker)."""
 
-    __slots__ = ("name", "tasks", "failures", "busy_s", "restarts")
+    __slots__ = ("name", "tasks", "failures", "busy_s", "restarts",
+                 "hung", "crashes", "leaked")
 
     def __init__(self, name: str):
         self.name = name
@@ -47,6 +75,12 @@ class WorkerStats:
         self.failures = 0
         self.busy_s = 0.0
         self.restarts = 0
+        #: Tasks abandoned by the watchdog past the deadline.
+        self.hung = 0
+        #: Injected worker crashes (thread died before running a task).
+        self.crashes = 0
+        #: Threads that failed to join at close() and were left behind.
+        self.leaked = 0
 
     @property
     def rate(self) -> float:
@@ -61,6 +95,9 @@ class WorkerStats:
             "busy_s": self.busy_s,
             "rate_per_s": self.rate,
             "restarts": self.restarts,
+            "hung": self.hung,
+            "crashes": self.crashes,
+            "leaked": self.leaked,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -69,7 +106,13 @@ class WorkerStats:
 
 
 class _Future:
-    """Minimal result slot: one producer (a worker), one consumer."""
+    """Minimal result slot: first writer wins, one consumer.
+
+    First-write-wins matters for the watchdog: a requeued task and its
+    abandoned original can both complete.  Both compute the same pure
+    thunk, so either result is correct; the guard only prevents a late
+    writer from re-signalling.
+    """
 
     __slots__ = ("_done", "_result", "_error")
 
@@ -79,12 +122,18 @@ class _Future:
         self._error: Optional[BaseException] = None
 
     def _set(self, result, error) -> None:
+        if self._done.is_set():
+            return
         self._result = result
         self._error = error
         self._done.set()
 
-    def result(self):
-        self._done.wait()
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        if not self._done.wait(timeout):
+            raise TimeoutError("worker task still pending")
         if self._error is not None:
             raise self._error
         return self._result
@@ -97,36 +146,67 @@ class WorkerPool:
     """N long-lived daemon workers draining a bounded task queue."""
 
     def __init__(self, workers: int, *, name: str = "worker",
-                 queue_depth: Optional[int] = None):
+                 queue_depth: Optional[int] = None,
+                 watchdog_s: Optional[float] = None):
         if workers < 1:
             raise ValueError("need at least one worker")
+        if watchdog_s is not None and watchdog_s <= 0:
+            raise ValueError("watchdog_s must be > 0 when given")
         # A bounded queue keeps a fast submitter from buffering the whole
         # workload; by default depth tracks the pool width.
         self._tasks: queue.Queue = queue.Queue(queue_depth or 2 * workers)
         self.stats: List[WorkerStats] = [
             WorkerStats(f"{name}-{i}") for i in range(workers)
         ]
+        self.watchdog_s = watchdog_s
+        #: Tasks the watchdog pulled off a hung worker and requeued.
+        self.requeued = 0
         self._closed = False
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = []
+        # Generation counter per slot: a worker whose generation no
+        # longer matches has been abandoned by the watchdog and must
+        # exit once its (stuck) task finishes.
+        self._gen: List[int] = [0] * workers
+        # In-flight task per slot: (item, wall start, generation).
+        self._current: List[Optional[tuple]] = [None] * workers
+        # Abandoned (hung) threads, joined best-effort at close().
+        self._abandoned: List[tuple] = []
         for i in range(workers):
             self._threads.append(self._spawn(i))
 
     def _spawn(self, idx: int) -> threading.Thread:
+        self._gen[idx] += 1
         t = threading.Thread(
-            target=self._run, args=(idx,),
+            target=self._run, args=(idx, self._gen[idx]),
             name=self.stats[idx].name, daemon=True,
         )
         t.start()
         return t
 
-    def _run(self, idx: int) -> None:
+    def _run(self, idx: int, gen: int) -> None:
         stats = self.stats[idx]
         while True:
             item = self._tasks.get()
             if item is _STOP:
                 return
             fn, args, fut, ctx = item
+            event = _faults.check(_FP_EXECUTE, worker=stats.name)
+            if event is not None and event.mode == "worker_crash":
+                # Die without running the task; it goes back on the
+                # queue for a surviving (or respawned) worker.  A full
+                # queue would make the requeue block a dying thread (and
+                # could deadlock a fully-crashed pool), so fall through
+                # and run the task normally in that corner.
+                try:
+                    self._tasks.put_nowait(item)
+                except queue.Full:
+                    pass
+                else:
+                    stats.crashes += 1
+                    return
+            self._current[idx] = (item, time.perf_counter(), gen)
+            _faults.sleep_event(event)
             start = time.perf_counter()
             # The ctx captured at submit() re-parents this worker span
             # under the submitting thread's open span, so a request's
@@ -140,7 +220,13 @@ class WorkerPool:
                     stats.failures += 1
             stats.busy_s += time.perf_counter() - start
             stats.tasks += 1
+            self._current[idx] = None
             fut._set(result, error)
+            with self._lock:
+                if self._gen[idx] != gen:
+                    # Abandoned by the watchdog while stuck: a
+                    # replacement already owns this slot.
+                    return
 
     # -- submission ----------------------------------------------------------------
 
@@ -152,7 +238,15 @@ class WorkerPool:
     def closed(self) -> bool:
         return self._closed
 
-    def _ensure_alive(self) -> None:
+    @property
+    def hung_total(self) -> int:
+        return sum(s.hung for s in self.stats)
+
+    @property
+    def leaked(self) -> int:
+        return sum(s.leaked for s in self.stats)
+
+    def ensure_alive(self) -> None:
         """Respawn dead workers (restart counted) so submits never hang."""
         with self._lock:
             if self._closed:
@@ -162,16 +256,58 @@ class WorkerPool:
                     self.stats[i].restarts += 1
                     self._threads[i] = self._spawn(i)
 
+    # Backwards-compatible private alias (pre-watchdog name).
+    _ensure_alive = ensure_alive
+
     def submit(self, fn: Callable, *args) -> _Future:
         """Queue one task; returns a future whose ``result()`` re-raises.
 
         The submitting thread's current trace context rides along with
         the task, so the worker's span parents under the caller's.
         """
-        self._ensure_alive()
+        self.ensure_alive()
         fut = _Future()
         self._tasks.put((fn, args, fut, tracing.capture()))
         return fut
+
+    def _watchdog_sweep(self) -> None:
+        """Respawn the dead; abandon + replace the hung, requeue their task.
+
+        Called from the waiting ``map_ordered`` thread.  Abandonment
+        bumps the slot's generation (the stuck thread exits after its
+        stall) and requeues the in-flight item under the *same* future —
+        first-write-wins keeps the outcome single-valued.
+        """
+        deadline = self.watchdog_s
+        now = time.perf_counter()
+        requeue: List[tuple] = []
+        with self._lock:
+            if self._closed:
+                return
+            for i, t in enumerate(self._threads):
+                if not t.is_alive():
+                    self.stats[i].restarts += 1
+                    self._threads[i] = self._spawn(i)
+                    continue
+                cur = self._current[i]
+                if deadline is None or cur is None:
+                    continue
+                item, started, gen = cur
+                if gen != self._gen[i] or now - started <= deadline:
+                    continue
+                stats = self.stats[i]
+                stats.hung += 1
+                stats.restarts += 1
+                logger.warning(
+                    "watchdog: worker %s hung > %.3fs; abandoning and "
+                    "requeueing its task", stats.name, deadline)
+                self._abandoned.append((t, i))
+                self._current[i] = None
+                self._threads[i] = self._spawn(i)
+                requeue.append(item)
+        for item in requeue:
+            self.requeued += 1
+            self._tasks.put(item)
 
     def map_ordered(self, fn: Callable, items: Sequence) -> list:
         """``[fn(item) for item in items]`` across the pool, order kept.
@@ -180,24 +316,61 @@ class WorkerPool:
         task exception (in submission order) re-raises here.  Results
         are returned in submission order regardless of which worker
         finished first — the property the dispatcher's deterministic
-        bookkeeping relies on.
+        bookkeeping relies on.  With ``watchdog_s`` set, the wait
+        doubles as the watchdog: hung workers are abandoned/replaced and
+        their tasks requeued, so a stalled thread cannot wedge the
+        barrier.
         """
         futures = [self.submit(fn, item) for item in items]
-        return [f.result() for f in futures]
+        if self.watchdog_s is None:
+            return [f.result() for f in futures]
+        out = []
+        for f in futures:
+            while not f._done.wait(self.watchdog_s):
+                self._watchdog_sweep()
+            out.append(f.result())
+        return out
 
     # -- lifecycle -----------------------------------------------------------------
 
+    def healthy(self) -> bool:
+        """Open, every worker thread alive, nothing queued or in flight."""
+        with self._lock:
+            return (not self._closed
+                    and all(t.is_alive() for t in self._threads)
+                    and all(c is None for c in self._current)
+                    and self._tasks.empty())
+
     def close(self, *, timeout: float = 5.0) -> None:
-        """Stop accepting work and join the workers (idempotent)."""
+        """Stop accepting work and join the workers (idempotent).
+
+        A worker that fails to join within ``timeout`` — e.g. one still
+        stuck in a hung kernel — is *leaked*: logged as an error and
+        counted in its :class:`WorkerStats` (and :attr:`leaked`), never
+        silently dropped.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            threads = list(self._threads)
+            threads = list(enumerate(self._threads))
+            abandoned = list(self._abandoned)
         for _ in threads:
             self._tasks.put(_STOP)
-        for t in threads:
+        for i, t in threads:
             t.join(timeout=timeout)
+            if t.is_alive():
+                self.stats[i].leaked += 1
+                logger.error(
+                    "worker %s failed to join within %.1fs at close(); "
+                    "leaking its thread", self.stats[i].name, timeout)
+        for t, i in abandoned:
+            t.join(timeout=timeout)
+            if t.is_alive():
+                self.stats[i].leaked += 1
+                logger.error(
+                    "abandoned worker thread %s (slot %s) failed to join "
+                    "within %.1fs at close(); leaking it", t.name, i, timeout)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -205,11 +205,31 @@ class TestServerDispatch:
             client.result(bad)
         assert np.abs(client.result(good).real - v * v).max() < 1e-3
 
-    def test_duplicate_request_id_rejected(self, server_pair, any_ct):
+    def test_duplicate_request_id_absorbed(self, server_pair, any_ct):
+        """Resubmission is idempotent: one execution, one terminal status."""
         server, _client = server_pair
-        server.submit(ServeRequest("dup", "square", [any_ct]))
-        with pytest.raises(ValueError):
-            server.submit(ServeRequest("dup", "square", [any_ct]))
+        rid = server.submit(ServeRequest("dup", "square", [any_ct]))
+        assert server.submit(ServeRequest("dup", "square", [any_ct])) == rid
+        assert server.metrics.deduped_total == 1
+        responses = server.drain()
+        assert list(responses) == ["dup"]
+        assert responses["dup"].ok
+        # A retry after the response exists is still absorbed silently.
+        assert server.submit(ServeRequest("dup", "square", [any_ct])) == rid
+        assert server.metrics.deduped_total == 2
+        assert server.drain() == {}
+
+    def test_duplicate_submits_across_stream(self, server_pair, any_ct):
+        """Duplicates interleaved with stream() still yield exactly one
+        terminal response per request id."""
+        server, _client = server_pair
+        server.submit(ServeRequest("s0", "square", [any_ct]), arrival_us=0.0)
+        server.submit(ServeRequest("s0", "square", [any_ct]), arrival_us=1.0)
+        server.submit(ServeRequest("s1", "square", [any_ct]), arrival_us=2.0)
+        server.submit(ServeRequest("s1", "square", [any_ct]), arrival_us=3.0)
+        seen = [resp.request_id for resp in server.stream()]
+        assert sorted(seen) == ["s0", "s1"]
+        assert server.metrics.deduped_total == 2
 
     def test_queueing_across_batches(self, ckks, rng):
         """A second batch dispatched while the device is busy starts

@@ -99,8 +99,92 @@ class TestWorkerPool:
         assert sum(s.tasks for s in stats) == 9
         d = stats[0].as_dict()
         assert set(d) == {"name", "tasks", "failures", "busy_s",
-                          "rate_per_s", "restarts"}
+                          "rate_per_s", "restarts", "hung", "crashes",
+                          "leaked"}
         assert d["name"].startswith("w-")
+
+    def test_watchdog_abandons_hung_worker_and_requeues(self):
+        """A task stalled past the deadline is requeued on a fresh worker;
+        the barrier completes and the pool reports the hang."""
+        from repro.faults import FaultPlan, FaultRule, use_plan
+
+        plan = FaultPlan([
+            FaultRule("worker.execute", "worker_hang", hits=(1,), param=0.4),
+        ])
+        pool = WorkerPool(2, watchdog_s=0.05)
+        try:
+            with use_plan(plan):
+                got = pool.map_ordered(lambda x: x * x, list(range(6)))
+            assert got == [x * x for x in range(6)]
+            assert pool.hung_total == 1
+            assert pool.requeued >= 1
+            assert sum(s.restarts for s in pool.stats) >= 1
+            # The pool settles back to healthy once the work drains.
+            pool.ensure_alive()
+            deadline = time.time() + 2.0
+            while not pool.healthy() and time.time() < deadline:
+                time.sleep(0.01)
+            assert pool.healthy()
+        finally:
+            pool.close()
+        assert pool.leaked == 0
+
+    def test_injected_crash_requeues_the_task(self):
+        from repro.faults import FaultPlan, FaultRule, use_plan
+
+        plan = FaultPlan([
+            FaultRule("worker.execute", "worker_crash", hits=(1,)),
+        ])
+        pool = WorkerPool(2, watchdog_s=0.05)
+        try:
+            with use_plan(plan):
+                got = pool.map_ordered(lambda x: x + 1, list(range(6)))
+            assert got == [x + 1 for x in range(6)]
+            assert sum(s.crashes for s in pool.stats) == 1
+        finally:
+            pool.close()
+        assert pool.leaked == 0
+
+    def test_close_counts_leaked_threads_loudly(self, caplog):
+        """A worker stuck past the join timeout is logged + counted, not
+        silently dropped."""
+        import logging
+
+        release = threading.Event()
+        pool = WorkerPool(1)
+        fut = pool.submit(release.wait)
+        try:
+            time.sleep(0.05)  # let the worker pick the task up
+            with caplog.at_level(logging.ERROR, logger="repro.server"):
+                pool.close(timeout=0.1)
+            assert pool.leaked == 1
+            assert pool.stats[0].leaked == 1
+            assert any("failed to join" in r.message for r in caplog.records)
+        finally:
+            release.set()  # unstick the thread so the test run stays clean
+            fut._done.wait(2.0)
+
+    def test_healthy_reflects_pool_state(self):
+        pool = WorkerPool(2)
+        try:
+            assert pool.healthy()
+            gate = threading.Event()
+            fut = pool.submit(gate.wait)
+            time.sleep(0.02)
+            assert not pool.healthy()  # a task is in flight
+            gate.set()
+            fut.result(timeout=2.0)
+            deadline = time.time() + 2.0
+            while not pool.healthy() and time.time() < deadline:
+                time.sleep(0.01)
+            assert pool.healthy()
+        finally:
+            pool.close()
+        assert not pool.healthy()  # closed pools are never healthy
+
+    def test_invalid_watchdog_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(2, watchdog_s=0.0)
 
     def test_concurrent_submitters(self):
         results = {}
