@@ -19,6 +19,11 @@ Commands
     ``--admission`` arms the token-bucket + backlog overload gate
     (``--admission-rate/-burst/-backlog``), under which the self-test
     checks exactly-one-terminal-response accounting instead of speedup.
+    ``--listen HOST:PORT`` skips the synthetic run and serves the
+    length-prefixed wire protocol over TCP in the foreground, batches
+    closed by a ``--pump-ms`` timer (never a drain); ``--tenant-rate``
+    /``--tenant-burst`` arm per-client token buckets with
+    priority-eviction shedding on top of ``--admission``.
 ``fuse``
     Exercise the kernel-fusion compiler (``repro.fusion``): print the
     fused-vs-raw launch/time breakdown of a routine chain, then serve
@@ -101,6 +106,48 @@ def cmd_devices(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(spec: str) -> tuple:
+    """``HOST:PORT`` -> (host, port); raises ValueError on a bad spec."""
+    host, sep, port_s = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--listen wants HOST:PORT, got {spec!r}")
+    port = int(port_s)  # ValueError propagates with the bad literal
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--listen port out of range: {port}")
+    return host, port
+
+
+def _serve_listen(args: argparse.Namespace, server) -> int:
+    """Foreground socket serving: pump-driven batches, Ctrl-C to stop."""
+    import asyncio
+
+    from .server.net import SocketServer
+
+    host, port = _parse_listen(args.listen)
+    sock = SocketServer(server, host=host, port=port, pump_ms=args.pump_ms)
+
+    async def _amain() -> None:
+        await sock.start()
+        print(f"serving on {sock.host}:{sock.port} "
+              f"(pump every {args.pump_ms:g} ms, "
+              f"max_batch {args.max_batch}, window {args.window_us:g} us); "
+              f"Ctrl-C to stop", flush=True)
+        try:
+            await sock.serve_forever()
+        finally:
+            await sock.aclose()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+    stats = sock.stats()
+    print(f"\nserve: closed — {stats['frames_in']} frames in, "
+          f"{stats['frames_out']} out, {stats['frame_errors']} frame errors, "
+          f"{stats['dropped_connections']} dropped connections")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -113,7 +160,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         KeyGenerator,
     )
     from .obs import tracing
-    from .server import AdmissionPolicy, BatchPolicy, HEServer, ServerClient
+    from .server import (
+        AdmissionPolicy,
+        BatchPolicy,
+        HEServer,
+        ServerClient,
+        TenantFairness,
+        TenantPolicy,
+    )
     from .xesim import DEVICE1, DEVICE2
 
     if args.requests < 1:
@@ -128,6 +182,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 0:
         print("serve: --workers must be >= 0")
         return 2
+    if args.pump_ms <= 0:
+        print("serve: --pump-ms must be > 0")
+        return 2
+    if args.tenant_rate < 0:
+        print("serve: --tenant-rate must be >= 0 (0 disables)")
+        return 2
+    if args.listen is not None:
+        try:
+            _parse_listen(args.listen)
+        except ValueError as exc:
+            print(f"serve: {exc}")
+            return 2
 
     if args.trace:
         tracing.enable()
@@ -152,6 +218,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                  burst=args.admission_burst,
                                  max_backlog=args.admission_backlog)
                  if args.admission else None)
+    fairness = (TenantFairness(TenantPolicy(rate_rps=args.tenant_rate,
+                                            burst=args.tenant_burst))
+                if args.tenant_rate > 0 else None)
     server = HEServer(
         ServerClient.params_wire(params),
         devices=devices,
@@ -160,8 +229,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         gpu_config=GpuConfig(ntt_variant="local-radix-8", asm=True,
                              kernel_fusion=args.fusion),
         admission=admission,
+        tenant_fairness=fairness,
         workers=args.workers,
     )
+    if args.listen is not None:
+        return _serve_listen(args, server)
     client = ServerClient(
         server,
         encoder=encoder,
@@ -637,6 +709,19 @@ def main(argv: list | None = None) -> int:
     p_srv.add_argument("--workers", type=int, default=0,
                        help="evaluation worker threads (0/1 = inline; "
                             ">=2 fans batch math across a pool)")
+    p_srv.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="serve the wire protocol over TCP in the "
+                            "foreground instead of running synthetic "
+                            "traffic (port 0 = ephemeral)")
+    p_srv.add_argument("--pump-ms", type=float, default=5.0,
+                       help="batch pump cadence in ms for --listen "
+                            "(default 5; batches close by timer, never "
+                            "a drain)")
+    p_srv.add_argument("--tenant-rate", type=float, default=0.0,
+                       help="per-tenant token refill rate in req/s "
+                            "(0 = no per-tenant fairness)")
+    p_srv.add_argument("--tenant-burst", type=int, default=8,
+                       help="per-tenant token-bucket depth (default 8)")
     p_srv.add_argument("--trace", metavar="PATH", default=None,
                        help="enable span tracing and write a Chrome "
                             "trace_event JSON to PATH (load in "

@@ -71,8 +71,9 @@ FAULT_MODES = (
     "worker_crash",      # worker.execute: the worker thread dies, task requeued
     "worker_hang",       # worker.execute: the worker stalls `param` wall-seconds
     "kernel_exception",  # dispatcher.execute / native.kernel / scratch.alloc
-    "corrupt_frame",     # wire.decode: flip bytes before parsing
-    "truncate_frame",    # wire.decode: cut the frame short before parsing
+    "corrupt_frame",     # wire.decode / net.frame: flip bytes before parsing
+    "truncate_frame",    # wire.decode / net.frame: cut the frame short
+    "drop_connection",   # net.frame: close the client socket mid-stream
     "slow_execution",    # any point: sleep `param` wall-seconds, then proceed
     "build_failure",     # native.build: the toolchain "breaks"
 )

@@ -13,15 +13,24 @@ artifacts — including each session client's evaluation keys and encoded
 weights — held in the :class:`~repro.runtime.memcache.MemoryCache`.
 
 Entry points: :class:`HEServer` (in-process server), :class:`ServerClient`
-(synchronous or streaming client), and ``python -m repro serve`` (CLI,
-``--stream`` / ``--admission``).
+(synchronous or streaming client), :class:`SocketServer` /
+:class:`NetClient` (online TCP transport, pump-driven batching), and
+``python -m repro serve`` (CLI, ``--stream`` / ``--admission`` /
+``--listen HOST:PORT --pump-ms N``).
 """
 
-from .admission import AdmissionController, AdmissionPolicy
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TenantFairness,
+    TenantPolicy,
+)
 from .batcher import Batch, BatchPolicy, RequestBatcher
 from .client import RetryPolicy, ServerClient, submit_with_retry
 from .dispatcher import ArtifactCache, BatchDispatcher, HEServer, ServerSession
 from .metrics import RequestRecord, ServerMetrics
+from .net import NetClient, SocketServer, serve_in_background
+from .pump import BatchPump, SimClock
 from .request import (
     RESPONSE_STATUSES,
     SUPPORTED_OPS,
@@ -38,6 +47,7 @@ from .request import (
     encode_response,
     encode_session_ack,
     encode_session_hello,
+    expired_response,
     overloaded_response,
 )
 from .sessions import ClientSession, SessionManager
@@ -66,11 +76,19 @@ __all__ = [
     "encode_session_ack",
     "decode_session_ack",
     "overloaded_response",
+    "expired_response",
     "BatchPolicy",
     "Batch",
     "RequestBatcher",
     "AdmissionPolicy",
     "AdmissionController",
+    "TenantPolicy",
+    "TenantFairness",
+    "BatchPump",
+    "SimClock",
+    "SocketServer",
+    "NetClient",
+    "serve_in_background",
     "ClientSession",
     "SessionManager",
     "ServerMetrics",

@@ -22,13 +22,23 @@ Shed requests receive exactly one typed ``overloaded`` response
 queued, so accepted-request latency stays bounded by
 ``max_backlog / rate_rps`` plus service time instead of growing with
 offered load.
+
+Multi-tenant serving layers :class:`TenantFairness` *over* the global
+gate: each client id gets its own token bucket
+(:class:`TenantPolicy` — per-tenant rate/burst plus a fair-share
+``weight``), so one tenant's burst exhausts its own budget, not the
+whole server's, and the weights feed the batcher's weighted fair-share
+membership.  A request must pass the global gate first; the tenant
+bucket then decides whether this client may spend the capacity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional
 
-__all__ = ["AdmissionPolicy", "AdmissionController"]
+__all__ = ["AdmissionPolicy", "AdmissionController",
+           "TenantPolicy", "TenantFairness"]
 
 
 @dataclass(frozen=True)
@@ -86,3 +96,82 @@ class AdmissionController:
         self.tokens -= 1.0
         self.backlog += 1.0
         return True
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One client's slice of the server: rate budget + fair-share weight.
+
+    ``rate_rps``/``burst`` parameterise the tenant's private token
+    bucket; ``weight`` is its relative share of batch membership when
+    more eligible requests than ``max_batch`` slots compete (see
+    :func:`repro.server.batcher._fair_select`).
+    """
+
+    rate_rps: float
+    burst: int = 8
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.weight <= 0:
+            raise ValueError("weight must be > 0")
+
+
+class _TenantBucket:
+    __slots__ = ("tokens", "last_us")
+
+    def __init__(self, burst: int):
+        self.tokens = float(burst)
+        self.last_us = 0.0
+
+
+class TenantFairness:
+    """Per-client token buckets + fair-share weights over the global gate.
+
+    ``default`` applies to any client id without an explicit entry in
+    ``per_tenant`` (including the anonymous ``""`` tenant).  State is
+    per tenant, so arrivals only need to be non-decreasing *within* one
+    client's stream — interleaved multi-tenant traffic is fine.
+    """
+
+    def __init__(self, default: TenantPolicy,
+                 per_tenant: Optional[Dict[str, TenantPolicy]] = None):
+        self.default = default
+        self.per_tenant: Dict[str, TenantPolicy] = dict(per_tenant or {})
+        self._buckets: Dict[str, _TenantBucket] = {}
+
+    def policy_for(self, client_id: str) -> TenantPolicy:
+        return self.per_tenant.get(client_id, self.default)
+
+    def admit(self, client_id: str, arrival_us: float) -> bool:
+        """Spend one token from ``client_id``'s bucket (refill first)."""
+        pol = self.policy_for(client_id)
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = self._buckets[client_id] = _TenantBucket(pol.burst)
+        dt_s = max(0.0, arrival_us - bucket.last_us) * 1e-6
+        bucket.last_us = max(bucket.last_us, arrival_us)
+        bucket.tokens = min(float(pol.burst),
+                            bucket.tokens + dt_s * pol.rate_rps)
+        if bucket.tokens < 1.0:
+            return False
+        bucket.tokens -= 1.0
+        return True
+
+    def weight(self, client_id: str) -> float:
+        return self.policy_for(client_id).weight
+
+    def weights(self) -> Dict[str, float]:
+        """Known tenant weights (explicit policies + seen clients)."""
+        known = set(self.per_tenant) | set(self._buckets)
+        return {cid: self.weight(cid) for cid in known}
+
+    def tokens(self, client_id: str) -> float:
+        """Current bucket fill (telemetry; 0 refills until first use)."""
+        bucket = self._buckets.get(client_id)
+        return (bucket.tokens if bucket is not None
+                else float(self.policy_for(client_id).burst))

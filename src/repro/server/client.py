@@ -106,12 +106,19 @@ def submit_with_retry(server: HEServer, wire: bytes, *,
     """Submit a wire frame, retrying transport-level decode failures.
 
     Each retry pushes the simulated arrival forward by the policy's
-    backoff.  Raises the last :class:`FrameError` once attempts are
-    exhausted.  Duplicate-safe: the server dedups request ids, so a
-    retry racing its original can never double-execute.
+    backoff, but never past the request's own latency budget: once the
+    next resubmission would arrive after ``arrival + timeout_ms``, a
+    further attempt could only yield a guaranteed-expired duplicate, so
+    the loop stops early and surfaces the failure instead of burning the
+    remaining attempt budget.  Raises the last :class:`FrameError` once
+    attempts are exhausted (or timed out).  Duplicate-safe: the server
+    dedups request ids, so a retry racing its original can never
+    double-execute.
     """
     policy = policy or RetryPolicy()
     t_us = arrival_us
+    deadline_us = (None if arrival_us is None or policy.timeout_ms is None
+                   else arrival_us + policy.timeout_ms * 1e3)
     last: Optional[FrameError] = None
     for attempt in range(policy.max_attempts):
         try:
@@ -119,7 +126,10 @@ def submit_with_retry(server: HEServer, wire: bytes, *,
         except FrameError as exc:
             last = exc
             if t_us is not None:
-                t_us += policy.backoff_us(attempt)
+                next_us = t_us + policy.backoff_us(attempt)
+                if deadline_us is not None and next_us > deadline_us:
+                    break
+                t_us = next_us
     assert last is not None
     raise last
 
@@ -233,16 +243,26 @@ class ServerClient:
         if policy is None:
             self.server.submit(wire, arrival_us=arrival_us)
             return rid
+        # The retry budget is bounded by *both* the attempt count and
+        # the request's own deadline: a resubmission that would arrive
+        # past ``arrival + deadline_ms`` is guaranteed to be shed as
+        # expired, so it is never sent — the transport failure surfaces
+        # as the timeout instead.
+        deadline_us = (None if arrival_us is None or deadline_ms is None
+                       else arrival_us + deadline_ms * 1e3)
         for attempt in range(policy.max_attempts):
             try:
                 self.server.submit(wire, arrival_us=arrival_us)
                 return rid
             except FrameError:
-                if attempt + 1 >= policy.max_attempts:
+                next_us = (arrival_us + policy.backoff_us(attempt)
+                           if arrival_us is not None else None)
+                if attempt + 1 >= policy.max_attempts or (
+                        deadline_us is not None and next_us is not None
+                        and next_us > deadline_us):
                     raise
                 self.retries += 1
-                if arrival_us is not None:
-                    arrival_us += policy.backoff_us(attempt)
+                arrival_us = next_us
         return rid  # pragma: no cover - loop always returns or raises
 
     def submit_square(self, values, *, arrival_us=None, priority=0,

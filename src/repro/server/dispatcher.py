@@ -73,7 +73,7 @@ from ..xesim.device import DeviceSpec
 from ..xesim.devices import DEVICE1, DEVICE2
 from ..xesim.kernel import KernelProfile
 from ..xesim.multigpu import plan_split
-from .admission import AdmissionController, AdmissionPolicy
+from .admission import AdmissionController, AdmissionPolicy, TenantFairness
 from .batcher import Batch, BatchPolicy, RequestBatcher
 from .metrics import RequestRecord, ServerMetrics
 from .request import (
@@ -81,6 +81,7 @@ from .request import (
     ServeResponse,
     decode_request,
     encode_response,
+    expired_response,
     overloaded_response,
 )
 from .sessions import SessionManager
@@ -754,6 +755,9 @@ class HEServer:
       per-client evaluation keys and cached weights;
     * :class:`~.admission.AdmissionController` — token-bucket +
       modelled-backlog overload gate (typed ``overloaded`` responses);
+    * :class:`~.admission.TenantFairness` (optional) — per-client token
+      buckets over the global gate, weighted fair-share batch
+      membership, and shed-lowest-priority-first eviction;
     * :class:`AsyncPipeline` — non-blocking submission with either one
       final wait (:meth:`drain`) or an incremental completion stream
       (:meth:`stream`) (Fig. 2);
@@ -774,6 +778,8 @@ class HEServer:
                  cache_enabled: bool = True,
                  gpu_config: Optional[GpuConfig] = None,
                  admission: Optional[AdmissionPolicy] = None,
+                 tenant_fairness: Optional[TenantFairness] = None,
+                 priority_eviction: Optional[bool] = None,
                  workers: int = 0,
                  watchdog_s: Optional[float] = None,
                  registry: Optional[obs_metrics.MetricsRegistry] = None):
@@ -798,7 +804,22 @@ class HEServer:
         self.sessions = SessionManager(self.session)
         self.admission = (AdmissionController(admission)
                           if admission is not None else None)
+        #: Per-tenant token buckets + fair-share weights layered over
+        #: the global admission gate; also feeds the batcher's weighted
+        #: fair-share membership.
+        self.fairness = tenant_fairness
+        if tenant_fairness is not None:
+            self.batcher.weights_fn = tenant_fairness.weights
+        #: Shed-lowest-priority-first: when the gate (global or tenant)
+        #: would shed an arriving request, evict a strictly
+        #: lower-priority queued request instead (typed ``overloaded``)
+        #: and admit the newcomer.  Defaults on with tenant fairness.
+        self.priority_eviction = (priority_eviction
+                                  if priority_eviction is not None
+                                  else tenant_fairness is not None)
         self.metrics = ServerMetrics()
+        #: Timer ticks served through :meth:`pump_once`.
+        self.pump_ticks = 0
         # None follows the process-global default registry at snapshot
         # time; pass an explicit MetricsRegistry to isolate (tests).
         self._registry = registry
@@ -807,6 +828,14 @@ class HEServer:
         self._responses: Dict[str, ServeResponse] = {}
         self._seen_ids: set = set()
         self._request_log: List[ServeRequest] = []
+        #: Responses that became terminal outside a dispatch — admission
+        #: and tenant-bucket sheds, eviction victims, expired-on-arrival
+        #: sheds — queued for the transport to push (the in-process
+        #: paths answer through :meth:`response` instead).
+        self._fresh_terminal: List[ServeResponse] = []
+        #: Requests admitted then preempted by priority eviction — kept
+        #: out of :attr:`request_log` (they were never served).
+        self._evicted_ids: set = set()
         # Coordination lock: concurrent submit()/stream() callers (the
         # thread-safety hammer) mutate the batcher, clock, seen-ids and
         # response map; the lock makes each such step atomic.  Simulated
@@ -882,25 +911,31 @@ class HEServer:
                 req.arrival_us = arrival_us
             else:
                 req.arrival_us = self._clock_us
+            shed_reason = evict_from = None
             if (self.admission is not None
                     and not self.admission.admit(req.arrival_us)):
-                resp = overloaded_response(req.request_id,
-                                           arrival_us=req.arrival_us,
-                                           priority=req.priority)
-                self._responses[req.request_id] = resp
-                self.metrics.observe_shed(req.priority)
-                self.sessions.note_shed(req.client_id)
-                tracer = tracing.get_tracer()
-                if tracer is not None:
-                    root = tracer.add_sim_span(
-                        "request", req.arrival_us, req.arrival_us,
-                        request_id=req.request_id, op=req.op,
-                        status="overloaded", priority=req.priority)
-                    tracer.add_sim_span(
-                        "admission", req.arrival_us, req.arrival_us,
-                        request_id=req.request_id, parent=root,
-                        admitted=False)
-                return req.request_id
+                shed_reason = "admission control: server overloaded"
+            elif (self.fairness is not None
+                    and not self.fairness.admit(req.client_id,
+                                                req.arrival_us)):
+                shed_reason = (f"tenant {req.client_id or 'anonymous'!r} "
+                               "over rate budget")
+                # A tenant over its own budget makes room from its own
+                # queue, never another tenant's.
+                evict_from = req.client_id
+            if shed_reason is not None:
+                victim = (self.batcher.evict_lowest(req.priority, evict_from)
+                          if self.priority_eviction else None)
+                if victim is None:
+                    self._shed_overloaded(req, shed_reason)
+                    return req.request_id
+                # Shed lowest priority first: the queued victim absorbs
+                # the overload shed and the newcomer takes its place.
+                self._evicted_ids.add(victim.request_id)
+                self._shed_overloaded(
+                    victim,
+                    f"preempted by higher-priority arrival "
+                    f"{req.request_id} ({shed_reason})")
             if self.admission is not None:
                 self.metrics.observe_admitted()
             self.sessions.note_request(req.client_id)
@@ -908,10 +943,37 @@ class HEServer:
             self._request_log.append(req)
             return req.request_id
 
+    def _shed_overloaded(self, req: ServeRequest, reason: str) -> ServeResponse:
+        """Give ``req`` its typed ``overloaded`` terminal (holds ``_mu``)."""
+        resp = overloaded_response(req.request_id,
+                                   arrival_us=req.arrival_us,
+                                   priority=req.priority, error=reason)
+        self._responses[req.request_id] = resp
+        self._fresh_terminal.append(resp)
+        self.metrics.observe_shed(req.priority, req.client_id)
+        self.sessions.note_shed(req.client_id)
+        tracer = tracing.get_tracer()
+        if tracer is not None:
+            root = tracer.add_sim_span(
+                "request", req.arrival_us, req.arrival_us,
+                request_id=req.request_id, op=req.op,
+                status="overloaded", priority=req.priority)
+            tracer.add_sim_span(
+                "admission", req.arrival_us, req.arrival_us,
+                request_id=req.request_id, parent=root,
+                admitted=False)
+        return resp
+
     @property
     def request_log(self) -> List[ServeRequest]:
-        """Every accepted request (for baseline replay and audits)."""
-        return list(self._request_log)
+        """Every accepted request (for baseline replay and audits).
+
+        Excludes requests preempted by priority eviction — they were
+        admitted but never served, so a baseline replay of accepted
+        traffic must not include them.
+        """
+        return [r for r in self._request_log
+                if r.request_id not in self._evicted_ids]
 
     def stream(self, *, wire: bool = False) -> Iterator[object]:
         """Serve everything pending, yielding responses as tiles finish.
@@ -933,6 +995,9 @@ class HEServer:
             with tracing.span("batch.form", cat="server"):
                 batches = self.batcher.form_batches(drain=True,
                                                     now_us=self._clock_us)
+            for resp in self._expire_batcher_sheds():
+                heapq.heappush(heap, (resp.yielded_at_us, seq, resp))
+                seq += 1
         undispatched = list(batches)
         try:
             for batch in batches:
@@ -944,21 +1009,7 @@ class HEServer:
                 # outside the lock so a slow consumer never blocks them.
                 with self._mu:
                     undispatched.remove(batch)
-                    self.metrics.observe_batch(batch.size)
-                    ops = {r.request_id: r.op for r in batch.requests}
-                    with tracing.span("batch.dispatch", cat="server",
-                                      batch_size=batch.size,
-                                      closed_by=batch.closed_by):
-                        dispatched = self.dispatcher.dispatch(
-                            batch, self._free_at_us)
-                    tracing.sim_span("batch", batch.open_us,
-                                     batch.dispatch_us, size=batch.size,
-                                     closed_by=batch.closed_by)
-                    for resp in dispatched:
-                        resp.yielded_at_us = max(resp.complete_us,
-                                                 resp.arrival_us)
-                        self._record(resp, ops[resp.request_id],
-                                     open_us=batch.open_us)
+                    for resp in self._dispatch_recorded(batch):
                         heapq.heappush(heap, (resp.yielded_at_us, seq, resp))
                         seq += 1
             while heap:
@@ -991,6 +1042,82 @@ class HEServer:
         for resp in responses:
             resp.yielded_at_us = barrier_us
             out[resp.request_id] = (encode_response(resp) if wire else resp)
+        return out
+
+    def _dispatch_recorded(self, batch: Batch) -> List[ServeResponse]:
+        """Dispatch one closed batch, record every response (holds ``_mu``)."""
+        self.metrics.observe_batch(batch.size)
+        ops = {r.request_id: r.op for r in batch.requests}
+        with tracing.span("batch.dispatch", cat="server",
+                          batch_size=batch.size,
+                          closed_by=batch.closed_by):
+            dispatched = self.dispatcher.dispatch(batch, self._free_at_us)
+        tracing.sim_span("batch", batch.open_us, batch.dispatch_us,
+                         size=batch.size, closed_by=batch.closed_by)
+        for resp in dispatched:
+            resp.yielded_at_us = max(resp.complete_us, resp.arrival_us)
+            self._record(resp, ops[resp.request_id], open_us=batch.open_us)
+        return dispatched
+
+    def _expire_batcher_sheds(self) -> List[ServeResponse]:
+        """Typed ``expired`` terminals for expired-on-arrival sheds
+        (holds ``_mu``)."""
+        out: List[ServeResponse] = []
+        for req in self.batcher.take_expired():
+            resp = expired_response(
+                req.request_id, arrival_us=req.arrival_us,
+                priority=req.priority,
+                error=(f"deadline {req.deadline_ms:.3f} ms expired before "
+                       "batching"))
+            self._record(resp, req.op)
+            out.append(resp)
+        return out
+
+    def pump_once(self, *, now_us: Optional[float] = None,
+                  wire: bool = False) -> List[object]:
+        """One timer tick: close due batches, dispatch, collect responses.
+
+        The pump-driven alternative to :meth:`stream`/:meth:`drain` —
+        the socket front end calls this on a wall-clock cadence.
+        Advances the simulated clock to ``now_us`` (when given) and
+        closes exactly the batches whose size filled or whose window /
+        deadline cut lies at or before the clock; nothing is
+        force-drained, so a partial batch younger than its window stays
+        pending for a later tick.  Returns every response that became
+        terminal through this tick in yield order: dispatched batches,
+        expired-on-arrival sheds, and any immediately-terminal responses
+        produced since the last tick (admission/tenant sheds, eviction
+        victims).  ``wire=True`` returns encoded response frames.
+        """
+        with self._mu:
+            if now_us is not None:
+                self._clock_us = max(self._clock_us, now_us)
+            with tracing.span("batch.form", cat="server"):
+                batches = self.batcher.form_batches(now_us=self._clock_us)
+            responses = self._expire_batcher_sheds()
+            for batch in batches:
+                responses.extend(self._dispatch_recorded(batch))
+            fresh, self._fresh_terminal = self._fresh_terminal, []
+            responses.extend(fresh)
+            self._clock_us = max(
+                [self._clock_us] + [r.complete_us for r in responses])
+            self.metrics.requeued_total = self.dispatcher.requeued
+            self._sync_cache_metrics()
+            self.pump_ticks += 1
+        responses.sort(key=lambda r: (r.yielded_at_us, r.request_id))
+        if wire:
+            return [encode_response(r) for r in responses]
+        return responses
+
+    def take_fresh_terminal(self) -> List[ServeResponse]:
+        """Drain responses that became terminal outside a dispatch.
+
+        The transport layer polls this after a submit so sheds and
+        eviction victims are pushed to their connections immediately
+        instead of waiting for the next pump tick.
+        """
+        with self._mu:
+            out, self._fresh_terminal = self._fresh_terminal, []
         return out
 
     def response(self, request_id: str) -> ServeResponse:
@@ -1084,6 +1211,9 @@ class HEServer:
             g("repro_batcher_depth",
               "Requests queued in the batcher right now.").set(
                 self.batcher.depth)
+            reg.counter("repro_pump_ticks_total",
+                        "Timer ticks served through pump_once.").set_total(
+                self.pump_ticks)
             g("repro_worker_pool_width",
               "Evaluation pool width (0 = inline).").set(
                 self.workers.width if self.workers is not None

@@ -66,6 +66,10 @@ class ServerMetrics:
     shed_total: int = 0
     admitted_total: int = 0
     shed_by_priority: Dict[int, int] = field(default_factory=dict)
+    #: Shed requests split by tenant (client id; "" = anonymous) —
+    #: covers global-gate sheds, per-tenant bucket sheds and
+    #: priority-eviction victims alike.
+    shed_by_tenant: Dict[str, int] = field(default_factory=dict)
     #: Requests re-dispatched onto a surviving device after a device
     #: failure mid-stream.
     requeued_total: int = 0
@@ -84,10 +88,13 @@ class ServerMetrics:
     def observe_batch(self, size: int) -> None:
         self.batch_sizes.append(size)
 
-    def observe_shed(self, priority: int = 0) -> None:
+    def observe_shed(self, priority: int = 0, client_id: str = "") -> None:
         self.shed_total += 1
         self.shed_by_priority[priority] = (
             self.shed_by_priority.get(priority, 0) + 1
+        )
+        self.shed_by_tenant[client_id] = (
+            self.shed_by_tenant.get(client_id, 0) + 1
         )
 
     def observe_admitted(self) -> None:
@@ -250,6 +257,10 @@ class ServerMetrics:
             c("repro_admission_shed_by_priority_total",
               "Shed requests split by priority class.",
               labels={"priority": str(prio)}).set_total(n)
+        for tenant, n in sorted(self.shed_by_tenant.items()):
+            c("repro_tenant_shed_total",
+              "Shed requests split by tenant (client id).",
+              labels={"client": tenant or "anonymous"}).set_total(n)
         c("repro_requeued_total",
           "Requests re-dispatched after device failure.").set_total(self.requeued_total)
         c("repro_server_deduped_total",
@@ -295,6 +306,12 @@ class ServerMetrics:
                 f"{self.shed_total} shed "
                 f"({100 * self.shed_rate:.0f}% shed)"
             )
+        if len(self.shed_by_tenant) > 1 or (
+                self.shed_by_tenant and "" not in self.shed_by_tenant):
+            parts = ", ".join(
+                f"{cid or 'anonymous'}={n}"
+                for cid, n in sorted(self.shed_by_tenant.items()))
+            lines.append(f"shed by tenant       : {parts}")
         if self.requeued_total:
             lines.append(f"requeued on failure  : {self.requeued_total}")
         if self.deduped_total:

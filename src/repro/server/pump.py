@@ -1,0 +1,124 @@
+"""Timer-driven batch pump: wall-clock cadence over the simulated server.
+
+Everything inside :class:`~repro.server.dispatcher.HEServer` runs on a
+deterministic simulated clock, and until now nothing closed a batch
+without an explicit ``drain()``/``stream()`` call.  An online server
+cannot work that way: a half-full batch must dispatch when its window
+elapses in *real* time, with no client action.  This module supplies
+the missing heartbeat:
+
+* :class:`SimClock` anchors the simulated microsecond axis to
+  ``time.monotonic()`` (one wall microsecond = one simulated
+  microsecond), so arrival stamps and window cuts line up with what the
+  sockets actually observe;
+* :class:`BatchPump` calls ``server.pump_once(now_us=clock.now_us())``
+  every ``pump_ms`` milliseconds on a daemon thread.  Each tick closes
+  exactly the batches whose size filled or whose window/deadline cut
+  has been reached — never a forced drain — and hands every newly
+  terminal response to the transport's router.
+
+The pump holds no protocol state; it is safe to drive ``tick()``
+manually (tests, single-threaded tools) instead of ``start()``-ing the
+thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from .dispatcher import HEServer
+from .request import ServeResponse
+
+__all__ = ["SimClock", "BatchPump"]
+
+
+class SimClock:
+    """Wall-anchored simulated clock: microseconds since construction."""
+
+    def __init__(self):
+        self._t0 = time.monotonic()
+
+    def now_us(self) -> float:
+        return (time.monotonic() - self._t0) * 1e6
+
+
+class BatchPump:
+    """Periodic ``pump_once`` driver with a response-routing callback.
+
+    ``on_response`` receives every response a tick completed (dispatched
+    batches, expired-on-arrival sheds, admission/tenant sheds, eviction
+    victims) in yield order; ``after_tick`` runs once per tick after the
+    responses are routed (the socket layer uses it to flush responses
+    parked for reconnected clients).  Both callbacks run on the pump
+    thread when the loop is running.
+    """
+
+    def __init__(self, server: HEServer, *, pump_ms: float = 5.0,
+                 clock: Optional[SimClock] = None,
+                 on_response: Optional[Callable[[ServeResponse], None]] = None,
+                 after_tick: Optional[Callable[[], None]] = None):
+        if pump_ms <= 0:
+            raise ValueError("pump_ms must be > 0")
+        self.server = server
+        self.pump_ms = float(pump_ms)
+        self.clock = clock or SimClock()
+        self.on_response = on_response
+        self.after_tick = after_tick
+        self.ticks = 0
+        self.responses = 0
+        self.errors = 0
+        self.last_error = ""
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def tick(self, now_us: Optional[float] = None) -> List[ServeResponse]:
+        """One pump cycle at ``now_us`` (default: the wall-anchored clock)."""
+        now = self.clock.now_us() if now_us is None else now_us
+        responses = self.server.pump_once(now_us=now)
+        self.ticks += 1
+        self.responses += len(responses)
+        if self.on_response is not None:
+            for resp in responses:
+                self.on_response(resp)
+        if self.after_tick is not None:
+            self.after_tick()
+        return responses
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "BatchPump":
+        """Start the periodic loop (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, name="batch-pump",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        period_s = self.pump_ms * 1e-3
+        while not self._stop.wait(period_s):
+            try:
+                self.tick()
+            except Exception as exc:  # pragma: no cover - defensive
+                # A bad tick must not kill the heartbeat: count it,
+                # remember it, keep pumping.
+                self.errors += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+
+    def stop(self) -> None:
+        """Stop the loop and run one final tick (flush stragglers)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+            try:
+                self.tick()
+            except Exception as exc:  # pragma: no cover - defensive
+                self.errors += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"

@@ -13,8 +13,9 @@ QoS fields (``priority``, optional ``deadline_ms``) and the session
 ``client`` id; each blob is one ``save_ciphertext`` payload.  Responses
 use the same framing with magic ``RPRS``, a typed status/timing header
 and at most one result blob.  Session handshakes use magics ``RPRH``
-(hello: client id + optional evaluation-key blobs) and ``RPRA`` (ack:
-session id + a ``core.serialize`` session ticket).  Every serving frame
+(hello: client id + optional evaluation-key blobs + optional resume
+ticket) and ``RPRA`` (ack: session id + a ``core.serialize`` session
+ticket).  Every serving frame
 header carries the serialization ``FORMAT_VERSION`` and decoding fails
 closed on any other version, as do the underlying ``core.serialize``
 blobs.
@@ -55,6 +56,7 @@ __all__ = [
     "encode_session_ack",
     "decode_session_ack",
     "overloaded_response",
+    "expired_response",
 ]
 
 REQUEST_MAGIC = b"RPRQ"
@@ -204,6 +206,24 @@ def overloaded_response(request_id: str, *, arrival_us: float = 0.0,
     )
 
 
+def expired_response(request_id: str, *, arrival_us: float = 0.0,
+                     priority: int = 0,
+                     error: str = "deadline expired before batching",
+                     ) -> ServeResponse:
+    """The typed terminal response of a request expired before dispatch.
+
+    Used for requests the batcher sheds as expired-on-arrival (their
+    deadline had already passed when batching looked at them) — the
+    pre-dispatch counterpart of the dispatcher's device-side deadline
+    shed, with the same ``expired`` status.
+    """
+    return ServeResponse(
+        request_id=request_id, ok=False, status="expired", error=error,
+        arrival_us=arrival_us, dispatch_us=arrival_us,
+        complete_us=arrival_us, yielded_at_us=arrival_us, priority=priority,
+    )
+
+
 @dataclass
 class SessionHello:
     """Client half of the session handshake: id + optional key blobs.
@@ -211,12 +231,18 @@ class SessionHello:
     The key blobs are ``core.serialize`` wires (``save_relin_key`` /
     ``save_galois_keys``) installed into the client's private keyspace —
     never the shared one — so concurrent clients cannot clobber each
-    other's evaluation keys.
+    other's evaluation keys.  ``ticket_wire`` carries a previously
+    issued :class:`~repro.core.serialize.SessionTicket` when the client
+    is *resuming* after a dropped connection: the transport validates it
+    against the live session table and, on success, flushes any
+    responses parked while the client was away.  Hellos without a ticket
+    decode exactly as before — the field is wire-compatible.
     """
 
     client_id: str
     relin_wire: Optional[bytes] = None
     galois_wire: Optional[bytes] = None
+    ticket_wire: Optional[bytes] = None
 
     def __post_init__(self) -> None:
         if not self.client_id:
@@ -446,6 +472,9 @@ def encode_session_hello(hello: SessionHello) -> bytes:
     if hello.galois_wire is not None:
         keys.append("galois")
         blobs.append(hello.galois_wire)
+    if hello.ticket_wire is not None:
+        keys.append("ticket")
+        blobs.append(hello.ticket_wire)
     header = {"v": FORMAT_VERSION, "client": hello.client_id, "keys": keys}
     return _frame(HELLO_MAGIC, header, blobs)
 
@@ -464,6 +493,7 @@ def decode_session_hello(data: bytes) -> SessionHello:
         client_id=_header_str(header, "client"),
         relin_wire=by_kind.get("relin"),
         galois_wire=by_kind.get("galois"),
+        ticket_wire=by_kind.get("ticket"),
     )
 
 

@@ -22,7 +22,7 @@ another's results.  :class:`SessionManager` owns that mapping:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..core.serialize import (
     SessionTicket,
@@ -57,6 +57,10 @@ class ClientSession:
     requests: int = 0
     shed: int = 0
     handshakes: int = 0
+    #: Encoded response frames completed while the client's transport
+    #: connection was down — flushed (in completion order) when the
+    #: client resumes with its session ticket.
+    parked: List[bytes] = field(default_factory=list)
 
     @property
     def ticket(self) -> SessionTicket:
@@ -172,3 +176,26 @@ class SessionManager:
     def note_shed(self, client_id: str) -> None:
         if client_id in self._sessions:
             self._sessions[client_id].shed += 1
+
+    # -- disconnected-client response parking --------------------------------------
+
+    def park(self, client_id: str, frame: bytes) -> bool:
+        """Hold one encoded response for a client with no live connection.
+
+        Returns True when the frame was parked (the client has a
+        session to resume into); False for unknown clients, whose
+        responses stay retrievable only in-process.
+        """
+        sess = self._sessions.get(client_id)
+        if sess is None:
+            return False
+        sess.parked.append(frame)
+        return True
+
+    def take_parked(self, client_id: str) -> List[bytes]:
+        """Drain the frames parked for ``client_id`` (resume flush)."""
+        sess = self._sessions.get(client_id)
+        if sess is None:
+            return []
+        out, sess.parked = sess.parked, []
+        return out

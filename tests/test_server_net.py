@@ -1,0 +1,303 @@
+"""Online socket front end: soak, disconnect/resume, and wire faults.
+
+End-to-end over real TCP: the pump-driven :class:`SocketServer` must
+serve ≥50 concurrent clients with exactly one terminal status per
+request (none lost, none duplicated), produce results bit-identical to
+the in-process drain path fed the same frames, survive a mid-stream
+disconnect with ticket-resume collecting every parked response, and
+turn injected ``net.frame`` faults (corrupt/truncated frames, dropped
+connections) into typed errors + clean resumes — never a hung client.
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.server import (
+    BatchPolicy,
+    HEServer,
+    NetClient,
+    ServeRequest,
+    ServerClient,
+    encode_request,
+    serve_in_background,
+)
+from repro.xesim import DEVICE1
+
+N_CLIENTS = 50
+PER_CLIENT = 2
+
+
+def _server(ckks, **kwargs):
+    return HEServer(
+        ServerClient.params_wire(ckks["params"]),
+        devices=[(DEVICE1, 2)],
+        policy=BatchPolicy(max_batch=8, window_us=200.0),
+        **kwargs,
+    )
+
+
+def _frames(ckks, n_clients, per_client):
+    """Per-client lists of (rid, RPRQ frame) add requests."""
+    enc = ckks["encoder"]
+    rng = np.random.default_rng(99)
+    out = {}
+    expected = {}
+    for ci in range(n_clients):
+        a = rng.normal(size=enc.slots)
+        b = rng.normal(size=enc.slots)
+        ca = ckks["encryptor"].encrypt(enc.encode(a))
+        cb = ckks["encryptor"].encrypt(enc.encode(b))
+        rows = []
+        for j in range(per_client):
+            rid = f"c{ci:02d}-{j}"
+            rows.append((rid, encode_request(
+                ServeRequest(rid, "add", [ca, cb]))))
+            expected[rid] = a + b
+        out[ci] = rows
+    return out, expected
+
+
+class TestSocketSoak:
+    def test_soak_50_clients_exactly_one_terminal_each(self, ckks):
+        """≥50 concurrent TCP clients, every request exactly one typed
+        terminal status, every response routed to its submitting
+        connection, all results decrypt-correct and bit-identical to
+        the in-process drain path on the same frames."""
+        frames, expected = _frames(ckks, N_CLIENTS, PER_CLIENT)
+        server = _server(ckks)
+        bg = serve_in_background(server, pump_ms=2.0)
+        results, errors = {}, []
+
+        def run_client(ci):
+            try:
+                with NetClient(bg.host, bg.port) as cli:
+                    for _rid, frame in frames[ci]:
+                        cli.submit_frame(frame)
+                    results[ci] = cli.collect(PER_CLIENT, timeout_s=90.0)
+            except Exception as exc:  # surfaced after the join
+                errors.append((ci, repr(exc)))
+
+        threads = [threading.Thread(target=run_client, args=(ci,))
+                   for ci in frames]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+            assert not any(t.is_alive() for t in threads), "hung client"
+        finally:
+            stats = bg.stats()
+            bg.stop()
+        assert errors == []
+
+        # Routing: each client got exactly its own requests' terminals.
+        for ci, resps in results.items():
+            assert sorted(r.request_id for r in resps) == \
+                sorted(rid for rid, _ in frames[ci])
+            for r in resps:
+                assert r.ok, (r.request_id, r.status, r.error)
+        # Global exactly-once: no response lost, none duplicated.
+        all_ids = [r.request_id for rs in results.values() for r in rs]
+        assert len(all_ids) == len(set(all_ids)) == N_CLIENTS * PER_CLIENT
+        assert stats["frames_in"] == N_CLIENTS * PER_CLIENT
+        assert stats["frames_out"] == N_CLIENTS * PER_CLIENT
+        assert stats["undeliverable"] == 0
+        assert stats["peak_connections"] > 1  # genuinely concurrent
+
+        # Decrypt-correct against the plaintext reference.
+        enc, dec = ckks["encoder"], ckks["decryptor"]
+        for resps in results.values():
+            for r in resps:
+                got = enc.decode(dec.decrypt(r.result))
+                assert np.allclose(got, expected[r.request_id], atol=1e-2)
+
+        # Bit-identical to the in-process drain path on the same frames.
+        ref = _server(ckks)
+        t = 0.0
+        for ci in sorted(frames):
+            for _rid, frame in frames[ci]:
+                ref.submit(frame, arrival_us=t)
+                t += 10.0
+        ref_responses = ref.drain()
+        for resps in results.values():
+            for r in resps:
+                assert np.array_equal(
+                    r.result.data, ref_responses[r.request_id].result.data)
+
+    def test_latency_stats_exposed(self, ckks):
+        """The socket layer exports its counters as metric series."""
+        from repro.obs.metrics import MetricsRegistry
+
+        frames, _ = _frames(ckks, 1, 2)
+        registry = MetricsRegistry()
+        bg = serve_in_background(_server(ckks), pump_ms=2.0,
+                                 registry=registry)
+        try:
+            with NetClient(bg.host, bg.port) as cli:
+                for _rid, frame in frames[0]:
+                    cli.submit_frame(frame)
+                cli.collect(2, timeout_s=30.0)
+            text = registry.render_prometheus()
+        finally:
+            bg.stop()
+        assert "repro_net_frames_total" in text
+        assert "repro_pump_responses_total" in text
+
+
+class TestDisconnectResume:
+    def test_midstream_disconnect_parks_then_resume_collects(self, ckks):
+        """Disconnect after submitting, reconnect with the session
+        ticket: every response completed meanwhile was parked and is
+        flushed after the resume hello — zero lost, zero duplicated."""
+        enc = ckks["encoder"]
+        server = _server(ckks)
+        # Slow pump: the client can submit and vanish before any batch
+        # closes, so the responses must park.
+        bg = serve_in_background(server, pump_ms=60.0)
+        try:
+            cli = NetClient(bg.host, bg.port, client_id="alice").connect()
+            ack = cli.hello()
+            assert ack.ok and ack.ticket_wire is not None
+            rng = np.random.default_rng(3)
+            vals = [rng.normal(size=enc.slots) for _ in range(4)]
+            rids = []
+            for i, v in enumerate(vals):
+                req = ServeRequest(
+                    f"alice-{i}", "add",
+                    [ckks["encryptor"].encrypt(enc.encode(v))] * 2,
+                    client_id="alice")
+                cli.submit_frame(encode_request(req))
+                rids.append(req.request_id)
+            cli.close()  # mid-stream: nothing served yet
+            deadline = time.monotonic() + 15.0
+            while bg.stats()["parked"] < len(rids):
+                assert time.monotonic() < deadline, bg.stats()
+                time.sleep(0.02)
+            cli.reconnect()
+            ack = cli.hello(resume=True)
+            assert ack.ok, ack.error
+            resps = cli.collect(len(rids), timeout_s=30.0)
+            cli.close()
+        finally:
+            stats = bg.stats()
+            bg.stop()
+        got = {r.request_id: r for r in resps}
+        assert sorted(got) == sorted(rids)  # all parked frames flushed
+        dec = ckks["decryptor"]
+        for i, v in enumerate(vals):
+            r = got[f"alice-{i}"]
+            assert r.ok, (r.status, r.error)
+            assert np.allclose(enc.decode(dec.decrypt(r.result)), v + v,
+                               atol=1e-2)
+        assert stats["undeliverable"] == 0
+
+    def test_garbage_ticket_refused_cleanly(self, ckks):
+        """A corrupt ticket yields a refused ack (typed, ok=False) and
+        the connection keeps working — never a crash or a hang."""
+        bg = serve_in_background(_server(ckks), pump_ms=5.0)
+        try:
+            cli = NetClient(bg.host, bg.port, client_id="mallory").connect()
+            cli.ticket_wire = b"not a ticket"
+            ack = cli.hello(resume=True)
+            assert not ack.ok and ack.error
+            # Same connection still serves a fresh (ticketless) hello.
+            cli.ticket_wire = None
+            assert cli.hello().ok
+            cli.close()
+        finally:
+            bg.stop()
+
+    def test_stale_ticket_for_other_client_refused(self, ckks):
+        """A valid ticket presented by the wrong client id is refused."""
+        bg = serve_in_background(_server(ckks), pump_ms=5.0)
+        try:
+            alice = NetClient(bg.host, bg.port, client_id="alice").connect()
+            assert alice.hello().ok
+            thief = NetClient(bg.host, bg.port, client_id="thief").connect()
+            thief.ticket_wire = alice.ticket_wire
+            ack = thief.hello(resume=True)
+            assert not ack.ok and "does not match" in ack.error
+            alice.close()
+            thief.close()
+        finally:
+            bg.stop()
+
+
+class TestNetFrameFaults:
+    def test_corrupt_frame_yields_typed_error_then_recovers(self, ckks):
+        frames, _ = _frames(ckks, 1, 2)
+        (rid0, frame0), (rid1, frame1) = frames[0]
+        plan = FaultPlan(
+            [FaultRule(point="net.frame", mode="corrupt_frame", hits=(1,))],
+            seed=0)
+        bg = serve_in_background(_server(ckks), pump_ms=2.0)
+        try:
+            with faults.use_plan(plan):
+                with NetClient(bg.host, bg.port) as cli:
+                    cli.submit_frame(frame0)  # corrupted in transit
+                    err = cli.recv_response()
+                    assert err.status == "error"
+                    assert err.result is None
+                    cli.submit_frame(frame1)  # clean: same connection
+                    (ok,) = cli.collect(1, timeout_s=30.0)
+            assert ok.request_id == rid1 and ok.ok
+            assert plan.fired("net.frame") == 1
+        finally:
+            stats = bg.stats()
+            bg.stop()
+        assert stats["frame_errors"] >= 1
+
+    def test_truncated_frame_yields_typed_error(self, ckks):
+        frames, _ = _frames(ckks, 1, 1)
+        ((_rid, frame),) = frames[0]
+        plan = FaultPlan(
+            [FaultRule(point="net.frame", mode="truncate_frame", hits=(1,))],
+            seed=0)
+        bg = serve_in_background(_server(ckks), pump_ms=2.0)
+        try:
+            with faults.use_plan(plan):
+                with NetClient(bg.host, bg.port) as cli:
+                    cli.submit_frame(frame)
+                    err = cli.recv_response()
+            assert err.status == "error" and not err.ok
+        finally:
+            bg.stop()
+
+    def test_dropped_connection_then_ticket_resume(self, ckks):
+        """drop_connection closes the socket mid-stream; the client
+        reconnects with its ticket, resubmits, and collects — exactly
+        one terminal for the request, never a hang."""
+        enc = ckks["encoder"]
+        v = np.ones(enc.slots)
+        ct = ckks["encryptor"].encrypt(enc.encode(v))
+        req = ServeRequest("drop-0", "add", [ct, ct], client_id="alice")
+        frame = encode_request(req)
+        # Hit 2 = the first message after the hello.
+        plan = FaultPlan(
+            [FaultRule(point="net.frame", mode="drop_connection", hits=(2,))],
+            seed=0)
+        bg = serve_in_background(_server(ckks), pump_ms=2.0)
+        try:
+            with faults.use_plan(plan):
+                cli = NetClient(bg.host, bg.port, client_id="alice").connect()
+                assert cli.hello().ok
+                cli.submit_frame(frame)  # server drops the connection
+                with pytest.raises((ConnectionError, socket.timeout)):
+                    cli.collect(1, timeout_s=5.0)
+                cli.reconnect()
+                assert cli.hello(resume=True).ok
+                cli.submit_frame(frame)  # idempotent resubmission
+                (resp,) = cli.collect(1, timeout_s=30.0)
+                cli.close()
+            assert resp.request_id == "drop-0" and resp.ok
+            assert plan.fired("net.frame") == 1
+        finally:
+            stats = bg.stats()
+            bg.stop()
+        assert stats["dropped_connections"] == 1
